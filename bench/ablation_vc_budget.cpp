@@ -1,0 +1,53 @@
+// Ablation A1 (not in the paper) — virtual-channel budget sweep.
+//
+// DESIGN.md item 2 fixes each algorithm's layout at 24 VCs per physical
+// channel; this ablation varies the budget and reports saturated
+// throughput, quantifying the paper's claim that for the free-choice class
+// "the amount of saturation throughput is affected by the number of
+// virtual channels, not by the way of using them".
+
+#include "common.hpp"
+
+#include "ftmesh/core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  const ftmesh::report::Cli cli(argc, argv);
+  const auto scale = ftbench::scale_from(cli, 5000, 1500, 1);
+  ftbench::print_banner("Ablation A1: VC budget vs saturated throughput",
+                        "extension of IPPS'07 Sec. 5 (fault-free, 100% load)",
+                        scale);
+
+  const std::vector<int> budgets = {8, 16, 24, 32};
+  const std::vector<std::string> algos = {"Minimal-Adaptive", "Duato",
+                                          "NHop", "Nbc", "PHop", "Duato-Nbc"};
+  const ftmesh::topology::Mesh mesh(10, 10);
+
+  std::vector<std::string> headers = {"algorithm"};
+  for (const int b : budgets) headers.push_back(std::to_string(b) + " VCs");
+  ftmesh::report::Table table(headers);
+
+  for (const auto& name : algos) {
+    const auto row = table.add_row();
+    table.set(row, 0, name);
+    for (std::size_t b = 0; b < budgets.size(); ++b) {
+      if (budgets[b] < ftmesh::routing::min_vcs_required(name, mesh)) {
+        table.set(row, b + 1, std::string("n/a"));
+        continue;
+      }
+      auto cfg = ftbench::paper_config(scale);
+      cfg.algorithm = name;
+      cfg.total_vcs = budgets[b];
+      cfg.injection_rate = -1.0;
+      ftmesh::core::Simulator sim(cfg);
+      const auto r = sim.run();
+      table.set(row, b + 1, r.throughput.accepted_flits_per_node_cycle, 3);
+    }
+  }
+  ftbench::emit(table, scale);
+  std::cout << "\nFinding: with deep 100-flit messages, extra VCs beyond an "
+               "algorithm's minimum do\nnot raise saturated throughput (time-"
+               "multiplexing many long worms over one\nphysical link slows "
+               "each of them); the 24-VC budget matters because the\nhop-"
+               "class schemes are infeasible below it (n/a cells).\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 3 — virtual-channel utilisation per algorithm at 5% node faults.
+//
+// Paper: "Virtual channel utilization under uniform traffic in a 10x10
+// mesh for adaptive routing algorithms with 100-flit message length and 24
+// virtual channels per physical channel; (a) basic routing algorithms,
+// (b) Nbc, Boura's fault-tolerant routing, and Duato's routing with Nbc
+// and Pbc."
+//
+// Metric: per-VC-index busy fraction (%) averaged over all mesh link
+// ports.  Expected shape: hop-class schemes load the low classes heavily
+// (PHop worst), bonus cards and Duato class-I channels spread the load,
+// and the free-choice algorithms use every channel near-uniformly.
+
+#include "common.hpp"
+
+#include "ftmesh/core/experiment.hpp"
+
+int main(int argc, char** argv) {
+  const ftmesh::report::Cli cli(argc, argv);
+  const auto scale = ftbench::scale_from(cli, 6000, 2000, 2);
+  ftbench::print_banner("Figure 3: VC utilisation at 5% faults",
+                        "IPPS'07 Fig. 3a/3b (10x10 mesh, 100-flit, 24 VCs, 5% faults)",
+                        scale);
+
+  const double rate = cli.get_double("rate", 0.0020);
+
+  std::vector<std::string> headers = {"algorithm"};
+  for (int v = 0; v < 24; ++v) headers.push_back("VC" + std::to_string(v));
+  headers.push_back("sum");
+  ftmesh::report::Table table(headers);
+
+  for (const auto& name : ftbench::series()) {
+    auto base = ftbench::paper_config(scale);
+    base.algorithm = name;
+    base.injection_rate = rate;
+    base.fault_count = 5;
+    base.collect_vc_usage = true;
+    const auto results = ftmesh::core::run_batch(
+        ftmesh::core::fault_pattern_sweep(base, scale.patterns));
+    const auto agg = ftmesh::core::aggregate(results);
+    const auto row = table.add_row();
+    table.set(row, 0, name);
+    double sum = 0.0;
+    for (std::size_t v = 0; v < agg.vc_usage.percent.size() && v < 24; ++v) {
+      table.set(row, v + 1, agg.vc_usage.percent[v], 1);
+      sum += agg.vc_usage.percent[v];
+    }
+    table.set(row, 25, sum, 1);
+  }
+  ftbench::emit(table, scale);
+  std::cout << "\nShape check: PHop/Pbc concentrate on the low hop classes; "
+               "NHop/Nbc spread over\n~10 classes; the free-choice group "
+               "(Duato, Minimal/Fully-Adaptive, Boura) uses\nall channels "
+               "evenly; the last four VC columns are the Boppana-Chalasani "
+               "ring\nchannels, busy only because of the 5% faults.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// P1 — google-benchmark micro-benchmarks of the simulator kernel:
+// network cycle cost at several loads, fault-map construction, f-ring
+// construction, and candidate enumeration.
+
+#include <benchmark/benchmark.h>
+
+#include "ftmesh/core/simulator.hpp"
+
+namespace {
+
+using ftmesh::core::SimConfig;
+using ftmesh::core::Simulator;
+
+SimConfig kernel_config(double rate, int faults) {
+  SimConfig cfg;
+  cfg.width = cfg.height = 10;
+  cfg.message_length = 100;
+  cfg.total_vcs = 24;
+  cfg.injection_rate = rate;
+  cfg.fault_count = faults;
+  cfg.warmup_cycles = 1;
+  cfg.total_cycles = 1u << 30;  // stepped manually
+  cfg.seed = 3;
+  return cfg;
+}
+
+void BM_NetworkStepIdle(benchmark::State& state) {
+  // Near-zero rate: an (almost) empty network, measuring the fixed
+  // per-cycle scan cost.  (rate <= 0 would mean saturated sources.)
+  Simulator sim(kernel_config(1e-9, 0));
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_NetworkStepIdle);
+
+void BM_NetworkStepModerateLoad(benchmark::State& state) {
+  Simulator sim(kernel_config(0.001, 0));
+  for (int i = 0; i < 2000; ++i) sim.step();  // reach steady state
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_NetworkStepModerateLoad);
+
+void BM_NetworkStepSaturated(benchmark::State& state) {
+  Simulator sim(kernel_config(-1.0, 0));
+  for (int i = 0; i < 2000; ++i) sim.step();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_NetworkStepSaturated);
+
+void BM_NetworkStepSaturatedFaulty(benchmark::State& state) {
+  Simulator sim(kernel_config(-1.0, 10));
+  for (int i = 0; i < 2000; ++i) sim.step();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_NetworkStepSaturatedFaulty);
+
+void BM_RandomFaultMap(benchmark::State& state) {
+  const ftmesh::topology::Mesh mesh(10, 10);
+  ftmesh::sim::Rng rng(5);
+  for (auto _ : state) {
+    auto map = ftmesh::fault::FaultMap::random(mesh, 10, rng);
+    benchmark::DoNotOptimize(map.active_count());
+  }
+}
+BENCHMARK(BM_RandomFaultMap);
+
+void BM_FRingConstruction(benchmark::State& state) {
+  const ftmesh::topology::Mesh mesh(10, 10);
+  ftmesh::sim::Rng rng(5);
+  const auto map = ftmesh::fault::FaultMap::random(mesh, 10, rng);
+  for (auto _ : state) {
+    ftmesh::fault::FRingSet rings(map);
+    benchmark::DoNotOptimize(rings.ring_count());
+  }
+}
+BENCHMARK(BM_FRingConstruction);
+
+void BM_CandidateEnumeration(benchmark::State& state) {
+  const ftmesh::topology::Mesh mesh(10, 10);
+  ftmesh::sim::Rng rng(5);
+  const auto map = ftmesh::fault::FaultMap::random(mesh, 10, rng);
+  const ftmesh::fault::FRingSet rings(map);
+  const auto algo =
+      ftmesh::routing::make_algorithm("Duato-Nbc", mesh, map, rings);
+  ftmesh::router::Message msg;
+  const auto active = map.active_nodes();
+  msg.src = active.front();
+  msg.dst = active.back();
+  msg.length = 100;
+  algo->on_inject(msg);
+  ftmesh::routing::CandidateList out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    algo->candidates(active[i % active.size()], msg, out);
+    benchmark::DoNotOptimize(out.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_CandidateEnumeration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// E1b — empirical saturation rate per algorithm.
+//
+// Paper Sec. 5.1: "NHop starts to saturate after 0.066 and PHop shows
+// signs of saturation at about 0.045" (the paper's rate units are
+// internally inconsistent with its own figures; what is reproducible is
+// the ORDER of the knees).  This bench bisects each algorithm's saturation
+// injection rate on the fault-free 10x10 mesh.
+
+#include "common.hpp"
+
+#include "ftmesh/analysis/saturation.hpp"
+
+int main(int argc, char** argv) {
+  const ftmesh::report::Cli cli(argc, argv);
+  const auto scale = ftbench::scale_from(cli, 5000, 1500, 1);
+  ftbench::print_banner("E1b: saturation points",
+                        "IPPS'07 Sec. 5.1 saturation-rate claims (fault-free)",
+                        scale);
+
+  ftmesh::analysis::SaturationOptions opts;
+  opts.lo = 0.0002;
+  opts.hi = 0.01;
+  opts.iterations = static_cast<int>(cli.get_int("iterations", scale.full ? 9 : 6));
+
+  ftmesh::report::Table table({"algorithm", "saturation rate (msg/node/cy)",
+                               "accepted at knee", "simulations"});
+  for (const auto& name : ftbench::series()) {
+    auto cfg = ftbench::paper_config(scale);
+    cfg.algorithm = name;
+    const auto r = ftmesh::analysis::find_saturation_rate(cfg, opts);
+    const auto row = table.add_row();
+    table.set(row, 0, name);
+    table.set(row, 1, r.rate, 5);
+    table.set(row, 2, r.accepted, 3);
+    table.set(row, 3, std::to_string(r.simulations));
+  }
+  ftbench::emit(table, scale);
+  std::cout << "\nShape check: NHop's knee sits above PHop's (the paper "
+               "reports 0.066 vs 0.045 in\nits own units); the remaining "
+               "algorithms cluster within the bisection\nresolution -- "
+               "increase --iterations (or --full) to separate them.\n";
+  return 0;
+}

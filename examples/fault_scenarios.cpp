@@ -1,0 +1,112 @@
+// Fault-model walkthrough: draws random and hand-crafted block fault
+// patterns, their f-rings/f-chains, and the Boura unsafe-node labels, then
+// runs a short simulation on each pattern.
+//
+//   ./fault_scenarios [--faults 10] [--seed 3] [--algorithm Nbc]
+
+#include <iostream>
+
+#include "ftmesh/core/simulator.hpp"
+#include "ftmesh/report/cli.hpp"
+#include "ftmesh/routing/boura.hpp"
+
+namespace {
+
+using ftmesh::fault::FaultMap;
+using ftmesh::fault::FRingSet;
+using ftmesh::topology::Coord;
+
+/// ASCII map: '#' faulty, 'x' deactivated, 'o' on an f-ring, 'u' unsafe
+/// (Boura labeling), '.' plain healthy.
+void draw(const FaultMap& map, const FRingSet& rings,
+          const ftmesh::routing::Boura& labels) {
+  const auto& mesh = map.mesh();
+  for (int y = mesh.height() - 1; y >= 0; --y) {
+    std::cout << "  ";
+    for (int x = 0; x < mesh.width(); ++x) {
+      const Coord c{x, y};
+      char glyph = '.';
+      if (map.status(c) == ftmesh::fault::NodeStatus::Faulty) glyph = '#';
+      else if (map.status(c) == ftmesh::fault::NodeStatus::Deactivated) glyph = 'x';
+      else if (rings.on_any_ring(c)) glyph = 'o';
+      else if (labels.unsafe(c)) glyph = 'u';
+      std::cout << glyph << ' ';
+    }
+    std::cout << '\n';
+  }
+}
+
+void describe(const FaultMap& map) {
+  std::cout << "  " << map.faulty_count() << " faulty + "
+            << map.deactivated_count() << " deactivated nodes, "
+            << map.regions().size() << " block region(s):\n";
+  for (const auto& region : map.regions()) {
+    std::cout << "    region " << region.id << ": [" << region.box.x0 << ".."
+              << region.box.x1 << "] x [" << region.box.y0 << ".."
+              << region.box.y1 << "]"
+              << (region.touches_boundary ? " (boundary -> f-chain)" : " (f-ring)")
+              << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ftmesh::report::Cli cli(argc, argv);
+  const auto algorithm = cli.get("algorithm", "Nbc");
+  const int fault_count = static_cast<int>(cli.get_int("faults", 10));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  const ftmesh::topology::Mesh mesh(10, 10);
+
+  std::cout << "Scenario 1: the paper's Figure-6 pattern (2x3 block + two "
+               "unit blocks)\n";
+  const auto fixed = FaultMap::from_blocks(
+      mesh, {{4, 3, 5, 5}, {1, 7, 1, 7}, {7, 1, 7, 1}});
+  const FRingSet fixed_rings(fixed);
+  const ftmesh::routing::Boura fixed_labels(
+      mesh, fixed, ftmesh::routing::Boura::Variant::FaultTolerant,
+      ftmesh::routing::VcLayout::duato(24, 2, 1, true));
+  describe(fixed);
+  draw(fixed, fixed_rings, fixed_labels);
+
+  std::cout << "\nScenario 2: an L-shaped fault coalesced to its block hull "
+               "(x = deactivated)\n";
+  const auto lshape =
+      FaultMap::from_faulty_nodes(mesh, {{4, 4}, {4, 5}, {4, 6}, {5, 4}});
+  const FRingSet lshape_rings(lshape);
+  const ftmesh::routing::Boura lshape_labels(
+      mesh, lshape, ftmesh::routing::Boura::Variant::FaultTolerant,
+      ftmesh::routing::VcLayout::duato(24, 2, 1, true));
+  describe(lshape);
+  draw(lshape, lshape_rings, lshape_labels);
+
+  std::cout << "\nScenario 3: " << fault_count
+            << " random node faults (seed " << seed << ")\n";
+  ftmesh::sim::Rng rng(seed);
+  const auto random_map = FaultMap::random(mesh, fault_count, rng);
+  const FRingSet random_rings(random_map);
+  const ftmesh::routing::Boura random_labels(
+      mesh, random_map, ftmesh::routing::Boura::Variant::FaultTolerant,
+      ftmesh::routing::VcLayout::duato(24, 2, 1, true));
+  describe(random_map);
+  draw(random_map, random_rings, random_labels);
+
+  std::cout << "\nRunning " << algorithm
+            << " on the random pattern (saturated sources, 4000 cycles)...\n";
+  ftmesh::core::SimConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.fault_count = fault_count;
+  cfg.seed = seed;  // note: Simulator derives the same pattern from the seed
+  cfg.injection_rate = -1.0;
+  cfg.total_cycles = 4000;
+  cfg.warmup_cycles = 1500;
+  ftmesh::core::Simulator sim(cfg);
+  const auto r = sim.run();
+  std::cout << "  accepted " << r.throughput.accepted_flits_per_node_cycle
+            << " flits/node/cycle, mean network latency "
+            << r.latency.mean_network << " cycles, " << r.latency.delivered
+            << " messages delivered" << (r.deadlock ? ", DEADLOCK!" : "")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Renders the per-node traffic load as an ASCII heatmap, with and without
+// faults, making the f-ring hotspots of the paper's Section 5.2 visible.
+//
+//   ./traffic_heatmap [--algorithm PHop] [--cycles 5000] [--traffic uniform]
+
+#include <iostream>
+
+#include "ftmesh/core/simulator.hpp"
+#include "ftmesh/report/cli.hpp"
+#include "ftmesh/report/heatmap.hpp"
+#include "ftmesh/stats/traffic_map.hpp"
+
+namespace {
+
+void run_case(const ftmesh::core::SimConfig& cfg, const std::string& label) {
+  ftmesh::core::Simulator sim(cfg);
+  const auto r = sim.run();
+  std::cout << label << " (accepted "
+            << r.throughput.accepted_flits_per_node_cycle
+            << " flits/node/cycle):\n";
+  const auto grid = ftmesh::stats::normalized_traffic_grid(sim.network());
+  ftmesh::report::print_heatmap(std::cout, sim.faults(), grid);
+  if (!sim.rings().rings().empty()) {
+    const auto split =
+        ftmesh::stats::summarize_traffic_split(sim.network(), sim.rings());
+    std::cout << "  f-ring nodes mean " << split.fring_mean_percent
+              << "% vs other nodes " << split.other_mean_percent << "%\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ftmesh::report::Cli cli(argc, argv);
+
+  ftmesh::core::SimConfig cfg;
+  cfg.algorithm = cli.get("algorithm", "PHop");
+  cfg.traffic = cli.get("traffic", "uniform");
+  cfg.injection_rate = -1.0;
+  cfg.total_cycles = static_cast<std::uint64_t>(cli.get_int("cycles", 5000));
+  cfg.warmup_cycles = cfg.total_cycles / 3;
+  cfg.collect_traffic_map = true;
+
+  std::cout << "Traffic heatmaps for " << cfg.algorithm << " under "
+            << cfg.traffic << " traffic at 100% load\n\n";
+
+  run_case(cfg, "Fault-free mesh");
+
+  auto faulty = cfg;
+  faulty.fault_blocks = {{4, 3, 5, 5}, {1, 7, 1, 7}, {7, 1, 7, 1}};
+  run_case(faulty, "With the Figure-6 block pattern (F = faulty)");
+
+  std::cout << "The faulty map shows the load concentrating on the ring "
+               "nodes around each\nregion -- the hotspot effect of the "
+               "paper's Section 5.2.\n";
+  return 0;
+}

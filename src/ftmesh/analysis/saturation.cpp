@@ -1,0 +1,50 @@
+#include "ftmesh/analysis/saturation.hpp"
+
+#include <stdexcept>
+
+namespace ftmesh::analysis {
+
+namespace {
+
+double accepted_fraction_at(const core::SimConfig& base, double rate) {
+  core::SimConfig cfg = base;
+  cfg.injection_rate = rate;
+  core::Simulator sim(cfg);
+  return sim.run().throughput.accepted_fraction;
+}
+
+}  // namespace
+
+SaturationResult find_saturation_rate(const core::SimConfig& base,
+                                      const SaturationOptions& opts) {
+  if (!(opts.lo > 0.0) || !(opts.hi > opts.lo)) {
+    throw std::invalid_argument("saturation bracket must satisfy 0 < lo < hi");
+  }
+  SaturationResult result;
+  double lo = opts.lo;
+  double hi = opts.hi;
+  double lo_accept = accepted_fraction_at(base, lo);
+  result.simulations = 1;
+  if (lo_accept < opts.threshold) {
+    // Already saturated at the bracket floor; report it directly.
+    result.rate = lo;
+    result.accepted = lo_accept;
+    return result;
+  }
+  for (int i = 0; i < opts.iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double accept = accepted_fraction_at(base, mid);
+    ++result.simulations;
+    if (accept >= opts.threshold) {
+      lo = mid;
+      lo_accept = accept;
+    } else {
+      hi = mid;
+    }
+  }
+  result.rate = lo;
+  result.accepted = lo_accept;
+  return result;
+}
+
+}  // namespace ftmesh::analysis

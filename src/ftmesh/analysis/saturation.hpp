@@ -1,0 +1,33 @@
+#pragma once
+// Saturation-point finder.
+//
+// The paper quotes saturation rates per algorithm ("NHop starts to
+// saturate after 0.066 and PHop shows signs of saturation at about
+// 0.045").  This utility locates the knee empirically: the largest
+// injection rate at which the network still accepts at least `threshold`
+// of the offered traffic, found by bisection over short simulations.
+
+#include "ftmesh/core/simulator.hpp"
+
+namespace ftmesh::analysis {
+
+struct SaturationResult {
+  double rate = 0.0;      ///< estimated saturation rate (msg/node/cycle)
+  double accepted = 0.0;  ///< accepted/offered at that rate
+  int simulations = 0;    ///< simulator runs spent
+};
+
+struct SaturationOptions {
+  double lo = 0.0001;      ///< bracket: must be below saturation
+  double hi = 0.02;        ///< bracket: must be above saturation
+  double threshold = 0.95; ///< accepted/offered counted as "not saturated"
+  int iterations = 7;      ///< bisection steps
+};
+
+/// Bisects on injection rate.  `base.injection_rate` is overwritten per
+/// probe; everything else (mesh, algorithm, faults, cycles, seed) is taken
+/// from `base`.
+SaturationResult find_saturation_rate(const core::SimConfig& base,
+                                      const SaturationOptions& opts = {});
+
+}  // namespace ftmesh::analysis

@@ -1,0 +1,42 @@
+#pragma once
+// Campaign: a declarative experiment matrix (algorithms x injection rates
+// x fault levels x fault patterns), executed over the thread pool and
+// reduced per cell.  This is the machinery behind every figure in the
+// paper: Figure 1/2 are (algorithms x rates), Figure 4/5 are (algorithms x
+// fault levels) with pattern averaging.
+
+#include <vector>
+
+#include "ftmesh/core/experiment.hpp"
+
+namespace ftmesh::core {
+
+struct CampaignSpec {
+  SimConfig base;
+  /// Dimensions; an empty vector means "use the base config's value".
+  std::vector<std::string> algorithms;
+  std::vector<double> rates;
+  std::vector<int> fault_counts;
+  int patterns = 1;  ///< random fault sets averaged per cell
+  int threads = 0;   ///< run_batch parallelism (<= 0: all cores)
+
+  /// Throws std::invalid_argument on unknown algorithms or bad counts.
+  void validate() const;
+};
+
+struct CampaignCell {
+  std::string algorithm;
+  double rate = 0.0;
+  int fault_count = 0;
+  SimResult mean;                ///< aggregate over the patterns
+  std::vector<SimResult> runs;   ///< per-pattern results
+};
+
+/// Runs the full matrix; cells are ordered algorithm-major, then rate,
+/// then fault count (deterministic).
+std::vector<CampaignCell> run_campaign(const CampaignSpec& spec);
+
+/// CSV with one row per cell (aggregates only).
+void write_campaign_csv(std::ostream& os, const std::vector<CampaignCell>& cells);
+
+}  // namespace ftmesh::core

@@ -1,0 +1,33 @@
+#include "ftmesh/core/config.hpp"
+
+#include <stdexcept>
+
+#include "ftmesh/routing/registry.hpp"
+
+namespace ftmesh::core {
+
+void SimConfig::validate() const {
+  if (width < 2 || height < 2) {
+    throw std::invalid_argument("mesh sides must be >= 2");
+  }
+  if (total_vcs < 1 || total_vcs > 256) {
+    throw std::invalid_argument("total_vcs out of range");
+  }
+  if (!routing::is_algorithm_name(algorithm)) {
+    throw std::invalid_argument("unknown algorithm: " + algorithm);
+  }
+  if (buffer_depth < 1) throw std::invalid_argument("buffer_depth must be >= 1");
+  if (injection_vcs < 1 || injection_vcs > total_vcs) {
+    throw std::invalid_argument("injection_vcs out of range");
+  }
+  if (message_length < 1) throw std::invalid_argument("message_length must be >= 1");
+  if (fault_count < 0 || fault_count >= width * height) {
+    throw std::invalid_argument("fault_count out of range");
+  }
+  if (warmup_cycles >= total_cycles) {
+    throw std::invalid_argument("warmup must end before total_cycles");
+  }
+  if (misroute_limit < 0) throw std::invalid_argument("misroute_limit < 0");
+}
+
+}  // namespace ftmesh::core

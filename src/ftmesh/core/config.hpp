@@ -1,0 +1,55 @@
+#pragma once
+// Simulation configuration: one struct drives the whole stack.
+// Defaults reproduce the paper's headline setup: 10x10 mesh, 100-flit
+// messages, 24 VCs per physical channel, uniform traffic, 30k cycles with
+// 10k warm-up.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftmesh/fault/fault_region.hpp"
+#include "ftmesh/routing/selection.hpp"
+
+namespace ftmesh::core {
+
+struct SimConfig {
+  // topology
+  int width = 10;
+  int height = 10;
+
+  // routing
+  std::string algorithm = "Duato";
+  int total_vcs = 24;
+  int misroute_limit = 10;
+  bool xy_escape = true;
+  routing::SelectionPolicy selection = routing::SelectionPolicy::Random;
+
+  // router microarchitecture
+  int buffer_depth = 2;
+  int injection_vcs = 1;
+
+  // workload
+  std::string traffic = "uniform";
+  double injection_rate = 0.01;  ///< messages/node/cycle; <= 0 -> saturated
+  std::uint32_t message_length = 100;
+
+  // faults: explicit blocks win over a random fault count
+  int fault_count = 0;
+  std::vector<fault::Rect> fault_blocks;
+
+  // schedule
+  std::uint64_t warmup_cycles = 10000;
+  std::uint64_t total_cycles = 30000;
+  std::uint64_t seed = 1;
+  std::uint64_t watchdog_patience = 2000;
+
+  // optional statistics
+  bool collect_vc_usage = false;
+  bool collect_traffic_map = false;
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+};
+
+}  // namespace ftmesh::core

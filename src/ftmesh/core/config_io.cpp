@@ -1,0 +1,134 @@
+#include "ftmesh/core/config_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftmesh::core {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string blocks_to_string(const std::vector<fault::Rect>& blocks) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (i) os << "; ";
+    os << blocks[i].x0 << ',' << blocks[i].y0 << ',' << blocks[i].x1 << ','
+       << blocks[i].y1;
+  }
+  return os.str();
+}
+
+std::vector<fault::Rect> blocks_from_string(const std::string& text) {
+  std::vector<fault::Rect> blocks;
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ';')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    fault::Rect r;
+    char c1 = 0, c2 = 0, c3 = 0;
+    std::istringstream cell(item);
+    if (!(cell >> r.x0 >> c1 >> r.y0 >> c2 >> r.x1 >> c3 >> r.y1) ||
+        c1 != ',' || c2 != ',' || c3 != ',') {
+      throw std::invalid_argument("malformed fault block: " + item);
+    }
+    blocks.push_back(r);
+  }
+  return blocks;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("config line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+void save_config(std::ostream& os, const SimConfig& cfg) {
+  os << "# ftmesh simulation configuration\n"
+     << "width = " << cfg.width << "\n"
+     << "height = " << cfg.height << "\n"
+     << "algorithm = " << cfg.algorithm << "\n"
+     << "total_vcs = " << cfg.total_vcs << "\n"
+     << "misroute_limit = " << cfg.misroute_limit << "\n"
+     << "xy_escape = " << (cfg.xy_escape ? 1 : 0) << "\n"
+     << "selection = " << routing::to_string(cfg.selection) << "\n"
+     << "buffer_depth = " << cfg.buffer_depth << "\n"
+     << "injection_vcs = " << cfg.injection_vcs << "\n"
+     << "traffic = " << cfg.traffic << "\n"
+     << "injection_rate = " << cfg.injection_rate << "\n"
+     << "message_length = " << cfg.message_length << "\n"
+     << "fault_count = " << cfg.fault_count << "\n"
+     << "fault_blocks = " << blocks_to_string(cfg.fault_blocks) << "\n"
+     << "warmup_cycles = " << cfg.warmup_cycles << "\n"
+     << "total_cycles = " << cfg.total_cycles << "\n"
+     << "seed = " << cfg.seed << "\n"
+     << "watchdog_patience = " << cfg.watchdog_patience << "\n"
+     << "collect_vc_usage = " << (cfg.collect_vc_usage ? 1 : 0) << "\n"
+     << "collect_traffic_map = " << (cfg.collect_traffic_map ? 1 : 0) << "\n";
+}
+
+void save_config_file(const std::string& path, const SimConfig& cfg) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  save_config(os, cfg);
+}
+
+SimConfig load_config(std::istream& is) {
+  SimConfig cfg;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.erase(comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    try {
+      if (key == "width") cfg.width = std::stoi(value);
+      else if (key == "height") cfg.height = std::stoi(value);
+      else if (key == "algorithm") cfg.algorithm = value;
+      else if (key == "total_vcs") cfg.total_vcs = std::stoi(value);
+      else if (key == "misroute_limit") cfg.misroute_limit = std::stoi(value);
+      else if (key == "xy_escape") cfg.xy_escape = std::stoi(value) != 0;
+      else if (key == "selection") cfg.selection = routing::selection_from_string(value);
+      else if (key == "buffer_depth") cfg.buffer_depth = std::stoi(value);
+      else if (key == "injection_vcs") cfg.injection_vcs = std::stoi(value);
+      else if (key == "traffic") cfg.traffic = value;
+      else if (key == "injection_rate") cfg.injection_rate = std::stod(value);
+      else if (key == "message_length") cfg.message_length = static_cast<std::uint32_t>(std::stoul(value));
+      else if (key == "fault_count") cfg.fault_count = std::stoi(value);
+      else if (key == "fault_blocks") cfg.fault_blocks = blocks_from_string(value);
+      else if (key == "warmup_cycles") cfg.warmup_cycles = std::stoull(value);
+      else if (key == "total_cycles") cfg.total_cycles = std::stoull(value);
+      else if (key == "seed") cfg.seed = std::stoull(value);
+      else if (key == "watchdog_patience") cfg.watchdog_patience = std::stoull(value);
+      else if (key == "collect_vc_usage") cfg.collect_vc_usage = std::stoi(value) != 0;
+      else if (key == "collect_traffic_map") cfg.collect_traffic_map = std::stoi(value) != 0;
+      else fail(line_no, "unknown key: " + key);
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception& e) {
+      fail(line_no, std::string("bad value for ") + key + ": " + e.what());
+    }
+  }
+  return cfg;
+}
+
+SimConfig load_config_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot read " + path);
+  return load_config(is);
+}
+
+}  // namespace ftmesh::core

@@ -1,0 +1,29 @@
+#pragma once
+// SimConfig (de)serialisation as `key = value` text, so experiment
+// configurations can be checked into a repo and replayed exactly.
+//
+//   # comment
+//   width = 10
+//   algorithm = Duato-Nbc
+//   injection_rate = -1
+//   fault_blocks = 4,3,5,5; 1,7,1,7
+//
+// Unknown keys are an error (catching typos beats ignoring them).
+
+#include <iosfwd>
+#include <string>
+
+#include "ftmesh/core/config.hpp"
+
+namespace ftmesh::core {
+
+/// Writes every field of `cfg` (including defaults) as key = value lines.
+void save_config(std::ostream& os, const SimConfig& cfg);
+void save_config_file(const std::string& path, const SimConfig& cfg);
+
+/// Parses `key = value` lines over a default-constructed SimConfig.
+/// Throws std::invalid_argument with a line number on malformed input.
+SimConfig load_config(std::istream& is);
+SimConfig load_config_file(const std::string& path);
+
+}  // namespace ftmesh::core

@@ -1,0 +1,114 @@
+#include "ftmesh/core/experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ftmesh/core/thread_pool.hpp"
+
+namespace ftmesh::core {
+
+std::vector<SimResult> run_batch(const std::vector<SimConfig>& configs,
+                                 int threads) {
+  std::vector<SimResult> results(configs.size());
+  parallel_for(configs.size(), threads, [&](std::size_t i) {
+    try {
+      Simulator sim(configs[i]);
+      results[i] = sim.run();
+    } catch (const std::runtime_error&) {
+      // Undrawable fault pattern: leave the default (cycles_run == 0)
+      // marker; aggregate() skips it.
+      results[i] = SimResult{};
+    }
+  });
+  return results;
+}
+
+std::vector<SimConfig> fault_pattern_sweep(const SimConfig& base, int count) {
+  std::vector<SimConfig> configs;
+  configs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    SimConfig c = base;
+    c.seed = base.seed + static_cast<std::uint64_t>(i);
+    configs.push_back(std::move(c));
+  }
+  return configs;
+}
+
+SimResult aggregate(const std::vector<SimResult>& results) {
+  SimResult agg;
+  double n = 0.0;
+  for (const auto& r : results) {
+    if (r.cycles_run == 0) continue;  // skipped run
+    ++n;
+    agg.latency.delivered += r.latency.delivered;
+    agg.latency.generated += r.latency.generated;
+    agg.latency.undelivered += r.latency.undelivered;
+    agg.latency.mean += r.latency.mean;
+    agg.latency.mean_network += r.latency.mean_network;
+    agg.latency.p50 += r.latency.p50;
+    agg.latency.p95 += r.latency.p95;
+    agg.latency.p99 += r.latency.p99;
+    agg.latency.max = std::max(agg.latency.max, r.latency.max);
+    agg.latency.mean_hops += r.latency.mean_hops;
+    agg.latency.mean_misroutes += r.latency.mean_misroutes;
+    agg.latency.ring_message_fraction += r.latency.ring_message_fraction;
+    agg.throughput.offered_flits_per_node_cycle +=
+        r.throughput.offered_flits_per_node_cycle;
+    agg.throughput.accepted_flits_per_node_cycle +=
+        r.throughput.accepted_flits_per_node_cycle;
+    agg.throughput.accepted_fraction += r.throughput.accepted_fraction;
+    agg.adaptivity.mean_offered += r.adaptivity.mean_offered;
+    agg.adaptivity.mean_free += r.adaptivity.mean_free;
+    agg.adaptivity.decisions += r.adaptivity.decisions;
+    agg.deadlock = agg.deadlock || r.deadlock;
+    agg.cycles_run += r.cycles_run;
+    agg.fault_regions += r.fault_regions;
+    agg.faulty_nodes += r.faulty_nodes;
+    agg.deactivated_nodes += r.deactivated_nodes;
+    if (!r.vc_usage.percent.empty()) {
+      if (agg.vc_usage.percent.size() < r.vc_usage.percent.size()) {
+        agg.vc_usage.percent.resize(r.vc_usage.percent.size(), 0.0);
+      }
+      for (std::size_t v = 0; v < r.vc_usage.percent.size(); ++v) {
+        agg.vc_usage.percent[v] += r.vc_usage.percent[v];
+      }
+    }
+    agg.traffic_split.fring_mean_percent += r.traffic_split.fring_mean_percent;
+    agg.traffic_split.other_mean_percent += r.traffic_split.other_mean_percent;
+    agg.traffic_split.fring_peak_percent += r.traffic_split.fring_peak_percent;
+    agg.traffic_split.other_peak_percent += r.traffic_split.other_peak_percent;
+    agg.traffic_split.fring_nodes += r.traffic_split.fring_nodes;
+    agg.traffic_split.other_nodes += r.traffic_split.other_nodes;
+  }
+  if (n == 0.0) return agg;
+  const auto div = [n](double& v) { v /= n; };
+  div(agg.latency.mean);
+  div(agg.latency.mean_network);
+  div(agg.latency.p50);
+  div(agg.latency.p95);
+  div(agg.latency.p99);
+  div(agg.latency.mean_hops);
+  div(agg.latency.mean_misroutes);
+  div(agg.latency.ring_message_fraction);
+  div(agg.throughput.offered_flits_per_node_cycle);
+  div(agg.throughput.accepted_flits_per_node_cycle);
+  div(agg.throughput.accepted_fraction);
+  div(agg.adaptivity.mean_offered);
+  div(agg.adaptivity.mean_free);
+  for (auto& v : agg.vc_usage.percent) v /= n;
+  div(agg.traffic_split.fring_mean_percent);
+  div(agg.traffic_split.other_mean_percent);
+  div(agg.traffic_split.fring_peak_percent);
+  div(agg.traffic_split.other_peak_percent);
+  agg.traffic_split.fring_nodes =
+      static_cast<std::size_t>(static_cast<double>(agg.traffic_split.fring_nodes) / n);
+  agg.traffic_split.other_nodes =
+      static_cast<std::size_t>(static_cast<double>(agg.traffic_split.other_nodes) / n);
+  agg.fault_regions = static_cast<int>(static_cast<double>(agg.fault_regions) / n);
+  agg.faulty_nodes = static_cast<int>(static_cast<double>(agg.faulty_nodes) / n);
+  agg.deactivated_nodes =
+      static_cast<int>(static_cast<double>(agg.deactivated_nodes) / n);
+  return agg;
+}
+
+}  // namespace ftmesh::core

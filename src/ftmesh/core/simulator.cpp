@@ -1,0 +1,85 @@
+#include "ftmesh/core/simulator.hpp"
+
+namespace ftmesh::core {
+
+Simulator::Simulator(SimConfig cfg)
+    : cfg_(std::move(cfg)), mesh_(cfg_.width, cfg_.height) {
+  cfg_.validate();
+
+  const sim::Rng root(cfg_.seed);
+  if (!cfg_.fault_blocks.empty()) {
+    faults_ = std::make_unique<fault::FaultMap>(
+        fault::FaultMap::from_blocks(mesh_, cfg_.fault_blocks));
+  } else if (cfg_.fault_count > 0) {
+    auto fault_rng = root.derive(0xFA);
+    faults_ = std::make_unique<fault::FaultMap>(
+        fault::FaultMap::random(mesh_, cfg_.fault_count, fault_rng));
+  } else {
+    faults_ = std::make_unique<fault::FaultMap>(mesh_);
+  }
+  rings_ = std::make_unique<fault::FRingSet>(*faults_);
+
+  routing::RoutingOptions opts;
+  opts.total_vcs = cfg_.total_vcs;
+  opts.misroute_limit = cfg_.misroute_limit;
+  opts.xy_escape = cfg_.xy_escape;
+  opts.selection = cfg_.selection;
+  algorithm_ =
+      routing::make_algorithm(cfg_.algorithm, mesh_, *faults_, *rings_, opts);
+
+  pattern_ = traffic::make_pattern(cfg_.traffic, *faults_);
+
+  router::NetworkConfig ncfg;
+  ncfg.buffer_depth = cfg_.buffer_depth;
+  ncfg.injection_vcs = cfg_.injection_vcs;
+  ncfg.selection = cfg_.selection;
+  ncfg.collect_vc_usage = cfg_.collect_vc_usage;
+  ncfg.collect_traffic_map = cfg_.collect_traffic_map;
+  ncfg.watchdog_patience = cfg_.watchdog_patience;
+  network_ = std::make_unique<router::Network>(mesh_, *faults_, *algorithm_,
+                                               ncfg, root.derive(0x17));
+
+  generator_ = std::make_unique<traffic::Generator>(
+      *faults_, *pattern_, cfg_.injection_rate, cfg_.message_length,
+      root.derive(0x7A));
+}
+
+void Simulator::step() {
+  if (network_->cycle() == cfg_.warmup_cycles) network_->begin_measurement();
+  generator_->tick(*network_);
+  network_->step();
+}
+
+SimResult Simulator::run() {
+  while (network_->cycle() < cfg_.total_cycles) {
+    step();
+    if (network_->watchdog().tripped()) break;
+  }
+  return snapshot();
+}
+
+SimResult Simulator::snapshot() const {
+  SimResult r;
+  r.latency = stats::summarize_latency(*network_, cfg_.warmup_cycles);
+  r.throughput = stats::summarize_throughput(*network_);
+  if (cfg_.collect_vc_usage) r.vc_usage = stats::summarize_vc_usage(*network_);
+  if (cfg_.collect_traffic_map) {
+    r.traffic_split = stats::summarize_traffic_split(*network_, *rings_);
+  }
+  r.adaptivity.decisions = network_->measured_route_decisions();
+  if (r.adaptivity.decisions > 0) {
+    const auto n = static_cast<double>(r.adaptivity.decisions);
+    r.adaptivity.mean_offered =
+        static_cast<double>(network_->measured_candidates_offered()) / n;
+    r.adaptivity.mean_free =
+        static_cast<double>(network_->measured_candidates_free()) / n;
+  }
+  r.deadlock = network_->watchdog().tripped();
+  r.cycles_run = network_->cycle();
+  r.fault_regions = static_cast<int>(faults_->regions().size());
+  r.faulty_nodes = faults_->faulty_count();
+  r.deactivated_nodes = faults_->deactivated_count();
+  return r;
+}
+
+}  // namespace ftmesh::core

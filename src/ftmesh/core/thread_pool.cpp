@@ -1,0 +1,81 @@
+#include "ftmesh/core/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace ftmesh::core {
+
+ThreadPool::ThreadPool(int threads) {
+  int n = threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  n = std::max(1, n);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  ThreadPool pool(threads);
+  std::atomic<std::size_t> next{0};
+  const int workers = pool.thread_count();
+  for (int w = 0; w < workers; ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace ftmesh::core

@@ -1,0 +1,53 @@
+#pragma once
+// A small fixed-size thread pool used by the experiment harness to run
+// independent simulations (one per fault pattern / sweep point) in
+// parallel.  Results stay deterministic because every simulation derives
+// its randomness from its own (seed, index) pair, never from scheduling.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftmesh::core {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Exceptions escaping tasks terminate (tasks are
+  /// expected to capture-and-store their own errors).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across `threads` workers and waits.
+void parallel_for(std::size_t count, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace ftmesh::core

@@ -1,0 +1,138 @@
+#include "ftmesh/fault/fault_model.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace ftmesh::fault {
+
+using topology::Coord;
+using topology::Direction;
+using topology::Mesh;
+
+FaultMap::FaultMap(const Mesh& mesh)
+    : mesh_(&mesh),
+      status_(static_cast<std::size_t>(mesh.node_count()), NodeStatus::Healthy),
+      region_of_(static_cast<std::size_t>(mesh.node_count()), -1) {}
+
+void FaultMap::apply_blocks(const std::vector<Rect>& blocks,
+                            const std::vector<Coord>& faulty) {
+  for (const auto c : faulty) {
+    auto& st = status_[static_cast<std::size_t>(mesh_->id_of(c))];
+    if (st != NodeStatus::Faulty) {
+      st = NodeStatus::Faulty;
+      ++faulty_count_;
+    }
+  }
+  regions_.clear();
+  regions_.reserve(blocks.size());
+  for (const auto& box : blocks) {
+    FaultRegion region;
+    region.id = static_cast<int>(regions_.size());
+    region.box = box;
+    region.touches_boundary = box.x0 == 0 || box.y0 == 0 ||
+                              box.x1 == mesh_->width() - 1 ||
+                              box.y1 == mesh_->height() - 1;
+    for (int y = box.y0; y <= box.y1; ++y) {
+      for (int x = box.x0; x <= box.x1; ++x) {
+        const auto idx = static_cast<std::size_t>(mesh_->id_of({x, y}));
+        region_of_[idx] = region.id;
+        if (status_[idx] == NodeStatus::Healthy) {
+          status_[idx] = NodeStatus::Deactivated;
+          ++deactivated_count_;
+        }
+      }
+    }
+    regions_.push_back(region);
+  }
+}
+
+FaultMap FaultMap::from_faulty_nodes(const Mesh& mesh,
+                                     const std::vector<Coord>& faulty) {
+  FaultMap map(mesh);
+  map.apply_blocks(coalesce_blocks(mesh, faulty), faulty);
+  if (map.active_count() == 0 || !map.connected()) {
+    throw std::invalid_argument("fault pattern disconnects the network");
+  }
+  return map;
+}
+
+FaultMap FaultMap::from_blocks(const Mesh& mesh, const std::vector<Rect>& blocks) {
+  std::vector<Coord> faulty;
+  for (const auto& b : blocks) {
+    for (int y = b.y0; y <= b.y1; ++y) {
+      for (int x = b.x0; x <= b.x1; ++x) faulty.push_back({x, y});
+    }
+  }
+  return from_faulty_nodes(mesh, faulty);
+}
+
+FaultMap FaultMap::random(const Mesh& mesh, int fault_count, sim::Rng& rng,
+                          int max_attempts) {
+  if (fault_count < 0 || fault_count >= mesh.node_count()) {
+    throw std::invalid_argument("fault_count out of range");
+  }
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Partial Fisher-Yates draw of `fault_count` distinct node ids.
+    std::vector<topology::NodeId> ids(static_cast<std::size_t>(mesh.node_count()));
+    for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<topology::NodeId>(i);
+    std::vector<Coord> faulty;
+    faulty.reserve(static_cast<std::size_t>(fault_count));
+    for (int i = 0; i < fault_count; ++i) {
+      const auto j = static_cast<std::size_t>(i) +
+                     rng.next_below(ids.size() - static_cast<std::size_t>(i));
+      std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+      faulty.push_back(mesh.coord_of(ids[static_cast<std::size_t>(i)]));
+    }
+    FaultMap map(mesh);
+    map.apply_blocks(coalesce_blocks(mesh, faulty), faulty);
+    if (map.active_count() > 1 && map.connected()) return map;
+  }
+  throw std::runtime_error("could not draw a connected fault pattern");
+}
+
+std::vector<Coord> FaultMap::active_nodes() const {
+  std::vector<Coord> out;
+  out.reserve(static_cast<std::size_t>(active_count()));
+  for (int y = 0; y < mesh_->height(); ++y) {
+    for (int x = 0; x < mesh_->width(); ++x) {
+      if (active({x, y})) out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+bool FaultMap::connected() const {
+  const int n = mesh_->node_count();
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  topology::NodeId start = topology::kInvalidNode;
+  int healthy = 0;
+  for (topology::NodeId id = 0; id < n; ++id) {
+    if (status_[static_cast<std::size_t>(id)] == NodeStatus::Healthy) {
+      ++healthy;
+      if (start == topology::kInvalidNode) start = id;
+    }
+  }
+  if (healthy == 0) return false;
+
+  std::queue<topology::NodeId> frontier;
+  frontier.push(start);
+  seen[static_cast<std::size_t>(start)] = 1;
+  int reached = 1;
+  while (!frontier.empty()) {
+    const Coord c = mesh_->coord_of(frontier.front());
+    frontier.pop();
+    for (const auto d : topology::kAllMeshDirections) {
+      const auto nb = mesh_->neighbour(c, d);
+      if (!nb) continue;
+      const auto idx = static_cast<std::size_t>(mesh_->id_of(*nb));
+      if (seen[idx] || status_[idx] != NodeStatus::Healthy) continue;
+      seen[idx] = 1;
+      ++reached;
+      frontier.push(mesh_->id_of(*nb));
+    }
+  }
+  return reached == healthy;
+}
+
+}  // namespace ftmesh::fault

@@ -1,0 +1,99 @@
+#pragma once
+// Fault map: per-node health status under the block fault model.
+//
+// Construction enforces the paper's assumptions: only node failures, static
+// non-malicious fault patterns, block (convex) regions, and patterns that do
+// not disconnect the network.  Deactivated nodes (healthy nodes absorbed by
+// a rectangular hull) behave exactly like faulty nodes for routing and
+// traffic purposes; the distinction is kept for reporting.
+
+#include <optional>
+#include <vector>
+
+#include "ftmesh/fault/fault_region.hpp"
+#include "ftmesh/sim/rng.hpp"
+#include "ftmesh/topology/mesh.hpp"
+
+namespace ftmesh::fault {
+
+enum class NodeStatus : std::uint8_t {
+  Healthy = 0,      ///< operational, generates and accepts traffic
+  Faulty = 1,       ///< failed PE + router; all incident links unusable
+  Deactivated = 2,  ///< healthy but absorbed into a block region
+};
+
+class FaultMap {
+ public:
+  /// A fault-free map.
+  explicit FaultMap(const topology::Mesh& mesh);
+
+  /// Builds a map from explicit faulty nodes; coalesces them into block
+  /// regions.  Throws std::invalid_argument if the resulting pattern
+  /// disconnects the healthy nodes.
+  static FaultMap from_faulty_nodes(const topology::Mesh& mesh,
+                                    const std::vector<topology::Coord>& faulty);
+
+  /// Builds a map from explicit rectangular blocks (every node in each block
+  /// is marked faulty).  Used by the Figure-6 experiment.
+  static FaultMap from_blocks(const topology::Mesh& mesh,
+                              const std::vector<Rect>& blocks);
+
+  /// Draws `fault_count` distinct random faulty nodes, retrying (up to
+  /// `max_attempts`) until the block-coalesced pattern leaves the healthy
+  /// nodes connected.  Deterministic in (mesh, fault_count, rng state).
+  static FaultMap random(const topology::Mesh& mesh, int fault_count,
+                         sim::Rng& rng, int max_attempts = 1000);
+
+  [[nodiscard]] const topology::Mesh& mesh() const noexcept { return *mesh_; }
+
+  [[nodiscard]] NodeStatus status(topology::Coord c) const noexcept {
+    return status_[static_cast<std::size_t>(mesh_->id_of(c))];
+  }
+
+  /// True for nodes that participate in traffic (Healthy).
+  [[nodiscard]] bool active(topology::Coord c) const noexcept {
+    return status(c) == NodeStatus::Healthy;
+  }
+
+  /// True for nodes routing must avoid (Faulty or Deactivated).
+  [[nodiscard]] bool blocked(topology::Coord c) const noexcept {
+    return status(c) != NodeStatus::Healthy;
+  }
+
+  /// The region id occupying `c`, if any.
+  [[nodiscard]] std::optional<int> region_at(topology::Coord c) const noexcept {
+    const int r = region_of_[static_cast<std::size_t>(mesh_->id_of(c))];
+    if (r < 0) return std::nullopt;
+    return r;
+  }
+
+  [[nodiscard]] const std::vector<FaultRegion>& regions() const noexcept {
+    return regions_;
+  }
+
+  [[nodiscard]] int faulty_count() const noexcept { return faulty_count_; }
+  [[nodiscard]] int deactivated_count() const noexcept { return deactivated_count_; }
+  [[nodiscard]] int active_count() const noexcept {
+    return mesh_->node_count() - faulty_count_ - deactivated_count_;
+  }
+
+  /// All active node coordinates, row-major order.
+  [[nodiscard]] std::vector<topology::Coord> active_nodes() const;
+
+  /// True when every healthy node can reach every other healthy node
+  /// through healthy nodes only.
+  [[nodiscard]] bool connected() const;
+
+ private:
+  void apply_blocks(const std::vector<Rect>& blocks,
+                    const std::vector<topology::Coord>& faulty);
+
+  const topology::Mesh* mesh_;
+  std::vector<NodeStatus> status_;
+  std::vector<int> region_of_;  // -1 = none
+  std::vector<FaultRegion> regions_;
+  int faulty_count_ = 0;
+  int deactivated_count_ = 0;
+};
+
+}  // namespace ftmesh::fault

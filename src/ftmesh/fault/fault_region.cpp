@@ -1,0 +1,49 @@
+#include "ftmesh/fault/fault_region.hpp"
+
+#include <algorithm>
+
+namespace ftmesh::fault {
+
+int Rect::chebyshev_gap(const Rect& other) const noexcept {
+  const int dx = std::max({other.x0 - x1, x0 - other.x1, 0});
+  const int dy = std::max({other.y0 - y1, y0 - other.y1, 0});
+  return std::max(dx, dy);
+}
+
+Rect Rect::hull(const Rect& other) const noexcept {
+  return Rect{std::min(x0, other.x0), std::min(y0, other.y0),
+              std::max(x1, other.x1), std::max(y1, other.y1)};
+}
+
+std::vector<Rect> coalesce_blocks(const topology::Mesh& mesh,
+                                  const std::vector<topology::Coord>& faulty) {
+  (void)mesh;  // rectangles never exceed the mesh because inputs are in-mesh
+  std::vector<Rect> rects;
+  rects.reserve(faulty.size());
+  for (const auto c : faulty) rects.push_back(Rect{c.x, c.y, c.x, c.y});
+
+  // Merge any two rectangles that touch (Chebyshev gap <= 1) into their
+  // hull, to fixpoint.  Quadratic in region count, which is tiny.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < rects.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < rects.size() && !changed; ++j) {
+        if (rects[i].chebyshev_gap(rects[j]) <= 1) {
+          rects[i] = rects[i].hull(rects[j]);
+          rects.erase(rects.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Canonical order: top-left first; keeps region ids stable across runs.
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    if (a.y0 != b.y0) return a.y0 < b.y0;
+    return a.x0 < b.x0;
+  });
+  return rects;
+}
+
+}  // namespace ftmesh::fault

@@ -1,0 +1,55 @@
+#pragma once
+// Rectangular (block / convex) fault regions.
+//
+// The paper adopts the block fault model of Boppana & Chalasani: adjacent
+// faulty nodes are coalesced, and the rectangular hull of each coalesced
+// component forms a fault region.  Healthy nodes swallowed by the hull are
+// *deactivated* — they neither generate nor receive traffic and are treated
+// as unusable by routing, exactly like faulty nodes.
+
+#include <vector>
+
+#include "ftmesh/topology/coordinates.hpp"
+#include "ftmesh/topology/mesh.hpp"
+
+namespace ftmesh::fault {
+
+/// A closed axis-aligned rectangle of nodes [x0..x1] x [y0..y1].
+struct Rect {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+
+  [[nodiscard]] constexpr bool contains(topology::Coord c) const noexcept {
+    return c.x >= x0 && c.x <= x1 && c.y >= y0 && c.y <= y1;
+  }
+  [[nodiscard]] constexpr int width() const noexcept { return x1 - x0 + 1; }
+  [[nodiscard]] constexpr int height() const noexcept { return y1 - y0 + 1; }
+  [[nodiscard]] constexpr int area() const noexcept { return width() * height(); }
+
+  /// Chebyshev (8-neighbourhood) distance between two rectangles; 0 means
+  /// they overlap or touch (including diagonally).
+  [[nodiscard]] int chebyshev_gap(const Rect& other) const noexcept;
+
+  /// Smallest rectangle containing both.
+  [[nodiscard]] Rect hull(const Rect& other) const noexcept;
+};
+
+/// One block fault region plus its identity within a FaultMap.
+struct FaultRegion {
+  int id = 0;
+  Rect box;
+  /// True when box touches the mesh boundary on at least one side, in which
+  /// case the surrounding structure is an open f-chain rather than a ring.
+  bool touches_boundary = false;
+};
+
+/// Coalesces individual faulty nodes into disjoint block regions:
+/// repeatedly merge rectangles whose Chebyshev gap is <= 1 and take hulls
+/// until a fixpoint.  The result is a set of rectangles pairwise separated
+/// by Chebyshev distance >= 2 (so every region is bordered by healthy
+/// nodes, and f-rings of distinct regions may share nodes but always exist).
+std::vector<Rect> coalesce_blocks(const topology::Mesh& mesh,
+                                  const std::vector<topology::Coord>& faulty);
+
+}  // namespace ftmesh::fault

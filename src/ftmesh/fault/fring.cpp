@@ -1,0 +1,126 @@
+#include "ftmesh/fault/fring.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ftmesh::fault {
+
+using topology::Coord;
+using topology::Mesh;
+
+namespace {
+
+/// Clockwise boundary walk of the rectangle expanded one node beyond `box`,
+/// including coordinates that fall outside the mesh (callers filter).
+std::vector<Coord> boundary_walk(const Rect& box) {
+  const int x0 = box.x0 - 1, x1 = box.x1 + 1;
+  const int y0 = box.y0 - 1, y1 = box.y1 + 1;
+  std::vector<Coord> walk;
+  walk.reserve(static_cast<std::size_t>(2 * (x1 - x0) + 2 * (y1 - y0)));
+  for (int x = x0; x < x1; ++x) walk.push_back({x, y1});  // top, eastward
+  for (int y = y1; y > y0; --y) walk.push_back({x1, y});  // east side, down
+  for (int x = x1; x > x0; --x) walk.push_back({x, y0});  // bottom, westward
+  for (int y = y0; y < y1; ++y) walk.push_back({x0, y});  // west side, up
+  return walk;
+}
+
+}  // namespace
+
+FRing::FRing(const Mesh& mesh, const FaultRegion& region)
+    : mesh_(&mesh),
+      region_id_(region.id),
+      box_(region.box),
+      position_(static_cast<std::size_t>(mesh.node_count()), -1) {
+  const auto walk = boundary_walk(region.box);
+  const auto in_mesh = [&](Coord c) { return mesh.contains(c); };
+
+  std::size_t outside = walk.size();
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    if (!in_mesh(walk[i])) {
+      outside = i;
+      break;
+    }
+  }
+
+  if (outside == walk.size()) {
+    closed_ = true;
+    nodes_ = walk;
+  } else {
+    // Open chain: start just after a maximal out-of-mesh run and take the
+    // contiguous in-mesh arc.  Connectivity of the fault pattern guarantees
+    // a single arc (a region spanning opposite mesh sides would disconnect
+    // the network and is rejected upstream).
+    closed_ = false;
+    const std::size_t n = walk.size();
+    std::size_t start = outside;
+    while (!in_mesh(walk[start])) {
+      start = (start + 1) % n;
+    }
+    for (std::size_t k = 0, i = start; k < n && in_mesh(walk[i]); ++k, i = (i + 1) % n) {
+      nodes_.push_back(walk[i]);
+    }
+  }
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    position_[static_cast<std::size_t>(mesh.id_of(nodes_[i]))] = static_cast<int>(i);
+  }
+}
+
+std::optional<std::size_t> FRing::index_of(Coord c) const noexcept {
+  if (!mesh_->contains(c)) return std::nullopt;
+  const int pos = position_[static_cast<std::size_t>(mesh_->id_of(c))];
+  if (pos < 0) return std::nullopt;
+  return static_cast<std::size_t>(pos);
+}
+
+std::optional<Coord> FRing::next(Coord c, Orientation o) const noexcept {
+  const auto idx = index_of(c);
+  if (!idx) return std::nullopt;
+  const std::size_t n = nodes_.size();
+  if (closed_) {
+    const std::size_t j =
+        o == Orientation::Clockwise ? (*idx + 1) % n : (*idx + n - 1) % n;
+    return nodes_[j];
+  }
+  if (o == Orientation::Clockwise) {
+    if (*idx + 1 >= n) return std::nullopt;
+    return nodes_[*idx + 1];
+  }
+  if (*idx == 0) return std::nullopt;
+  return nodes_[*idx - 1];
+}
+
+std::optional<int> FRing::steps_between(Coord from, Coord to,
+                                        Orientation o) const noexcept {
+  const auto a = index_of(from);
+  const auto b = index_of(to);
+  if (!a || !b) return std::nullopt;
+  const int n = static_cast<int>(nodes_.size());
+  const int ia = static_cast<int>(*a), ib = static_cast<int>(*b);
+  if (closed_) {
+    const int cw = (ib - ia + n) % n;
+    return o == Orientation::Clockwise ? cw : (n - cw) % n;
+  }
+  const int delta = ib - ia;
+  if (o == Orientation::Clockwise) {
+    if (delta < 0) return std::nullopt;
+    return delta;
+  }
+  if (delta > 0) return std::nullopt;
+  return -delta;
+}
+
+FRingSet::FRingSet(const FaultMap& map)
+    : mesh_(&map.mesh()),
+      membership_(static_cast<std::size_t>(map.mesh().node_count()), 0) {
+  rings_.reserve(map.regions().size());
+  for (const auto& region : map.regions()) {
+    rings_.emplace_back(map.mesh(), region);
+    for (const auto c : rings_.back().nodes()) {
+      assert(!map.blocked(c) && "f-ring nodes must be healthy by construction");
+      membership_[static_cast<std::size_t>(mesh_->id_of(c))] = 1;
+    }
+  }
+}
+
+}  // namespace ftmesh::fault

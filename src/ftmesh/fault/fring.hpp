@@ -1,0 +1,89 @@
+#pragma once
+// Fault rings (f-rings) and fault chains (f-chains).
+//
+// The f-ring of a block fault region is the cycle of healthy nodes and links
+// immediately surrounding the region's rectangular hull.  When the region
+// touches the mesh boundary the surrounding structure is an open path — an
+// f-chain.  The Boppana-Chalasani scheme routes blocked messages around
+// these structures; this module builds them and answers traversal queries.
+
+#include <optional>
+#include <vector>
+
+#include "ftmesh/fault/fault_model.hpp"
+
+namespace ftmesh::fault {
+
+/// Traversal orientation around an f-ring.  With Y+ pointing "up",
+/// clockwise runs east along the top side of the ring.
+enum class Orientation : std::uint8_t { Clockwise = 0, CounterClockwise = 1 };
+
+constexpr Orientation reverse(Orientation o) noexcept {
+  return o == Orientation::Clockwise ? Orientation::CounterClockwise
+                                     : Orientation::Clockwise;
+}
+
+class FRing {
+ public:
+  /// Builds the ring/chain around `region` within `mesh`.  The node list is
+  /// ordered clockwise; for a chain the list is the maximal in-mesh arc.
+  FRing(const topology::Mesh& mesh, const FaultRegion& region);
+
+  [[nodiscard]] int region_id() const noexcept { return region_id_; }
+  [[nodiscard]] const Rect& region_box() const noexcept { return box_; }
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] const std::vector<topology::Coord>& nodes() const noexcept {
+    return nodes_;
+  }
+
+  [[nodiscard]] bool contains(topology::Coord c) const noexcept {
+    return index_of(c).has_value();
+  }
+
+  /// Position of `c` in the clockwise node order, if it lies on the ring.
+  [[nodiscard]] std::optional<std::size_t> index_of(topology::Coord c) const noexcept;
+
+  /// Next node when traversing from `c` with the given orientation.
+  /// For chains, returns nullopt past either end.
+  [[nodiscard]] std::optional<topology::Coord> next(topology::Coord c,
+                                                    Orientation o) const noexcept;
+
+  /// Number of clockwise steps from `from` to `to` (for closed rings,
+  /// modular; for chains, signed distance folded to steps or nullopt if the
+  /// walk would fall off an end in that orientation).
+  [[nodiscard]] std::optional<int> steps_between(topology::Coord from,
+                                                 topology::Coord to,
+                                                 Orientation o) const noexcept;
+
+ private:
+  const topology::Mesh* mesh_;
+  int region_id_;
+  Rect box_;
+  bool closed_ = false;
+  std::vector<topology::Coord> nodes_;
+  // Dense index: mesh node id -> position on this ring (-1 when absent).
+  std::vector<int> position_;
+};
+
+/// All f-rings of a fault map, with shared-node membership queries.
+class FRingSet {
+ public:
+  explicit FRingSet(const FaultMap& map);
+
+  [[nodiscard]] const std::vector<FRing>& rings() const noexcept { return rings_; }
+  [[nodiscard]] const FRing& ring(int region_id) const { return rings_.at(static_cast<std::size_t>(region_id)); }
+
+  /// True when `c` lies on at least one f-ring.
+  [[nodiscard]] bool on_any_ring(topology::Coord c) const noexcept {
+    return membership_[static_cast<std::size_t>(mesh_->id_of(c))] != 0;
+  }
+
+  [[nodiscard]] std::size_t ring_count() const noexcept { return rings_.size(); }
+
+ private:
+  const topology::Mesh* mesh_;
+  std::vector<FRing> rings_;
+  std::vector<char> membership_;
+};
+
+}  // namespace ftmesh::fault

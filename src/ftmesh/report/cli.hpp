@@ -1,0 +1,44 @@
+#pragma once
+// Tiny command-line option parser shared by the bench binaries and
+// examples.  Supports `--flag`, `--key value` and `--key=value`; every
+// bench also honours FTMESH_FULL=1 as an alias of --full (paper-scale
+// runs).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftmesh::report {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True when `--name` was passed.
+  [[nodiscard]] bool flag(const std::string& name) const;
+
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// --full flag or FTMESH_FULL=1: run the paper-scale configuration.
+  [[nodiscard]] bool full_scale() const;
+
+  /// Unrecognised positional arguments (no leading --).
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    bool has_value = false;
+  };
+  std::vector<Entry> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ftmesh::report

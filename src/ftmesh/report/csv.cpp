@@ -1,0 +1,26 @@
+#include "ftmesh/report/csv.hpp"
+
+#include <ostream>
+
+namespace ftmesh::report {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *os_ << ',';
+    *os_ << escape(cells[i]);
+  }
+  *os_ << '\n';
+}
+
+}  // namespace ftmesh::report

@@ -1,0 +1,23 @@
+#pragma once
+// Minimal CSV emission, for piping bench output into plotting tools.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftmesh::report {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  void row(const std::vector<std::string>& cells);
+
+  /// Quotes a cell per RFC 4180 when it contains a comma, quote or newline.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream* os_;
+};
+
+}  // namespace ftmesh::report

@@ -1,0 +1,44 @@
+#include "ftmesh/report/heatmap.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ftmesh::report {
+
+void print_heatmap(std::ostream& os, const fault::FaultMap& faults,
+                   const std::vector<double>& values,
+                   const HeatmapOptions& opts) {
+  const auto& mesh = faults.mesh();
+  double peak = 0.0;
+  for (const double v : values) peak = std::max(peak, v);
+  const auto levels = static_cast<double>(opts.ramp.size());
+  for (int y = mesh.height() - 1; y >= 0; --y) {
+    os << "  ";
+    for (int x = 0; x < mesh.width(); ++x) {
+      const topology::Coord c{x, y};
+      const auto status = faults.status(c);
+      if (status == fault::NodeStatus::Faulty) {
+        os << opts.faulty << ' ';
+        continue;
+      }
+      if (status == fault::NodeStatus::Deactivated) {
+        os << opts.deactivated << ' ';
+        continue;
+      }
+      const double v = values[static_cast<std::size_t>(mesh.id_of(c))];
+      std::size_t level = 0;
+      if (peak > 0.0) {
+        level = static_cast<std::size_t>(v / peak * (levels - 1.0) + 0.5);
+        level = std::min(level, opts.ramp.size() - 1);
+      }
+      os << opts.ramp[level] << ' ';
+    }
+    os << '\n';
+  }
+  if (opts.show_scale && peak > 0.0) {
+    os << "  scale: '" << opts.ramp.front() << "' = 0 ... '"
+       << opts.ramp.back() << "' = " << peak << " (peak)\n";
+  }
+}
+
+}  // namespace ftmesh::report

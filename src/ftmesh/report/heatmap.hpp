@@ -1,0 +1,29 @@
+#pragma once
+// ASCII heatmap rendering for per-node grids (traffic load, latency maps).
+// Used by the Figure-6 bench and the traffic examples to make hotspots
+// visible without plotting tools.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ftmesh/fault/fault_model.hpp"
+
+namespace ftmesh::report {
+
+struct HeatmapOptions {
+  /// Shade ramp from cold to hot; one glyph per level.
+  std::string ramp = " .:-=+*#%@";
+  /// Glyphs for blocked nodes.
+  char faulty = 'F';
+  char deactivated = 'f';
+  bool show_scale = true;
+};
+
+/// Renders `values` (row-major, node_count entries, any non-negative
+/// scale) over the fault map; rows print top (max y) to bottom.
+void print_heatmap(std::ostream& os, const fault::FaultMap& faults,
+                   const std::vector<double>& values,
+                   const HeatmapOptions& opts = {});
+
+}  // namespace ftmesh::report

@@ -1,0 +1,166 @@
+#include "ftmesh/report/json.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace ftmesh::report {
+
+void JsonWriter::separator() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back() == '1') *os_ << ',';
+    need_comma_.back() = '1';
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  *os_ << '{';
+  need_comma_.push_back('0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  need_comma_.pop_back();
+  *os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  *os_ << '[';
+  need_comma_.push_back('0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  need_comma_.pop_back();
+  *os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  separator();
+  *os_ << '"' << escape(name) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  separator();
+  *os_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separator();
+  std::ostringstream tmp;
+  tmp << std::setprecision(12) << v;
+  *os_ << tmp.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separator();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  separator();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separator();
+  *os_ << (v ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_result_json(std::ostream& os, const core::SimConfig& cfg,
+                       const core::SimResult& r) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("config").begin_object();
+  w.key("width").value(cfg.width);
+  w.key("height").value(cfg.height);
+  w.key("algorithm").value(cfg.algorithm);
+  w.key("traffic").value(cfg.traffic);
+  w.key("injection_rate").value(cfg.injection_rate);
+  w.key("message_length").value(static_cast<std::uint64_t>(cfg.message_length));
+  w.key("total_vcs").value(cfg.total_vcs);
+  w.key("fault_count").value(cfg.fault_count);
+  w.key("seed").value(cfg.seed);
+  w.key("total_cycles").value(cfg.total_cycles);
+  w.key("warmup_cycles").value(cfg.warmup_cycles);
+  w.end_object();
+
+  w.key("latency").begin_object();
+  w.key("delivered").value(r.latency.delivered);
+  w.key("generated").value(r.latency.generated);
+  w.key("undelivered").value(r.latency.undelivered);
+  w.key("mean").value(r.latency.mean);
+  w.key("mean_network").value(r.latency.mean_network);
+  w.key("p50").value(r.latency.p50);
+  w.key("p95").value(r.latency.p95);
+  w.key("p99").value(r.latency.p99);
+  w.key("max").value(r.latency.max);
+  w.key("mean_hops").value(r.latency.mean_hops);
+  w.key("mean_misroutes").value(r.latency.mean_misroutes);
+  w.key("ring_message_fraction").value(r.latency.ring_message_fraction);
+  w.end_object();
+
+  w.key("throughput").begin_object();
+  w.key("offered").value(r.throughput.offered_flits_per_node_cycle);
+  w.key("accepted").value(r.throughput.accepted_flits_per_node_cycle);
+  w.key("accepted_fraction").value(r.throughput.accepted_fraction);
+  w.end_object();
+
+  w.key("faults").begin_object();
+  w.key("regions").value(r.fault_regions);
+  w.key("faulty_nodes").value(r.faulty_nodes);
+  w.key("deactivated_nodes").value(r.deactivated_nodes);
+  w.end_object();
+
+  if (!r.vc_usage.percent.empty()) {
+    w.key("vc_usage_percent").begin_array();
+    for (const double p : r.vc_usage.percent) w.value(p);
+    w.end_array();
+  }
+
+  w.key("deadlock").value(r.deadlock);
+  w.key("cycles_run").value(r.cycles_run);
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace ftmesh::report

@@ -1,0 +1,51 @@
+#pragma once
+// Minimal JSON emission for simulation results, so runs can feed external
+// tooling without a JSON dependency.  Writer-only by design: ftmesh never
+// needs to parse JSON.
+
+#include <iosfwd>
+#include <string>
+
+#include "ftmesh/core/simulator.hpp"
+
+namespace ftmesh::report {
+
+/// Streaming writer for a restricted JSON subset (objects, arrays, strings,
+/// numbers, booleans).  Handles separators and string escaping; the caller
+/// provides structure by pairing begin/end calls.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(&os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key inside an object; follow with a value call.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void separator();
+
+  std::ostream* os_;
+  // Tracks whether a separator is needed at each nesting level.
+  std::string need_comma_;  // stack of 0/1 flags
+  bool after_key_ = false;
+};
+
+/// Serialises a SimResult (plus the config that produced it) as one JSON
+/// object.
+void write_result_json(std::ostream& os, const core::SimConfig& cfg,
+                       const core::SimResult& result);
+
+}  // namespace ftmesh::report

@@ -1,0 +1,43 @@
+#pragma once
+// Aligned text tables: every bench prints the paper's rows/series through
+// this so output stays uniform and diffable.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftmesh::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; returns its index.
+  std::size_t add_row();
+  void set(std::size_t row, std::size_t col, std::string value);
+  void set(std::size_t row, std::size_t col, double value, int precision = 4);
+
+  /// Convenience: appends a full row of preformatted cells.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return headers_.size(); }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const {
+    return cells_.at(row).at(col);
+  }
+
+  /// Writes the aligned table (header, rule, rows).
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision (helper shared with CSV output).
+std::string format_double(double value, int precision = 4);
+
+}  // namespace ftmesh::report

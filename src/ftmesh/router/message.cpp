@@ -1,0 +1,24 @@
+#include "ftmesh/router/message.hpp"
+
+namespace ftmesh::router {
+
+MsgType classify(topology::Coord at, topology::Coord dst) noexcept {
+  if (dst.x > at.x) return MsgType::WE;
+  if (dst.x < at.x) return MsgType::EW;
+  if (dst.y > at.y) return MsgType::SN;
+  return MsgType::NS;
+}
+
+fault::Orientation ring_orientation(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::WE:
+    case MsgType::SN:
+      return fault::Orientation::Clockwise;
+    case MsgType::EW:
+    case MsgType::NS:
+      return fault::Orientation::CounterClockwise;
+  }
+  return fault::Orientation::Clockwise;
+}
+
+}  // namespace ftmesh::router

@@ -1,0 +1,70 @@
+#pragma once
+// Messages and their per-header routing state.
+//
+// The routing state is deliberately a single flat struct shared by all ten
+// algorithms: hop counters for the hop-based schemes, bonus-card accounting,
+// misroute budget for Fully-Adaptive, and the Boppana-Chalasani ring-mode
+// fields.  Each algorithm reads/writes only the fields it owns.
+
+#include <cstdint>
+
+#include "ftmesh/fault/fring.hpp"
+#include "ftmesh/router/flit.hpp"
+#include "ftmesh/topology/coordinates.hpp"
+
+namespace ftmesh::router {
+
+/// Boppana-Chalasani message type; selects the dedicated ring channel and
+/// the fixed traversal orientation while on an f-ring.
+enum class MsgType : std::uint8_t { WE = 0, EW = 1, SN = 2, NS = 3 };
+
+inline constexpr int kMsgTypeCount = 4;
+
+/// Classifies by the remaining offset from `at` to `dst`: row types first
+/// (x offset pending), column types otherwise.
+MsgType classify(topology::Coord at, topology::Coord dst) noexcept;
+
+/// Fixed ring orientation per message type (WE, SN clockwise; EW, NS
+/// counter-clockwise); one half of the deadlock-avoidance discipline.
+fault::Orientation ring_orientation(MsgType t) noexcept;
+
+/// Ring-mode state for the Boppana-Chalasani fortification.
+struct RingState {
+  bool active = false;
+  int region = -1;
+  MsgType vc_type = MsgType::WE;  ///< ring channel in use while active
+  fault::Orientation orientation = fault::Orientation::Clockwise;
+  std::uint16_t reversals = 0;  ///< chain-end reversals taken so far
+  /// Manhattan distance to the destination at the node where the message
+  /// entered ring mode.  The message leaves the ring only at nodes strictly
+  /// closer than this — otherwise an "exit" hop could undo the detour and
+  /// re-request the ring channel its own body still holds (self-deadlock).
+  std::uint16_t entry_distance = 0;
+};
+
+/// Mutable routing state carried by the header flit.
+struct RouteState {
+  std::uint16_t hops = 0;           ///< total hops taken (all channels)
+  std::uint16_t negative_hops = 0;  ///< hops from colour-1 to colour-0 nodes
+  std::uint16_t class_offset = 0;   ///< bonus cards spent so far
+  std::uint16_t cards_left = 0;     ///< bonus cards remaining
+  std::uint16_t misroutes = 0;      ///< non-minimal hops (Fully-Adaptive cap)
+  topology::Direction last_dir = topology::Direction::Local;  ///< previous hop
+  RingState ring;
+};
+
+struct Message {
+  MessageId id = kInvalidMessage;
+  topology::Coord src;
+  topology::Coord dst;
+  std::uint32_t length = 1;  ///< flits
+
+  std::uint64_t created = 0;    ///< cycle the message entered the source queue
+  std::uint64_t injected = 0;   ///< cycle the header entered the injection VC
+  std::uint64_t delivered = 0;  ///< cycle the tail was ejected at dst
+  bool done = false;
+
+  RouteState rs;
+};
+
+}  // namespace ftmesh::router

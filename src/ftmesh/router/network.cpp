@@ -1,0 +1,412 @@
+#include "ftmesh/router/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftmesh::router {
+
+using topology::Coord;
+using topology::Direction;
+using topology::kMeshDirections;
+using topology::kPortCount;
+using topology::NodeId;
+
+Network::Network(const topology::Mesh& mesh, const fault::FaultMap& faults,
+                 const routing::RoutingAlgorithm& algorithm,
+                 NetworkConfig config, sim::Rng rng)
+    : mesh_(&mesh),
+      faults_(&faults),
+      algorithm_(&algorithm),
+      config_(config),
+      rng_(rng),
+      watchdog_(config.watchdog_patience) {
+  const auto n = static_cast<std::size_t>(mesh.node_count());
+  const int vcs = algorithm.layout().total();
+  if (config_.injection_vcs < 1 || config_.injection_vcs > vcs) {
+    throw std::invalid_argument("injection_vcs out of range");
+  }
+  routers_.reserve(n);
+  for (NodeId id = 0; id < mesh.node_count(); ++id) {
+    routers_.emplace_back(mesh.coord_of(id), vcs, config_.buffer_depth);
+  }
+  links_.resize(n * kMeshDirections);
+  queues_.resize(n);
+  supplies_.resize(n * static_cast<std::size_t>(config_.injection_vcs));
+  vc_busy_counts_.assign(static_cast<std::size_t>(vcs), 0);
+  node_traffic_.assign(n, 0);
+}
+
+MessageId Network::create_message(Coord src, Coord dst, std::uint32_t length) {
+  assert(faults_->active(src) && faults_->active(dst));
+  assert(length >= 1);
+  Message m;
+  m.id = static_cast<MessageId>(messages_.size());
+  m.src = src;
+  m.dst = dst;
+  m.length = length;
+  m.created = cycle_;
+  algorithm_->on_inject(m);
+  messages_.push_back(m);
+  queues_[static_cast<std::size_t>(mesh_->id_of(src))].push_back(m.id);
+  if (measuring_) measured_flits_generated_ += length;
+  return m.id;
+}
+
+void Network::begin_measurement() {
+  measuring_ = true;
+  measured_cycles_ = 0;
+  measured_flits_delivered_ = 0;
+  measured_messages_delivered_ = 0;
+  measured_flits_generated_ = 0;
+  std::fill(vc_busy_counts_.begin(), vc_busy_counts_.end(), 0);
+  vc_usage_samples_ = 0;
+  std::fill(node_traffic_.begin(), node_traffic_.end(), 0);
+  measured_route_decisions_ = 0;
+  measured_candidates_offered_ = 0;
+  measured_candidates_free_ = 0;
+}
+
+void Network::step() {
+  flits_moved_this_cycle_ = 0;
+  phase_arrivals();
+  phase_injection();
+  phase_routing();
+  phase_switching();
+  phase_sampling();
+  ++cycle_;
+  if (measuring_) ++measured_cycles_;
+}
+
+void Network::phase_arrivals() {
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const Coord c = mesh_->coord_of(id);
+    for (int d = 0; d < kMeshDirections; ++d) {
+      LinkReg& reg = link(id, d);
+      if (!reg.full) continue;
+      const auto dir = static_cast<Direction>(d);
+      const auto nb = mesh_->neighbour(c, dir);
+      assert(nb && "flit sent off-mesh");
+      Router& down = router_mut(*nb);
+      InputVc& ivc = down.input(port_index(opposite(dir)), reg.vc);
+      assert(static_cast<int>(ivc.buf.size()) < config_.buffer_depth &&
+             "credit protocol violated");
+      ivc.buf.push_back(reg.flit);
+      reg.full = false;
+    }
+  }
+}
+
+void Network::phase_injection() {
+  const auto local = port_index(Direction::Local);
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const Coord c = mesh_->coord_of(id);
+    if (!faults_->active(c)) continue;
+    auto& queue = queues_[static_cast<std::size_t>(id)];
+    for (int iv = 0; iv < config_.injection_vcs; ++iv) {
+      Supply& supply =
+          supplies_[static_cast<std::size_t>(id) *
+                        static_cast<std::size_t>(config_.injection_vcs) +
+                    static_cast<std::size_t>(iv)];
+      if (supply.current == kInvalidMessage) {
+        if (queue.empty()) continue;
+        supply.current = queue.front();
+        queue.pop_front();
+        supply.next_seq = 0;
+      }
+      InputVc& ivc = router_mut(c).input(local, iv);
+      if (static_cast<int>(ivc.buf.size()) >= config_.buffer_depth) continue;
+      Message& m = messages_[supply.current];
+      Flit flit;
+      flit.msg = supply.current;
+      flit.seq = supply.next_seq;
+      if (m.length == 1) {
+        flit.type = FlitType::HeadTail;
+      } else if (supply.next_seq == 0) {
+        flit.type = FlitType::Head;
+      } else if (supply.next_seq + 1 == m.length) {
+        flit.type = FlitType::Tail;
+      } else {
+        flit.type = FlitType::Body;
+      }
+      if (supply.next_seq == 0) m.injected = cycle_;
+      ivc.buf.push_back(flit);
+      ++buffered_flits_;
+      ++supply.next_seq;
+      if (supply.next_seq == m.length) {
+        supply.current = kInvalidMessage;
+        supply.next_seq = 0;
+      }
+    }
+  }
+}
+
+void Network::phase_routing() {
+  const int vcs = algorithm_->layout().total();
+  const int nivc = kPortCount * vcs;
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const Coord c = mesh_->coord_of(id);
+    Router& rt = routers_[static_cast<std::size_t>(id)];
+    // Random rotation keeps allocation fair without a full shuffle.
+    const int offset = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(nivc)));
+    for (int k = 0; k < nivc; ++k) {
+      const int idx = (k + offset) % nivc;
+      const int port = idx / vcs;
+      const int vc = idx % vcs;
+      InputVc& ivc = rt.input(port, vc);
+      if (ivc.buf.empty()) continue;
+      const Flit& front = ivc.buf.front();
+      if (!is_head(front.type) || ivc.stage == IvcStage::Active) continue;
+      ivc.stage = IvcStage::RouteWait;
+      Message& m = messages_[front.msg];
+      if (c == m.dst) {
+        ivc.out_dir = Direction::Local;
+        ivc.out_vc = vc;
+        ivc.stage = IvcStage::Active;
+        continue;
+      }
+      cand_.clear();
+      algorithm_->candidates(c, m, cand_);
+      if (measuring_) {
+        ++measured_route_decisions_;
+        measured_candidates_offered_ += cand_.size();
+        for (std::size_t i = 0; i < cand_.size(); ++i) {
+          const auto& cv = cand_[i];
+          if (!rt.output(port_index(cv.dir), cv.vc).allocated) {
+            ++measured_candidates_free_;
+          }
+        }
+      }
+      for (std::size_t t = 0; t < cand_.tier_count(); ++t) {
+        const auto [begin, end] = cand_.tier_range(t);
+        free_cands_.clear();
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& cv = cand_[i];
+          assert(cv.dir != Direction::Local);
+          assert(mesh_->neighbour(c, cv.dir).has_value());
+          if (!rt.output(port_index(cv.dir), cv.vc).allocated) {
+            free_cands_.push_back(cv);
+          }
+        }
+        if (free_cands_.empty()) continue;
+        const auto pick = routing::select_candidate(
+            config_.selection, free_cands_,
+            [&](std::size_t i) {
+              const auto& cv = free_cands_[i];
+              return rt.output(port_index(cv.dir), cv.vc).credits;
+            },
+            rng_);
+        const auto& chosen = free_cands_[pick];
+        rt.output(port_index(chosen.dir), chosen.vc).allocate(m.id);
+        ivc.out_dir = chosen.dir;
+        ivc.out_vc = chosen.vc;
+        ivc.stage = IvcStage::Active;
+        algorithm_->on_hop(c, chosen.dir, chosen.vc, m);
+        break;
+      }
+    }
+  }
+}
+
+void Network::phase_switching() {
+  const int vcs = algorithm_->layout().total();
+  const auto local = port_index(Direction::Local);
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const Coord c = mesh_->coord_of(id);
+    Router& rt = routers_[static_cast<std::size_t>(id)];
+
+    requests_.clear();
+    for (int port = 0; port < kPortCount; ++port) {
+      for (int vc = 0; vc < vcs; ++vc) {
+        InputVc& ivc = rt.input(port, vc);
+        if (ivc.stage != IvcStage::Active || ivc.buf.empty()) continue;
+        if (ivc.out_dir != Direction::Local &&
+            rt.output(port_index(ivc.out_dir), ivc.out_vc).credits <= 0) {
+          continue;
+        }
+        requests_.push_back({static_cast<std::int16_t>(port),
+                             static_cast<std::int16_t>(vc)});
+      }
+    }
+    // Random conflict resolution (paper): shuffle, then greedy matching
+    // under the one-flit-per-input-port / per-output-port crossbar limits.
+    for (std::size_t i = requests_.size(); i > 1; --i) {
+      const auto j = rng_.next_below(i);
+      std::swap(requests_[i - 1], requests_[j]);
+    }
+    bool used_in[kPortCount] = {};
+    bool used_out[kPortCount] = {};
+    for (const auto& req : requests_) {
+      InputVc& ivc = rt.input(req.port, req.vc);
+      const int out_port = port_index(ivc.out_dir);
+      if (used_in[req.port] || used_out[out_port]) continue;
+      used_in[req.port] = true;
+      used_out[out_port] = true;
+
+      const Flit flit = ivc.buf.front();
+      ivc.buf.pop_front();
+      --buffered_flits_;
+      ++flits_moved_this_cycle_;
+      if (measuring_ && config_.collect_traffic_map) {
+        ++node_traffic_[static_cast<std::size_t>(id)];
+      }
+
+      if (ivc.out_dir == Direction::Local) {
+        if (eject_hook_) eject_hook_(flit, c);
+        if (is_tail(flit.type)) {
+          Message& m = messages_[flit.msg];
+          m.delivered = cycle_;
+          m.done = true;
+          if (measuring_) {
+            measured_flits_delivered_ += m.length;
+            ++measured_messages_delivered_;
+          }
+        }
+      } else {
+        OutputVc& ovc = rt.output(out_port, ivc.out_vc);
+        --ovc.credits;
+        LinkReg& reg = link(id, out_port);
+        assert(!reg.full && "one flit per link per cycle");
+        reg.flit = flit;
+        reg.vc = ivc.out_vc;
+        reg.full = true;
+        ++buffered_flits_;
+        if (is_tail(flit.type)) ovc.release();
+      }
+
+      // Credit return to the upstream router for the vacated buffer slot.
+      if (req.port != local) {
+        const auto updir = static_cast<Direction>(req.port);
+        const auto up = mesh_->neighbour(c, updir);
+        assert(up);
+        router_mut(*up)
+            .output(port_index(opposite(updir)), req.vc)
+            .credits++;
+      }
+
+      if (is_tail(flit.type)) ivc.release();
+    }
+  }
+}
+
+std::string Network::debug_stuck_report(std::size_t max_lines) const {
+  std::ostringstream os;
+  const int vcs = algorithm_->layout().total();
+  std::size_t lines = 0;
+  for (NodeId id = 0; id < mesh_->node_count() && lines < max_lines; ++id) {
+    const Coord c = mesh_->coord_of(id);
+    const Router& rt = routers_[static_cast<std::size_t>(id)];
+    for (int port = 0; port < kPortCount && lines < max_lines; ++port) {
+      for (int vc = 0; vc < vcs && lines < max_lines; ++vc) {
+        const InputVc& ivc = rt.input(port, vc);
+        if (ivc.buf.empty()) continue;
+        const auto& f = ivc.buf.front();
+        const auto& m = messages_[f.msg];
+        os << "(" << c.x << "," << c.y << ") in["
+           << topology::to_string(static_cast<Direction>(port)) << "][" << vc
+           << "] msg " << f.msg << " seq " << f.seq << " len "
+           << static_cast<int>(ivc.buf.size()) << " stage "
+           << static_cast<int>(ivc.stage) << " -> "
+           << topology::to_string(ivc.out_dir) << "[" << ivc.out_vc << "]"
+           << " src(" << m.src.x << "," << m.src.y << ") dst(" << m.dst.x
+           << "," << m.dst.y << ") hops " << m.rs.hops << " mis "
+           << m.rs.misroutes << " ring "
+           << (m.rs.ring.active ? "Y" : "n");
+        if (ivc.stage == IvcStage::RouteWait && is_head(f.type) &&
+            !(c == m.dst)) {
+          os << " wants:";
+          routing::CandidateList cl;
+          algorithm_->candidates(c, m, cl);
+          for (std::size_t i = 0; i < cl.size(); ++i) {
+            const auto& cv = cl[i];
+            const auto& ovc = rt.output(port_index(cv.dir), cv.vc);
+            os << " " << topology::to_string(cv.dir) << "[" << cv.vc << "]";
+            if (ovc.allocated) os << "@" << ovc.owner;
+          }
+        }
+        os << "\n";
+        ++lines;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::vector<MessageId> Network::find_deadlock_cycle() const {
+  // Edges: waiting message -> owner of each candidate channel (all tiers;
+  // a wait resolves if ANY candidate frees, so a message is truly stuck
+  // only if every candidate's owner is stuck — we conservatively follow
+  // all edges and then verify the cycle is closed under "all candidates
+  // owned by cycle members" for the strongest claim available without
+  // replaying schedules).  For diagnostics we report any ownership cycle.
+  const int vcs = algorithm_->layout().total();
+  std::map<MessageId, std::vector<MessageId>> edges;
+  routing::CandidateList cand;
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const Coord c = mesh_->coord_of(id);
+    const Router& rt = routers_[static_cast<std::size_t>(id)];
+    for (int port = 0; port < kPortCount; ++port) {
+      for (int vc = 0; vc < vcs; ++vc) {
+        const InputVc& ivc = rt.input(port, vc);
+        if (ivc.buf.empty()) continue;
+        const Flit& front = ivc.buf.front();
+        if (!is_head(front.type) || ivc.stage == IvcStage::Active) continue;
+        const Message& m = messages_[front.msg];
+        if (c == m.dst) continue;
+        cand.clear();
+        algorithm_->candidates(c, m, cand);
+        auto& out = edges[front.msg];
+        for (std::size_t i = 0; i < cand.size(); ++i) {
+          const auto& cv = cand[i];
+          const auto& ovc = rt.output(port_index(cv.dir), cv.vc);
+          if (ovc.allocated && ovc.owner != front.msg) {
+            out.push_back(ovc.owner);
+          }
+        }
+      }
+    }
+  }
+  // DFS cycle search over the wait graph.
+  std::map<MessageId, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<MessageId> stack;
+  std::vector<MessageId> cycle;
+  const std::function<bool(MessageId)> dfs = [&](MessageId u) {
+    state[u] = 1;
+    stack.push_back(u);
+    const auto it = edges.find(u);
+    if (it != edges.end()) {
+      for (const MessageId v : it->second) {
+        const int vs = state.count(v) ? state[v] : 0;
+        if (vs == 1) {
+          // Found a back edge: extract the cycle from the stack.
+          auto begin = std::find(stack.begin(), stack.end(), v);
+          cycle.assign(begin, stack.end());
+          return true;
+        }
+        if (vs == 0 && dfs(v)) return true;
+      }
+    }
+    state[u] = 2;
+    stack.pop_back();
+    return false;
+  };
+  for (const auto& [msg, _] : edges) {
+    if ((state.count(msg) ? state[msg] : 0) == 0 && dfs(msg)) return cycle;
+  }
+  return {};
+}
+
+void Network::phase_sampling() {
+  watchdog_.observe(flits_moved_this_cycle_, buffered_flits_);
+  if (measuring_ && config_.collect_vc_usage) {
+    for (const auto& rt : routers_) {
+      rt.count_allocated_link_vcs(vc_busy_counts_);
+    }
+    ++vc_usage_samples_;
+  }
+}
+
+}  // namespace ftmesh::router

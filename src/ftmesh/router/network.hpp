@@ -1,0 +1,210 @@
+#pragma once
+// The wormhole-switched mesh network: routers, links, credits, injection
+// and ejection, driven one cycle at a time.
+//
+// Cycle phases (two-phase update; see DESIGN.md item 1):
+//   1. arrivals   — flits on link registers enter downstream input buffers
+//   2. injection  — source queues feed flits into local input VCs
+//   3. routing    — headers at buffer heads request and allocate output VCs
+//   4. switching  — crossbar arbitration (random), link/ejection traversal,
+//                   credit return
+//   5. sampling   — watchdog + optional VC-usage / traffic-map accumulation
+//
+// Timing model: one flit per link per cycle; single-cycle routers; random
+// resolution of all conflicts (per the paper).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ftmesh/fault/fault_model.hpp"
+#include "ftmesh/router/message.hpp"
+#include "ftmesh/router/router.hpp"
+#include "ftmesh/routing/routing_algorithm.hpp"
+#include "ftmesh/routing/selection.hpp"
+#include "ftmesh/sim/rng.hpp"
+#include "ftmesh/sim/watchdog.hpp"
+
+namespace ftmesh::router {
+
+struct NetworkConfig {
+  int buffer_depth = 2;       ///< flit slots per input VC
+  int injection_vcs = 1;      ///< concurrent injection channels per node
+  routing::SelectionPolicy selection = routing::SelectionPolicy::Random;
+  bool collect_vc_usage = false;
+  bool collect_traffic_map = false;
+  std::uint64_t watchdog_patience = 2000;
+};
+
+class Network {
+ public:
+  Network(const topology::Mesh& mesh, const fault::FaultMap& faults,
+          const routing::RoutingAlgorithm& algorithm, NetworkConfig config,
+          sim::Rng rng);
+
+  /// Enqueues a new message at `src`'s source queue.  Both endpoints must
+  /// be active nodes.  Returns the message id.
+  MessageId create_message(topology::Coord src, topology::Coord dst,
+                           std::uint32_t length);
+
+  /// Advances the network by one cycle.
+  void step();
+
+  /// Marks the warm-up boundary: measurement counters start accumulating.
+  void begin_measurement();
+
+  // ---- observers -------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t cycle() const noexcept { return cycle_; }
+  [[nodiscard]] const topology::Mesh& mesh() const noexcept { return *mesh_; }
+  [[nodiscard]] const fault::FaultMap& faults() const noexcept { return *faults_; }
+  [[nodiscard]] const routing::RoutingAlgorithm& algorithm() const noexcept {
+    return *algorithm_;
+  }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] const Message& message(MessageId id) const {
+    return messages_.at(id);
+  }
+  [[nodiscard]] const std::vector<Message>& messages() const noexcept {
+    return messages_;
+  }
+
+  [[nodiscard]] const Router& router_at(topology::Coord c) const {
+    return routers_[static_cast<std::size_t>(mesh_->id_of(c))];
+  }
+
+  [[nodiscard]] std::size_t source_queue_length(topology::Coord c) const {
+    return queues_[static_cast<std::size_t>(mesh_->id_of(c))].size();
+  }
+
+  [[nodiscard]] std::uint64_t flits_in_network() const noexcept {
+    return buffered_flits_;
+  }
+  [[nodiscard]] const sim::Watchdog& watchdog() const noexcept { return watchdog_; }
+
+  // Measurement-window counters (active after begin_measurement()).
+  [[nodiscard]] std::uint64_t measured_cycles() const noexcept { return measured_cycles_; }
+  [[nodiscard]] std::uint64_t measured_flits_delivered() const noexcept {
+    return measured_flits_delivered_;
+  }
+  [[nodiscard]] std::uint64_t measured_messages_delivered() const noexcept {
+    return measured_messages_delivered_;
+  }
+  [[nodiscard]] std::uint64_t measured_flits_generated() const noexcept {
+    return measured_flits_generated_;
+  }
+
+  /// Per-VC-index count of (router, link port, cycle) samples where the
+  /// output VC was reserved; normalise by vc_usage_samples().
+  [[nodiscard]] const std::vector<std::uint64_t>& vc_busy_counts() const noexcept {
+    return vc_busy_counts_;
+  }
+  [[nodiscard]] std::uint64_t vc_usage_samples() const noexcept {
+    return vc_usage_samples_;
+  }
+
+  /// Per-node switch traversals (flits) during the measurement window.
+  [[nodiscard]] const std::vector<std::uint64_t>& node_traffic() const noexcept {
+    return node_traffic_;
+  }
+
+  // Adaptivity counters (measurement window): how much channel choice the
+  // algorithm offered per routing decision, and how much of it was free.
+  // Quantifies the paper's "flexibility in choosing the virtual channels".
+  [[nodiscard]] std::uint64_t measured_route_decisions() const noexcept {
+    return measured_route_decisions_;
+  }
+  [[nodiscard]] std::uint64_t measured_candidates_offered() const noexcept {
+    return measured_candidates_offered_;
+  }
+  [[nodiscard]] std::uint64_t measured_candidates_free() const noexcept {
+    return measured_candidates_free_;
+  }
+
+  /// Human-readable dump of every non-empty input VC — the wait-for state.
+  /// Debugging aid for watchdog trips; one line per VC.
+  [[nodiscard]] std::string debug_stuck_report(std::size_t max_lines = 200) const;
+
+  /// Exact deadlock detection: builds the message wait-for graph (a header
+  /// in RouteWait waits for the owners of every channel it may use; a
+  /// cycle of such waits can never resolve) and returns one cycle, or an
+  /// empty vector when none exists.  Complements the timeout watchdog:
+  /// the watchdog can fire on pathological slowness, this cannot
+  /// false-positive.  O(messages + edges); intended for diagnostics, not
+  /// the per-cycle path.
+  [[nodiscard]] std::vector<MessageId> find_deadlock_cycle() const;
+
+  /// Observation hook: called for every flit consumed at a destination.
+  /// Used by tests (wormhole ordering invariants) and trace examples.
+  using EjectHook = std::function<void(const Flit&, topology::Coord)>;
+  void set_eject_hook(EjectHook hook) { eject_hook_ = std::move(hook); }
+
+ private:
+  struct LinkReg {
+    Flit flit;
+    int vc = -1;
+    bool full = false;
+  };
+  struct Supply {
+    MessageId current = kInvalidMessage;
+    std::uint32_t next_seq = 0;
+  };
+  struct Request {
+    std::int16_t port;
+    std::int16_t vc;
+  };
+
+  void phase_arrivals();
+  void phase_injection();
+  void phase_routing();
+  void phase_switching();
+  void phase_sampling();
+
+  Router& router_mut(topology::Coord c) {
+    return routers_[static_cast<std::size_t>(mesh_->id_of(c))];
+  }
+  LinkReg& link(topology::NodeId node, int dir) {
+    return links_[static_cast<std::size_t>(node) * topology::kMeshDirections +
+                  static_cast<std::size_t>(dir)];
+  }
+
+  const topology::Mesh* mesh_;
+  const fault::FaultMap* faults_;
+  const routing::RoutingAlgorithm* algorithm_;
+  NetworkConfig config_;
+  sim::Rng rng_;
+
+  std::vector<Router> routers_;
+  std::vector<LinkReg> links_;  // [node][direction]
+  std::vector<Message> messages_;
+  std::vector<std::deque<MessageId>> queues_;  // per-node source queues
+  std::vector<Supply> supplies_;               // [node][injection vc]
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t buffered_flits_ = 0;  // input buffers + link registers
+  std::uint64_t flits_moved_this_cycle_ = 0;
+  sim::Watchdog watchdog_;
+
+  bool measuring_ = false;
+  std::uint64_t measured_cycles_ = 0;
+  std::uint64_t measured_flits_delivered_ = 0;
+  std::uint64_t measured_messages_delivered_ = 0;
+  std::uint64_t measured_flits_generated_ = 0;
+  std::vector<std::uint64_t> vc_busy_counts_;
+  std::uint64_t vc_usage_samples_ = 0;
+  std::vector<std::uint64_t> node_traffic_;
+  std::uint64_t measured_route_decisions_ = 0;
+  std::uint64_t measured_candidates_offered_ = 0;
+  std::uint64_t measured_candidates_free_ = 0;
+
+  EjectHook eject_hook_;
+
+  // per-cycle scratch (kept across calls to avoid reallocation)
+  routing::CandidateList cand_;
+  std::vector<routing::CandidateVc> free_cands_;
+  std::vector<Request> requests_;
+};
+
+}  // namespace ftmesh::router

@@ -1,0 +1,53 @@
+#pragma once
+// Per-virtual-channel state of the wormhole router.
+//
+// Input VCs hold a FIFO flit buffer plus the head message's pipeline stage;
+// output VCs track downstream ownership (wormhole reservation from header
+// until tail) and credit-based flow control.
+
+#include <cstdint>
+#include <deque>
+
+#include "ftmesh/router/flit.hpp"
+#include "ftmesh/topology/coordinates.hpp"
+
+namespace ftmesh::router {
+
+/// Stage of the message at the head of an input VC buffer.
+enum class IvcStage : std::uint8_t {
+  Idle = 0,       ///< no message (or head flit not yet examined)
+  RouteWait = 1,  ///< header at head, waiting for an output VC
+  Active = 2,     ///< output VC reserved; flits stream through the switch
+};
+
+struct InputVc {
+  std::deque<Flit> buf;
+  IvcStage stage = IvcStage::Idle;
+  topology::Direction out_dir = topology::Direction::Local;
+  int out_vc = -1;
+
+  [[nodiscard]] bool empty() const noexcept { return buf.empty(); }
+
+  void release() noexcept {
+    stage = IvcStage::Idle;
+    out_vc = -1;
+    out_dir = topology::Direction::Local;
+  }
+};
+
+struct OutputVc {
+  bool allocated = false;
+  MessageId owner = kInvalidMessage;
+  int credits = 0;
+
+  void allocate(MessageId m) noexcept {
+    allocated = true;
+    owner = m;
+  }
+  void release() noexcept {
+    allocated = false;
+    owner = kInvalidMessage;
+  }
+};
+
+}  // namespace ftmesh::router

@@ -1,0 +1,139 @@
+#include "ftmesh/routing/boppana_chalasani.hpp"
+
+namespace ftmesh::routing {
+
+using fault::Orientation;
+using router::MsgType;
+using topology::Coord;
+using topology::Direction;
+
+MsgType opposite_type(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::WE: return MsgType::EW;
+    case MsgType::EW: return MsgType::WE;
+    case MsgType::SN: return MsgType::NS;
+    case MsgType::NS: return MsgType::SN;
+  }
+  return MsgType::WE;
+}
+
+BoppanaChalasani::BoppanaChalasani(const topology::Mesh& mesh,
+                                   const fault::FaultMap& faults,
+                                   const fault::FRingSet& rings,
+                                   std::unique_ptr<RoutingAlgorithm> base,
+                                   std::string name)
+    : RoutingAlgorithm(mesh, faults),
+      rings_(&rings),
+      base_(std::move(base)),
+      name_(std::move(name)) {}
+
+std::optional<int> BoppanaChalasani::blocking_region(Coord at, Coord dst) const {
+  std::array<Direction, 2> minimal{};
+  const int n = mesh().minimal_directions_into(at, dst, minimal);
+  std::optional<int> found;
+  const bool row_type = dst.x != at.x;
+  for (int i = 0; i < n; ++i) {
+    const Direction dir = minimal[static_cast<std::size_t>(i)];
+    const Coord next = at.step(dir);
+    if (!faults().blocked(next)) continue;
+    const auto region = faults().region_at(next);
+    if (!region) continue;
+    const bool dim_match =
+        row_type ? (dir == Direction::XPlus || dir == Direction::XMinus)
+                 : (dir == Direction::YPlus || dir == Direction::YMinus);
+    if (dim_match) return region;  // prefer the type-matching dimension
+    if (!found) found = region;
+  }
+  return found;
+}
+
+std::optional<BoppanaChalasani::RingMove> BoppanaChalasani::plan_ring_move(
+    Coord at, const router::Message& msg) const {
+  RingMove move;
+  if (msg.rs.ring.active) {
+    move.region = msg.rs.ring.region;
+    move.type = msg.rs.ring.vc_type;
+    move.orientation = msg.rs.ring.orientation;
+    move.reversed = msg.rs.ring.reversals > 0;
+  } else {
+    const auto region = blocking_region(at, msg.dst);
+    if (!region) return std::nullopt;
+    move.region = *region;
+    move.type = router::classify(at, msg.dst);
+    move.orientation = router::ring_orientation(move.type);
+    move.reversed = false;
+  }
+  const auto& ring = rings_->ring(move.region);
+  auto next = ring.next(at, move.orientation);
+  if (!next) {
+    // Open chain end: reverse once, switching to the opposite-direction
+    // type's channel so the two senses never share a ring channel.
+    move.orientation = fault::reverse(move.orientation);
+    move.type = opposite_type(move.type);
+    move.reversed = true;
+    next = ring.next(at, move.orientation);
+    if (!next) return std::nullopt;  // single-node chain: nowhere to go
+  }
+  move.next = *next;
+  return move;
+}
+
+void BoppanaChalasani::candidates(Coord at, const router::Message& msg,
+                                  CandidateList& out) const {
+  std::array<Direction, 2> usable{};
+  const int n = usable_minimal(at, msg.dst, usable);
+  // In ring mode the message may only leave at nodes strictly closer to the
+  // destination than its ring entry point; elsewhere an "exit" hop could
+  // undo the detour and deadlock on its own ring channel.
+  const bool may_exit =
+      !msg.rs.ring.active ||
+      topology::manhattan(at, msg.dst) <
+          static_cast<int>(msg.rs.ring.entry_distance);
+  if (n > 0 && may_exit) {
+    // Healthy minimal progress exists: route (or leave the ring) via the
+    // base algorithm.
+    base_->candidates(at, msg, out);
+    return;
+  }
+  const auto move = plan_ring_move(at, msg);
+  if (!move) return;  // not fault-blocked (transient) — wait
+  const Coord delta{move->next.x - at.x, move->next.y - at.y};
+  Direction dir = Direction::Local;
+  if (delta.x == 1) dir = Direction::XPlus;
+  else if (delta.x == -1) dir = Direction::XMinus;
+  else if (delta.y == 1) dir = Direction::YPlus;
+  else if (delta.y == -1) dir = Direction::YMinus;
+  const int vc = layout().ring_vc(move->type);
+  if (dir != Direction::Local && vc >= 0) out.add(dir, vc);
+}
+
+void BoppanaChalasani::on_hop(Coord at, Direction dir, int vc,
+                              router::Message& msg) const {
+  const bool ring_hop = layout().at(vc).role == VcRole::BcRing;
+  if (ring_hop) {
+    const auto move = plan_ring_move(at, msg);
+    auto& ring = msg.rs.ring;
+    if (move) {
+      if (!ring.active) {
+        ring.reversals = 0;
+        ring.entry_distance =
+            static_cast<std::uint16_t>(topology::manhattan(at, msg.dst));
+      }
+      ring.active = true;
+      ring.region = move->region;
+      ring.vc_type = move->type;
+      ring.orientation = move->orientation;
+      if (move->reversed) {
+        ring.reversals = static_cast<std::uint16_t>(ring.reversals + 1);
+      }
+    }
+    // Ring hops bypass the base algorithm's class bookkeeping but still
+    // advance the generic counters.
+    RoutingAlgorithm::on_hop(at, dir, vc, msg);
+  } else {
+    msg.rs.ring.active = false;
+    base_->on_hop(at, dir, vc, msg);
+  }
+}
+
+}  // namespace ftmesh::routing

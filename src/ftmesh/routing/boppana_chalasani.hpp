@@ -1,0 +1,73 @@
+#pragma once
+// Boppana-Chalasani f-ring fortification (IEEE TC 1995), as a wrapper that
+// turns any adaptive routing algorithm into a fault-tolerant one using four
+// additional virtual channels per physical channel.
+//
+// Normal operation delegates to the wrapped algorithm.  When the header is
+// *blocked by faults* — every minimal direction leads into a fault region —
+// the message enters ring mode: it travels around the blocking region's
+// f-ring on the ring channel dedicated to its message type (WE/EW/SN/NS),
+// with a fixed per-type orientation (WE, SN clockwise; EW, NS counter-
+// clockwise).  It leaves ring mode at the first node where a healthy
+// minimal hop exists.  On an open f-chain, reaching the chain end reverses
+// the traversal once, switching to the opposite-direction type's channel so
+// the two traversal senses never share a channel.
+//
+// DESIGN.md item 4 records where this reconstruction simplifies the
+// original's case analysis.
+
+#include <memory>
+#include <string>
+
+#include "ftmesh/fault/fring.hpp"
+#include "ftmesh/routing/routing_algorithm.hpp"
+
+namespace ftmesh::routing {
+
+class BoppanaChalasani : public RoutingAlgorithm {
+ public:
+  BoppanaChalasani(const topology::Mesh& mesh, const fault::FaultMap& faults,
+                   const fault::FRingSet& rings,
+                   std::unique_ptr<RoutingAlgorithm> base, std::string name);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] const VcLayout& layout() const noexcept override {
+    return base_->layout();
+  }
+  [[nodiscard]] const RoutingAlgorithm& base() const noexcept { return *base_; }
+
+  void candidates(topology::Coord at, const router::Message& msg,
+                  CandidateList& out) const override;
+  void on_inject(router::Message& msg) const override { base_->on_inject(msg); }
+  void on_hop(topology::Coord at, topology::Direction dir, int vc,
+              router::Message& msg) const override;
+
+  /// The planned ring move for a blocked/ring-mode header at `at`:
+  /// (next ring node, region id, effective type, orientation, reversed).
+  /// Exposed for tests.
+  struct RingMove {
+    topology::Coord next;
+    int region = -1;
+    router::MsgType type = router::MsgType::WE;
+    fault::Orientation orientation = fault::Orientation::Clockwise;
+    bool reversed = false;
+  };
+  [[nodiscard]] std::optional<RingMove> plan_ring_move(
+      topology::Coord at, const router::Message& msg) const;
+
+ private:
+  /// Region blocking the message at `at` (a minimal-direction neighbour
+  /// inside a fault region), preferring the dimension that matches the
+  /// message's row/column type.
+  [[nodiscard]] std::optional<int> blocking_region(topology::Coord at,
+                                                   topology::Coord dst) const;
+
+  const fault::FRingSet* rings_;
+  std::unique_ptr<RoutingAlgorithm> base_;
+  std::string name_;
+};
+
+/// WE<->EW, SN<->NS: the type whose fixed orientation is the reverse.
+router::MsgType opposite_type(router::MsgType t) noexcept;
+
+}  // namespace ftmesh::routing

@@ -1,0 +1,93 @@
+#include "ftmesh/routing/boura.hpp"
+
+namespace ftmesh::routing {
+
+using topology::Coord;
+using topology::Direction;
+
+Boura::Boura(const topology::Mesh& mesh, const fault::FaultMap& faults,
+             Variant variant, VcLayout layout)
+    : RoutingAlgorithm(mesh, faults),
+      variant_(variant),
+      layout_(std::move(layout)) {
+  if (variant_ == Variant::FaultTolerant) label_unsafe_nodes();
+}
+
+void Boura::label_unsafe_nodes() {
+  unsafe_.assign(static_cast<std::size_t>(mesh().node_count()), 0);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int y = 0; y < mesh().height(); ++y) {
+      for (int x = 0; x < mesh().width(); ++x) {
+        const Coord c{x, y};
+        const auto idx = static_cast<std::size_t>(mesh().id_of(c));
+        if (faults().blocked(c) || unsafe_[idx]) continue;
+        int bad = 0;
+        for (const auto d : topology::kAllMeshDirections) {
+          const auto nb = mesh().neighbour(c, d);
+          if (!nb) continue;
+          if (faults().blocked(*nb) ||
+              unsafe_[static_cast<std::size_t>(mesh().id_of(*nb))]) {
+            ++bad;
+          }
+        }
+        if (bad >= 2) {
+          unsafe_[idx] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+void Boura::candidates(Coord at, const router::Message& msg,
+                       CandidateList& out) const {
+  std::array<Direction, 2> minimal{};
+  const int nmin = usable_minimal(at, msg.dst, minimal);
+  const bool ft = variant_ == Variant::FaultTolerant;
+
+  // Tier 1: adaptive channels on minimal directions (FT: safe nodes, or the
+  // destination itself, preferred).
+  int offered_min = 0;
+  for (int d = 0; d < nmin; ++d) {
+    const Direction dir = minimal[static_cast<std::size_t>(d)];
+    const Coord next = at.step(dir);
+    if (ft && unsafe(next) && !(next == msg.dst)) continue;
+    ++offered_min;
+    for (const int vc : layout_.adaptive()) out.add(dir, vc);
+  }
+  out.next_tier();
+
+  // Tier 2: escape discipline — all positive-direction offsets resolved on
+  // escape class 0 before negative-direction offsets on class 1.
+  bool have_positive = false;
+  for (int d = 0; d < nmin; ++d) {
+    if (is_positive(minimal[static_cast<std::size_t>(d)])) have_positive = true;
+  }
+  for (int d = 0; d < nmin; ++d) {
+    const Direction dir = minimal[static_cast<std::size_t>(d)];
+    if (have_positive && !is_positive(dir)) continue;
+    const Coord next = at.step(dir);
+    if (ft && unsafe(next) && !(next == msg.dst)) continue;
+    for (const int vc : layout_.escape_class(have_positive ? 0 : 1)) {
+      out.add(dir, vc);
+    }
+  }
+
+  if (!ft) return;
+
+  // Tier 3 (FT only): when every minimal hop leads to an unsafe node, fall
+  // back to the unsafe-but-healthy minimal hops.  Hard fault blocks (no
+  // healthy minimal hop at all) are handled by the ring fortification
+  // wrapped around this algorithm.
+  if (offered_min == 0) {
+    out.next_tier();
+    for (int d = 0; d < nmin; ++d) {
+      const Direction dir = minimal[static_cast<std::size_t>(d)];
+      for (const int vc : layout_.adaptive()) out.add(dir, vc);
+    }
+  }
+}
+
+}  // namespace ftmesh::routing

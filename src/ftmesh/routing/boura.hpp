@@ -1,0 +1,56 @@
+#pragma once
+// Boura-Das routing (ICPP 1995), reconstructed — see DESIGN.md item 5.
+//
+// Base scheme ("Boura (Adaptive)"): fully adaptive minimal routing whose
+// escape sub-function routes all positive-direction (X+, Y+) offsets before
+// negative-direction offsets, on two dedicated escape classes.  The
+// positive-then-negative order is acyclic, so the escape subnetwork is
+// deadlock-free; the remaining channels form the adaptive class.
+//
+// Fault-tolerant variant ("Boura (Fault-Tolerant)"): adds the node-labeling
+// technique.  A healthy node is *unsafe* when two or more of its neighbours
+// are faulty, deactivated or unsafe (computed to fixpoint).  Messages prefer
+// safe minimal hops, then unsafe-but-healthy minimal hops; hard fault
+// blocks are detoured by the ring fortification around this algorithm (see
+// DESIGN.md item 5 — the original's unrestricted misrouting is not
+// deadlock-free under wormhole switching, so the reconstruction routes
+// fault detours on dedicated ring channels instead).
+
+#include <vector>
+
+#include "ftmesh/routing/routing_algorithm.hpp"
+
+namespace ftmesh::routing {
+
+class Boura : public RoutingAlgorithm {
+ public:
+  enum class Variant : std::uint8_t { Adaptive, FaultTolerant };
+
+  Boura(const topology::Mesh& mesh, const fault::FaultMap& faults,
+        Variant variant, VcLayout layout);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return variant_ == Variant::Adaptive ? "Boura-Adaptive" : "Boura-FT";
+  }
+  [[nodiscard]] const VcLayout& layout() const noexcept override { return layout_; }
+  [[nodiscard]] Variant variant() const noexcept { return variant_; }
+
+  void candidates(topology::Coord at, const router::Message& msg,
+                  CandidateList& out) const override;
+
+  /// True when `c` carries the unsafe label (FT variant only; always false
+  /// for the adaptive variant).
+  [[nodiscard]] bool unsafe(topology::Coord c) const noexcept {
+    return !unsafe_.empty() &&
+           unsafe_[static_cast<std::size_t>(mesh().id_of(c))] != 0;
+  }
+
+ private:
+  void label_unsafe_nodes();
+
+  Variant variant_;
+  VcLayout layout_;
+  std::vector<char> unsafe_;  // FT variant: 1 = unsafe
+};
+
+}  // namespace ftmesh::routing

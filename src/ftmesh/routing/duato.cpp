@@ -1,0 +1,31 @@
+#include "ftmesh/routing/duato.hpp"
+
+namespace ftmesh::routing {
+
+using topology::Coord;
+using topology::Direction;
+
+Duato::Duato(const topology::Mesh& mesh, const fault::FaultMap& faults,
+             std::unique_ptr<RoutingAlgorithm> escape, VcLayout layout,
+             std::string name)
+    : RoutingAlgorithm(mesh, faults),
+      escape_(std::move(escape)),
+      layout_(std::move(layout)),
+      name_(std::move(name)) {}
+
+void Duato::candidates(Coord at, const router::Message& msg,
+                       CandidateList& out) const {
+  // Tier 1 — class I: any adaptive channel on any healthy minimal direction.
+  std::array<Direction, 2> dirs{};
+  const int ndirs = usable_minimal(at, msg.dst, dirs);
+  for (int d = 0; d < ndirs; ++d) {
+    for (const int vc : layout_.adaptive()) {
+      out.add(dirs[static_cast<std::size_t>(d)], vc);
+    }
+  }
+  out.next_tier();
+  // Tier 2 — class II per the escape algorithm.
+  escape_->candidates(at, msg, out);
+}
+
+}  // namespace ftmesh::routing

@@ -1,0 +1,43 @@
+#pragma once
+// Duato's methodology (TPDS 1993): split the channels into an adaptive
+// class I and a deadlock-free escape class II.  A message may use any
+// class-I channel on a minimal direction at any step; when every class-I
+// candidate is busy it falls back to class II, routed by the underlying
+// deadlock-free algorithm (XY for "Duato's routing", Pbc / Nbc for the
+// Duato-Pbc / Duato-Nbc combinations in the paper).
+
+#include <memory>
+#include <string>
+
+#include "ftmesh/routing/routing_algorithm.hpp"
+
+namespace ftmesh::routing {
+
+class Duato : public RoutingAlgorithm {
+ public:
+  /// `escape` supplies the class-II candidates; it must share the same
+  /// VcLayout value as `layout`.
+  Duato(const topology::Mesh& mesh, const fault::FaultMap& faults,
+        std::unique_ptr<RoutingAlgorithm> escape, VcLayout layout,
+        std::string name);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return name_; }
+  [[nodiscard]] const VcLayout& layout() const noexcept override { return layout_; }
+
+  void candidates(topology::Coord at, const router::Message& msg,
+                  CandidateList& out) const override;
+  void on_inject(router::Message& msg) const override { escape_->on_inject(msg); }
+  void on_hop(topology::Coord at, topology::Direction dir, int vc,
+              router::Message& msg) const override {
+    escape_->on_hop(at, dir, vc, msg);
+  }
+
+  [[nodiscard]] const RoutingAlgorithm& escape() const noexcept { return *escape_; }
+
+ private:
+  std::unique_ptr<RoutingAlgorithm> escape_;
+  VcLayout layout_;
+  std::string name_;
+};
+
+}  // namespace ftmesh::routing

@@ -1,0 +1,40 @@
+#include "ftmesh/routing/fully_adaptive.hpp"
+
+namespace ftmesh::routing {
+
+using topology::Coord;
+using topology::Direction;
+
+void FullyAdaptive::candidates(Coord at, const router::Message& msg,
+                               CandidateList& out) const {
+  // Tier 1: healthy minimal directions, free channel choice (including the
+  // escape channel when its direction is the dimension-order one).
+  std::array<Direction, 2> minimal{};
+  const int nmin = usable_minimal(at, msg.dst, minimal);
+  for (int d = 0; d < nmin; ++d) {
+    for (const int vc : layout_.adaptive()) {
+      out.add(minimal[static_cast<std::size_t>(d)], vc);
+    }
+  }
+  xy_.candidates(at, msg, out);
+  out.next_tier();
+
+  // Tier 2: bounded misrouting — healthy non-minimal, non-U-turn hops.
+  if (static_cast<int>(msg.rs.misroutes) < misroute_limit_) {
+    for (const auto dir : topology::kAllMeshDirections) {
+      bool is_minimal = false;
+      for (int d = 0; d < nmin; ++d) {
+        if (minimal[static_cast<std::size_t>(d)] == dir) is_minimal = true;
+      }
+      if (is_minimal) continue;
+      if (msg.rs.last_dir != Direction::Local && dir == opposite(msg.rs.last_dir)) {
+        continue;
+      }
+      const auto next = mesh().neighbour(at, dir);
+      if (!next || faults().blocked(*next)) continue;
+      for (const int vc : layout_.adaptive()) out.add(dir, vc);
+    }
+  }
+}
+
+}  // namespace ftmesh::routing

@@ -1,0 +1,36 @@
+#pragma once
+// Fully-Adaptive routing: Minimal-Adaptive plus bounded misrouting.  When
+// every channel on the shortest paths is busy, the message may take a
+// non-minimal (but healthy, non-U-turn) hop, up to `misroute_limit` times
+// (the paper fixes the limit at 10 to preclude livelock).
+
+#include "ftmesh/routing/routing_algorithm.hpp"
+#include "ftmesh/routing/xy.hpp"
+
+namespace ftmesh::routing {
+
+class FullyAdaptive : public RoutingAlgorithm {
+ public:
+  FullyAdaptive(const topology::Mesh& mesh, const fault::FaultMap& faults,
+                VcLayout layout, int misroute_limit = 10)
+      : RoutingAlgorithm(mesh, faults),
+        layout_(std::move(layout)),
+        xy_(mesh, faults, layout_),
+        misroute_limit_(misroute_limit) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Fully-Adaptive";
+  }
+  [[nodiscard]] const VcLayout& layout() const noexcept override { return layout_; }
+  [[nodiscard]] int misroute_limit() const noexcept { return misroute_limit_; }
+
+  void candidates(topology::Coord at, const router::Message& msg,
+                  CandidateList& out) const override;
+
+ private:
+  VcLayout layout_;
+  XyRouting xy_;
+  int misroute_limit_;
+};
+
+}  // namespace ftmesh::routing

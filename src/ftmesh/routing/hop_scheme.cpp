@@ -1,0 +1,77 @@
+#include "ftmesh/routing/hop_scheme.hpp"
+
+#include <algorithm>
+
+namespace ftmesh::routing {
+
+using topology::Coord;
+using topology::Direction;
+
+HopScheme::HopScheme(const topology::Mesh& mesh, const fault::FaultMap& faults,
+                     Kind kind, bool bonus_cards, VcLayout layout)
+    : RoutingAlgorithm(mesh, faults),
+      kind_(kind),
+      bonus_(bonus_cards),
+      layout_(std::move(layout)) {}
+
+std::string_view HopScheme::name() const noexcept {
+  if (kind_ == Kind::Positive) return bonus_ ? "Pbc" : "PHop";
+  return bonus_ ? "Nbc" : "NHop";
+}
+
+int HopScheme::current_class(const router::Message& msg) const noexcept {
+  const int taken = kind_ == Kind::Positive
+                        ? static_cast<int>(msg.rs.hops)
+                        : static_cast<int>(msg.rs.negative_hops);
+  return taken + static_cast<int>(msg.rs.class_offset);
+}
+
+void HopScheme::on_inject(router::Message& msg) const {
+  msg.rs.class_offset = 0;
+  if (!bonus_) {
+    msg.rs.cards_left = 0;
+    return;
+  }
+  const int max_class = layout_.escape_class_count() - 1;
+  const int needed = kind_ == Kind::Positive
+                         ? topology::manhattan(msg.src, msg.dst)
+                         : topology::Mesh::min_negative_hops(msg.src, msg.dst);
+  msg.rs.cards_left = static_cast<std::uint16_t>(std::max(0, max_class - needed));
+}
+
+void HopScheme::candidates(Coord at, const router::Message& msg,
+                           CandidateList& out) const {
+  std::array<Direction, 2> dirs{};
+  const int ndirs = usable_minimal(at, msg.dst, dirs);
+  if (ndirs == 0) return;  // blocked by faults; the BC wrapper takes over
+
+  const int top = layout_.escape_class_count() - 1;
+  const int lo = std::min(current_class(msg), top);
+  const int hi = std::min(lo + static_cast<int>(msg.rs.cards_left), top);
+  for (int d = 0; d < ndirs; ++d) {
+    for (int klass = lo; klass <= hi; ++klass) {
+      for (const int vc : layout_.escape_class(klass)) {
+        out.add(dirs[static_cast<std::size_t>(d)], vc);
+      }
+    }
+  }
+}
+
+void HopScheme::on_hop(Coord at, Direction dir, int vc,
+                       router::Message& msg) const {
+  // Spend bonus cards when the chosen channel's class is above the floor.
+  if (layout_.at(vc).role == VcRole::EscapeII) {
+    const int floor_class =
+        std::min(current_class(msg), layout_.escape_class_count() - 1);
+    const int jump = layout_.at(vc).level - floor_class;
+    if (jump > 0) {
+      const auto spend =
+          static_cast<std::uint16_t>(std::min<int>(jump, msg.rs.cards_left));
+      msg.rs.class_offset = static_cast<std::uint16_t>(msg.rs.class_offset + spend);
+      msg.rs.cards_left = static_cast<std::uint16_t>(msg.rs.cards_left - spend);
+    }
+  }
+  RoutingAlgorithm::on_hop(at, dir, vc, msg);
+}
+
+}  // namespace ftmesh::routing

@@ -1,0 +1,53 @@
+#pragma once
+// Hop-based fully adaptive schemes: Positive-Hop (PHop), Negative-Hop
+// (NHop), and their bonus-card variants (Pbc, Nbc) from Boppana &
+// Chalasani, "A Framework for Designing Deadlock-Free Wormhole Routing
+// Algorithms" (TPDS 1996).
+//
+// PHop: a message that has taken i hops occupies a buffer of class i; the
+// class index strictly increases along every path, which breaks cyclic
+// buffer dependencies.  Classes needed: diameter + 1.
+//
+// NHop: the mesh is checkerboard-coloured; a hop from a colour-1 node to a
+// colour-0 node is "negative", and the class index equals the number of
+// negative hops taken.  Classes needed: 1 + floor(diameter / 2).
+//
+// Bonus cards widen channel choice: a message needing h hops (respectively
+// h' negative hops) receives b = max_classes - 1 - h cards and may occupy
+// any class in [base + taken, base + taken + cards_left], spending one card
+// per class it jumps up.  Class indices still never decrease, so the
+// deadlock-freedom argument is unchanged.
+
+#include "ftmesh/routing/routing_algorithm.hpp"
+
+namespace ftmesh::routing {
+
+class HopScheme : public RoutingAlgorithm {
+ public:
+  enum class Kind : std::uint8_t { Positive, Negative };
+
+  HopScheme(const topology::Mesh& mesh, const fault::FaultMap& faults,
+            Kind kind, bool bonus_cards, VcLayout layout);
+
+  [[nodiscard]] std::string_view name() const noexcept override;
+  [[nodiscard]] const VcLayout& layout() const noexcept override { return layout_; }
+
+  void candidates(topology::Coord at, const router::Message& msg,
+                  CandidateList& out) const override;
+  void on_inject(router::Message& msg) const override;
+  void on_hop(topology::Coord at, topology::Direction dir, int vc,
+              router::Message& msg) const override;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool bonus_cards() const noexcept { return bonus_; }
+
+  /// Current minimum legal class for `msg` (its class "floor").
+  [[nodiscard]] int current_class(const router::Message& msg) const noexcept;
+
+ private:
+  Kind kind_;
+  bool bonus_;
+  VcLayout layout_;
+};
+
+}  // namespace ftmesh::routing

@@ -1,0 +1,23 @@
+#include "ftmesh/routing/minimal_adaptive.hpp"
+
+namespace ftmesh::routing {
+
+using topology::Coord;
+using topology::Direction;
+
+void MinimalAdaptive::candidates(Coord at, const router::Message& msg,
+                                 CandidateList& out) const {
+  // "No supervision in the way of using virtual channels" (paper): every
+  // channel — including the XY escape channel when its direction is the
+  // dimension-order one — is offered in a single tier.
+  std::array<Direction, 2> dirs{};
+  const int ndirs = usable_minimal(at, msg.dst, dirs);
+  for (int d = 0; d < ndirs; ++d) {
+    for (const int vc : layout_.adaptive()) {
+      out.add(dirs[static_cast<std::size_t>(d)], vc);
+    }
+  }
+  xy_.candidates(at, msg, out);
+}
+
+}  // namespace ftmesh::routing

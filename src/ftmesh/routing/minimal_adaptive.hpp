@@ -1,0 +1,35 @@
+#pragma once
+// Minimal-Adaptive routing: any healthy minimal direction, any adaptive
+// virtual channel, no channel-usage discipline (the paper's "first
+// category").  As described it is not provably deadlock-free; an optional
+// dimension-order escape channel (kept in the layout's XyEscape role and
+// offered as the lowest-priority tier) guarantees progress — see DESIGN.md
+// item 2.
+
+#include "ftmesh/routing/routing_algorithm.hpp"
+#include "ftmesh/routing/xy.hpp"
+
+namespace ftmesh::routing {
+
+class MinimalAdaptive : public RoutingAlgorithm {
+ public:
+  MinimalAdaptive(const topology::Mesh& mesh, const fault::FaultMap& faults,
+                  VcLayout layout)
+      : RoutingAlgorithm(mesh, faults),
+        layout_(std::move(layout)),
+        xy_(mesh, faults, layout_) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Minimal-Adaptive";
+  }
+  [[nodiscard]] const VcLayout& layout() const noexcept override { return layout_; }
+
+  void candidates(topology::Coord at, const router::Message& msg,
+                  CandidateList& out) const override;
+
+ private:
+  VcLayout layout_;
+  XyRouting xy_;
+};
+
+}  // namespace ftmesh::routing

@@ -1,0 +1,34 @@
+#include "ftmesh/routing/routing_algorithm.hpp"
+
+namespace ftmesh::routing {
+
+using topology::Coord;
+using topology::Direction;
+
+void RoutingAlgorithm::on_hop(Coord at, Direction dir, int vc,
+                              router::Message& msg) const {
+  (void)vc;
+  const Coord to = at.step(dir);
+  ++msg.rs.hops;
+  if (topology::Mesh::colour(at) == 1 && topology::Mesh::colour(to) == 0) {
+    ++msg.rs.negative_hops;
+  }
+  if (topology::manhattan(to, msg.dst) >= topology::manhattan(at, msg.dst)) {
+    ++msg.rs.misroutes;
+  }
+  msg.rs.last_dir = dir;
+}
+
+int RoutingAlgorithm::usable_minimal(Coord at, Coord dst,
+                                     std::array<Direction, 2>& dirs) const noexcept {
+  std::array<Direction, 2> minimal{};
+  const int n = mesh_->minimal_directions_into(at, dst, minimal);
+  int m = 0;
+  for (int i = 0; i < n; ++i) {
+    const Coord next = at.step(minimal[static_cast<std::size_t>(i)]);
+    if (!faults_->blocked(next)) dirs[static_cast<std::size_t>(m++)] = minimal[static_cast<std::size_t>(i)];
+  }
+  return m;
+}
+
+}  // namespace ftmesh::routing

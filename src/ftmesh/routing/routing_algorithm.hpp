@@ -1,0 +1,112 @@
+#pragma once
+// The routing-algorithm interface.
+//
+// An algorithm is a pure routing *relation*: given the header's current node
+// and routing state it enumerates the legal (direction, virtual channel)
+// pairs.  The router then keeps only pairs whose output VC is currently
+// free, and the selection policy picks one.  State transitions (hop
+// counters, bonus cards, ring mode) are applied by on_hop once the header
+// actually moves.
+//
+// Instances are constructed per simulation against a fixed mesh + fault map
+// and must be stateless across messages (all per-message state lives in
+// Message::rs), which makes them safe to share between the router pipeline
+// and tests.
+
+#include <cstddef>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ftmesh/fault/fault_model.hpp"
+#include "ftmesh/fault/fring.hpp"
+#include "ftmesh/router/message.hpp"
+#include "ftmesh/routing/vc_layout.hpp"
+#include "ftmesh/topology/mesh.hpp"
+
+namespace ftmesh::routing {
+
+/// A specific output channel choice: direction plus VC index.
+struct CandidateVc {
+  topology::Direction dir = topology::Direction::Local;
+  int vc = 0;
+
+  friend constexpr bool operator==(const CandidateVc&, const CandidateVc&) = default;
+};
+
+/// Tiered candidate set.  Tier boundaries express preferences such as
+/// Duato's "use class I; fall back to class II only when class I is busy"
+/// and Fully-Adaptive's "misroute only when every minimal channel is busy".
+/// The router tries tiers in order and allocates from the first tier with a
+/// free channel.
+class CandidateList {
+ public:
+  void clear() noexcept {
+    items_.clear();
+    tiers_.clear();
+  }
+  void add(topology::Direction dir, int vc) { items_.push_back({dir, vc}); }
+  /// Closes the current tier; subsequent adds go to the next tier.  An
+  /// empty tier is kept (as an empty range) so tier priorities are stable
+  /// regardless of which tiers happened to produce candidates.
+  void next_tier() { tiers_.push_back(items_.size()); }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] const CandidateVc& operator[](std::size_t i) const { return items_[i]; }
+
+  /// Number of tier ranges (boundaries + 1); trailing ranges may be empty.
+  [[nodiscard]] std::size_t tier_count() const noexcept {
+    return items_.empty() ? 0 : tiers_.size() + 1;
+  }
+
+  /// Half-open range [begin, end) of tier `t` (t < tier_count()).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> tier_range(std::size_t t) const noexcept {
+    const std::size_t begin = t == 0 ? 0 : tiers_[t - 1];
+    const std::size_t end = t < tiers_.size() ? tiers_[t] : items_.size();
+    return {begin, end};
+  }
+
+ private:
+  std::vector<CandidateVc> items_;
+  std::vector<std::size_t> tiers_;
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual const VcLayout& layout() const noexcept = 0;
+
+  /// Appends every legal (direction, vc) for `msg`'s header at node `at`.
+  /// Must not offer directions off the mesh or into blocked nodes.
+  virtual void candidates(topology::Coord at, const router::Message& msg,
+                          CandidateList& out) const = 0;
+
+  /// Initialises per-message routing state at injection time.
+  virtual void on_inject(router::Message& msg) const { (void)msg; }
+
+  /// Applies state transitions after the header moves from `at` through
+  /// (dir, vc).  Default updates the generic hop counters.
+  virtual void on_hop(topology::Coord at, topology::Direction dir, int vc,
+                      router::Message& msg) const;
+
+ protected:
+  RoutingAlgorithm(const topology::Mesh& mesh, const fault::FaultMap& faults)
+      : mesh_(&mesh), faults_(&faults) {}
+
+  [[nodiscard]] const topology::Mesh& mesh() const noexcept { return *mesh_; }
+  [[nodiscard]] const fault::FaultMap& faults() const noexcept { return *faults_; }
+
+  /// Minimal directions from `at` to msg.dst whose next node is healthy;
+  /// returns count, writes into `dirs`.
+  int usable_minimal(topology::Coord at, topology::Coord dst,
+                     std::array<topology::Direction, 2>& dirs) const noexcept;
+
+ private:
+  const topology::Mesh* mesh_;
+  const fault::FaultMap* faults_;
+};
+
+}  // namespace ftmesh::routing

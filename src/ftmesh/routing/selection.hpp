@@ -1,0 +1,34 @@
+#pragma once
+// Selection policy: choosing among the candidate output channels that are
+// free this cycle.
+//
+// The paper resolves conflicts randomly; we additionally provide a
+// least-congested policy (pick the free VC with the most downstream
+// credits) for the ablation study A2 in DESIGN.md.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string_view>
+
+#include "ftmesh/routing/routing_algorithm.hpp"
+#include "ftmesh/sim/rng.hpp"
+
+namespace ftmesh::routing {
+
+enum class SelectionPolicy : std::uint8_t {
+  Random = 0,
+  LeastCongested = 1,
+};
+
+std::string_view to_string(SelectionPolicy p) noexcept;
+SelectionPolicy selection_from_string(std::string_view s);
+
+/// Picks one index into `candidates`.  `credits(i)` reports the downstream
+/// credit count of candidate i (higher = emptier downstream buffer).
+std::size_t select_candidate(SelectionPolicy policy,
+                             std::span<const CandidateVc> candidates,
+                             const std::function<int(std::size_t)>& credits,
+                             sim::Rng& rng);
+
+}  // namespace ftmesh::routing

@@ -1,0 +1,98 @@
+#include "ftmesh/routing/vc_layout.hpp"
+
+#include <array>
+
+namespace ftmesh::routing {
+
+void VcLayout::finalize() {
+  adaptive_.clear();
+  xy_.clear();
+  escape_classes_.clear();
+  ring_ = {-1, -1, -1, -1};
+  int max_escape_level = -1;
+  for (const auto& vi : info_) {
+    if (vi.role == VcRole::EscapeII && vi.level > max_escape_level) {
+      max_escape_level = vi.level;
+    }
+  }
+  escape_classes_.resize(static_cast<std::size_t>(max_escape_level + 1));
+  for (int vc = 0; vc < total(); ++vc) {
+    const auto& vi = info_[static_cast<std::size_t>(vc)];
+    switch (vi.role) {
+      case VcRole::AdaptiveI:
+        adaptive_.push_back(vc);
+        break;
+      case VcRole::EscapeII:
+        escape_classes_[static_cast<std::size_t>(vi.level)].push_back(vc);
+        break;
+      case VcRole::BcRing:
+        ring_[static_cast<std::size_t>(vi.level)] = vc;
+        break;
+      case VcRole::XyEscape:
+        xy_.push_back(vc);
+        break;
+    }
+  }
+}
+
+VcLayout VcLayout::hop_based(int total, int classes, int per_class, bool ring) {
+  const int ring_vcs = ring ? router::kMsgTypeCount : 0;
+  const int base = classes * per_class;
+  if (classes <= 0 || per_class <= 0 || base + ring_vcs > total) {
+    throw std::invalid_argument("hop_based layout does not fit VC budget");
+  }
+  VcLayout layout;
+  layout.info_.reserve(static_cast<std::size_t>(total));
+  for (int c = 0; c < classes; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      layout.info_.push_back({VcRole::EscapeII, c});
+    }
+  }
+  if (ring) {
+    for (int t = 0; t < router::kMsgTypeCount; ++t) {
+      layout.info_.push_back({VcRole::BcRing, t});
+    }
+  }
+  // Spare channels strengthen the lowest classes round-robin (the most
+  // heavily used ones under hop-class discipline).
+  int spare_class = 0;
+  while (static_cast<int>(layout.info_.size()) < total) {
+    layout.info_.push_back({VcRole::EscapeII, spare_class});
+    spare_class = (spare_class + 1) % classes;
+  }
+  layout.finalize();
+  return layout;
+}
+
+VcLayout VcLayout::duato(int total, int escape_classes, int escape_per_class,
+                         bool ring, bool xy) {
+  const int ring_vcs = ring ? router::kMsgTypeCount : 0;
+  const int xy_vcs = xy ? 1 : 0;
+  const int escape = escape_classes * escape_per_class;
+  const int adaptive = total - escape - ring_vcs - xy_vcs;
+  if (escape_classes < 0 || adaptive < 1) {
+    throw std::invalid_argument("duato layout needs at least one class-I VC");
+  }
+  VcLayout layout;
+  layout.info_.reserve(static_cast<std::size_t>(total));
+  for (int i = 0; i < adaptive; ++i) layout.info_.push_back({VcRole::AdaptiveI, 0});
+  for (int c = 0; c < escape_classes; ++c) {
+    for (int i = 0; i < escape_per_class; ++i) {
+      layout.info_.push_back({VcRole::EscapeII, c});
+    }
+  }
+  if (xy) layout.info_.push_back({VcRole::XyEscape, 0});
+  if (ring) {
+    for (int t = 0; t < router::kMsgTypeCount; ++t) {
+      layout.info_.push_back({VcRole::BcRing, t});
+    }
+  }
+  layout.finalize();
+  return layout;
+}
+
+VcLayout VcLayout::adaptive(int total, bool ring, bool xy) {
+  return duato(total, 0, 0, ring, xy);
+}
+
+}  // namespace ftmesh::routing

@@ -1,0 +1,96 @@
+#pragma once
+// Virtual-channel layout: how the per-physical-channel VC budget is
+// partitioned among adaptive (Duato class I), deterministic escape
+// (class II, possibly many hop levels), Boppana-Chalasani ring channels,
+// and an optional dimension-order escape channel.
+//
+// The paper's headline configuration is 24 VCs per physical channel; §3 of
+// DESIGN.md records how each algorithm's 24 are laid out.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "ftmesh/router/message.hpp"
+
+namespace ftmesh::routing {
+
+enum class VcRole : std::uint8_t {
+  AdaptiveI = 0,  ///< Duato class I / free adaptive channels
+  EscapeII = 1,   ///< deterministic class, `level` = hop/negative-hop class
+  BcRing = 2,     ///< Boppana-Chalasani ring channel, `level` = MsgType
+  XyEscape = 3,   ///< dimension-order escape channel
+};
+
+struct VcInfo {
+  VcRole role = VcRole::AdaptiveI;
+  int level = 0;
+};
+
+class VcLayout {
+ public:
+  VcLayout() = default;
+
+  [[nodiscard]] int total() const noexcept { return static_cast<int>(info_.size()); }
+  [[nodiscard]] const VcInfo& at(int vc) const { return info_.at(static_cast<std::size_t>(vc)); }
+
+  [[nodiscard]] std::span<const int> adaptive() const noexcept { return adaptive_; }
+  [[nodiscard]] std::span<const int> xy_escape() const noexcept { return xy_; }
+
+  /// VC indices of escape class `level` (clamped to the top class so that
+  /// ring detours cannot run a message out of classes).
+  [[nodiscard]] std::span<const int> escape_class(int level) const noexcept {
+    if (escape_classes_.empty()) return {};
+    const auto idx = static_cast<std::size_t>(
+        level < 0 ? 0
+                  : (level >= static_cast<int>(escape_classes_.size())
+                         ? escape_classes_.size() - 1
+                         : static_cast<std::size_t>(level)));
+    return escape_classes_[idx];
+  }
+
+  [[nodiscard]] int escape_class_count() const noexcept {
+    return static_cast<int>(escape_classes_.size());
+  }
+
+  /// The ring channel dedicated to message type `t` (-1 if the layout has
+  /// no ring channels).
+  [[nodiscard]] int ring_vc(router::MsgType t) const noexcept {
+    return ring_[static_cast<std::size_t>(t)];
+  }
+
+  [[nodiscard]] bool has_ring() const noexcept { return ring_[0] >= 0; }
+
+  // ---- builders ------------------------------------------------------
+
+  /// Hop-class layout (PHop/NHop/Pbc/Nbc): `classes` escape classes of
+  /// `per_class` VCs each (these are the *only* channels the base scheme
+  /// uses, so they are exposed as escape classes), then 4 ring channels,
+  /// then any remainder of `total` appended round-robin to the lowest
+  /// classes (the paper's 24 = 19x1 + 4 + 1 spare case).
+  static VcLayout hop_based(int total, int classes, int per_class, bool ring);
+
+  /// Duato layout: `escape_classes` x `escape_per_class` class-II channels,
+  /// 4 ring channels when `ring`, one XY escape channel when `xy`, and all
+  /// remaining channels adaptive class I (paper: extra VCs go to class I).
+  static VcLayout duato(int total, int escape_classes, int escape_per_class,
+                        bool ring, bool xy = false);
+
+  /// Free-choice layout (Minimal/Fully-Adaptive, Boura-Adaptive base):
+  /// everything adaptive except 4 ring channels when `ring` and one XY
+  /// escape when `xy`.
+  static VcLayout adaptive(int total, bool ring, bool xy);
+
+ private:
+  void finalize();
+
+  std::vector<VcInfo> info_;
+  std::vector<int> adaptive_;
+  std::vector<int> xy_;
+  std::vector<std::vector<int>> escape_classes_;
+  std::array<int, router::kMsgTypeCount> ring_{-1, -1, -1, -1};
+};
+
+}  // namespace ftmesh::routing

@@ -1,0 +1,22 @@
+#include "ftmesh/routing/xy.hpp"
+
+namespace ftmesh::routing {
+
+using topology::Coord;
+using topology::Direction;
+
+void XyRouting::candidates(Coord at, const router::Message& msg,
+                           CandidateList& out) const {
+  Direction dir;
+  if (msg.dst.x > at.x) dir = Direction::XPlus;
+  else if (msg.dst.x < at.x) dir = Direction::XMinus;
+  else if (msg.dst.y > at.y) dir = Direction::YPlus;
+  else if (msg.dst.y < at.y) dir = Direction::YMinus;
+  else return;
+
+  const Coord next = at.step(dir);
+  if (faults().blocked(next)) return;  // BC ring mode handles faults
+  for (const int vc : layout_.xy_escape()) out.add(dir, vc);
+}
+
+}  // namespace ftmesh::routing

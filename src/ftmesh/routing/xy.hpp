@@ -1,0 +1,27 @@
+#pragma once
+// Dimension-order (XY) routing: resolve the x offset first, then y.
+// Deadlock-free on meshes with a single virtual channel; used here as the
+// minimal escape sub-function for "Duato's routing" and as the optional
+// progress-guarantee channel of the free-choice algorithms.
+
+#include "ftmesh/routing/routing_algorithm.hpp"
+
+namespace ftmesh::routing {
+
+class XyRouting : public RoutingAlgorithm {
+ public:
+  XyRouting(const topology::Mesh& mesh, const fault::FaultMap& faults,
+            VcLayout layout)
+      : RoutingAlgorithm(mesh, faults), layout_(std::move(layout)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "XY"; }
+  [[nodiscard]] const VcLayout& layout() const noexcept override { return layout_; }
+
+  void candidates(topology::Coord at, const router::Message& msg,
+                  CandidateList& out) const override;
+
+ private:
+  VcLayout layout_;
+};
+
+}  // namespace ftmesh::routing

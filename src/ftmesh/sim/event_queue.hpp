@@ -1,0 +1,62 @@
+#pragma once
+// A minimal discrete-event kernel: a stable min-heap of timestamped
+// events.  The traffic generator schedules each source's next Poisson
+// arrival here instead of polling every source every cycle, which is both
+// faster at low rates and the conventional DES structure.
+//
+// Stability: events at equal times pop in insertion order (a monotone
+// sequence number breaks ties), so simulation results do not depend on
+// heap internals.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ftmesh::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  void schedule(double time, Payload payload) {
+    heap_.push_back(Event{time, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+  }
+
+  /// Earliest event time; undefined when empty.
+  [[nodiscard]] double next_time() const noexcept { return heap_.front().time; }
+
+  /// True when an event is due at or before `now`.
+  [[nodiscard]] bool due(double now) const noexcept {
+    return !heap_.empty() && heap_.front().time <= now;
+  }
+
+  /// Removes and returns the earliest event.
+  Event pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Event e = std::move(heap_.back());
+    heap_.pop_back();
+    return e;
+  }
+
+  void clear() noexcept { heap_.clear(); }
+
+ private:
+  static bool later(const Event& a, const Event& b) noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ftmesh::sim

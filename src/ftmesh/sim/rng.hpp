@@ -1,0 +1,60 @@
+#pragma once
+// Deterministic random number generation for the simulator.
+//
+// Every stochastic decision in ftmesh (fault placement, injection times,
+// destination choice, arbitration ties) draws from an explicitly seeded
+// xoshiro256** stream, so a simulation is a pure function of
+// (configuration, seed).  Sub-streams are derived with SplitMix64 so that
+// e.g. fault-pattern #k is identical no matter how many threads run the
+// experiment or in which order patterns execute.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace ftmesh::sim {
+
+/// SplitMix64 step: used for seeding and for deriving sub-streams.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Exponentially distributed value with the given rate (mean = 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double p) noexcept;
+
+  /// Derives an independent child stream; deterministic in (this stream's
+  /// seed, salt).  Does not advance this generator.
+  Rng derive(std::uint64_t salt) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;  // retained so derive() is order-independent
+};
+
+}  // namespace ftmesh::sim

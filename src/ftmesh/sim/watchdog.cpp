@@ -1,0 +1,4 @@
+#include "ftmesh/sim/watchdog.hpp"
+
+// Header-only logic; this TU exists so the target has a stable archive member
+// and future non-inline diagnostics have a home.

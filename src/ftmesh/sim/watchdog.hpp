@@ -1,0 +1,39 @@
+#pragma once
+// Deadlock / livelock watchdog.
+//
+// Wormhole networks with adaptive routing can deadlock if a routing function
+// is not deadlock-free (the paper's "Minimal-Adaptive without escape" case).
+// The watchdog observes forward progress (flits moved per cycle) and trips
+// when the network holds flits but nothing has moved for `patience` cycles.
+
+#include <cstdint>
+
+namespace ftmesh::sim {
+
+class Watchdog {
+ public:
+  explicit Watchdog(std::uint64_t patience = 2000) noexcept
+      : patience_(patience) {}
+
+  /// Feed one cycle's progress. `flits_moved` counts link traversals this
+  /// cycle; `flits_in_flight` counts buffered flits network-wide.
+  void observe(std::uint64_t flits_moved, std::uint64_t flits_in_flight) noexcept {
+    if (flits_in_flight == 0 || flits_moved > 0) {
+      idle_streak_ = 0;
+      return;
+    }
+    ++idle_streak_;
+    if (idle_streak_ >= patience_) tripped_ = true;
+  }
+
+  [[nodiscard]] bool tripped() const noexcept { return tripped_; }
+  [[nodiscard]] std::uint64_t idle_streak() const noexcept { return idle_streak_; }
+  void reset() noexcept { idle_streak_ = 0; tripped_ = false; }
+
+ private:
+  std::uint64_t patience_;
+  std::uint64_t idle_streak_ = 0;
+  bool tripped_ = false;
+};
+
+}  // namespace ftmesh::sim

@@ -1,0 +1,74 @@
+#include "ftmesh/stats/latency_stats.hpp"
+
+#include <algorithm>
+
+namespace ftmesh::stats {
+
+namespace {
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+LatencySummary summarize_latency(const router::Network& net,
+                                 std::uint64_t warmup) {
+  LatencySummary s;
+  std::vector<double> lat;
+  double net_sum = 0.0;
+  double hop_sum = 0.0;
+  double misroute_sum = 0.0;
+  std::uint64_t ring_users = 0;
+  for (const auto& m : net.messages()) {
+    if (m.created >= warmup) {
+      ++s.generated;
+      if (!m.done) ++s.undelivered;
+    }
+    if (!m.done || m.delivered < warmup) continue;
+    ++s.delivered;
+    lat.push_back(static_cast<double>(m.delivered - m.created));
+    net_sum += static_cast<double>(m.delivered - m.injected);
+    hop_sum += static_cast<double>(m.rs.hops);
+    misroute_sum += static_cast<double>(m.rs.misroutes);
+    // A message that took any ring hop ends with misroutes > 0 or carries a
+    // ring region id; region >= 0 persists after exit and marks ring users.
+    if (m.rs.ring.region >= 0) ++ring_users;
+  }
+  if (lat.empty()) return s;
+  const double n = static_cast<double>(lat.size());
+  double sum = 0.0;
+  for (const double v : lat) sum += v;
+  s.mean = sum / n;
+  s.mean_network = net_sum / n;
+  s.mean_hops = hop_sum / n;
+  s.mean_misroutes = misroute_sum / n;
+  s.ring_message_fraction = static_cast<double>(ring_users) / n;
+  std::sort(lat.begin(), lat.end());
+  s.p50 = percentile(lat, 0.50);
+  s.p95 = percentile(lat, 0.95);
+  s.p99 = percentile(lat, 0.99);
+  s.max = lat.back();
+  return s;
+}
+
+ThroughputSummary summarize_throughput(const router::Network& net) {
+  ThroughputSummary t;
+  const double cycles = static_cast<double>(net.measured_cycles());
+  const double nodes = static_cast<double>(net.faults().active_count());
+  if (cycles <= 0.0 || nodes <= 0.0) return t;
+  t.offered_flits_per_node_cycle =
+      static_cast<double>(net.measured_flits_generated()) / (cycles * nodes);
+  t.accepted_flits_per_node_cycle =
+      static_cast<double>(net.measured_flits_delivered()) / (cycles * nodes);
+  if (t.offered_flits_per_node_cycle > 0.0) {
+    t.accepted_fraction = std::min(
+        1.0, t.accepted_flits_per_node_cycle / t.offered_flits_per_node_cycle);
+  }
+  return t;
+}
+
+}  // namespace ftmesh::stats

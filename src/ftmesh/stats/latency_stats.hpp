@@ -1,0 +1,49 @@
+#pragma once
+// Latency and throughput reductions over a finished simulation.
+//
+// Latency statistics cover the messages *delivered* during the measurement
+// window (the paper discards its first 10,000 of 30,000 cycles); counting
+// deliveries rather than creations keeps the metric defined past
+// saturation, where messages created late never complete within the run.
+// Latency is measured from creation (source-queue entry) to tail ejection,
+// in flit cycles; mean_network starts the clock at injection instead.
+
+#include <cstdint>
+#include <vector>
+
+#include "ftmesh/router/network.hpp"
+
+namespace ftmesh::stats {
+
+struct LatencySummary {
+  std::uint64_t delivered = 0;    ///< messages delivered in the window
+  std::uint64_t generated = 0;    ///< messages created in the window
+  std::uint64_t undelivered = 0;  ///< created in the window, not done at end
+  double mean = 0.0;              ///< creation -> tail ejection
+  double mean_network = 0.0;      ///< injection -> tail ejection
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  // Path statistics over the same delivered set: detour overheads are the
+  // paper's Sec. 5.2 mechanism (ring hops inflate path length).
+  double mean_hops = 0.0;
+  double mean_misroutes = 0.0;      ///< non-minimal hops per message
+  double ring_message_fraction = 0.0;  ///< messages that used a ring channel
+};
+
+/// Scans the network's message table; `warmup` is the cycle measurement
+/// began.
+LatencySummary summarize_latency(const router::Network& net,
+                                 std::uint64_t warmup);
+
+struct ThroughputSummary {
+  double offered_flits_per_node_cycle = 0.0;
+  double accepted_flits_per_node_cycle = 0.0;
+  /// accepted / offered, clamped to [0, 1]; the Figure-1 y-axis.
+  double accepted_fraction = 0.0;
+};
+
+ThroughputSummary summarize_throughput(const router::Network& net);
+
+}  // namespace ftmesh::stats

@@ -1,0 +1,22 @@
+#pragma once
+// Virtual-channel usage (Figure 3): the fraction of time each VC index is
+// reserved, averaged over every mesh-link output port in the network.
+
+#include <vector>
+
+#include "ftmesh/router/network.hpp"
+
+namespace ftmesh::stats {
+
+struct VcUsage {
+  /// usage[v] in percent: 100 means VC v was reserved on every link output
+  /// port during the entire measurement window.
+  std::vector<double> percent;
+
+  [[nodiscard]] double total() const;  ///< sum over VCs (link load proxy)
+};
+
+/// Requires the network to have been built with collect_vc_usage = true.
+VcUsage summarize_vc_usage(const router::Network& net);
+
+}  // namespace ftmesh::stats

@@ -1,0 +1,86 @@
+#pragma once
+// Node coordinates and link directions on a 2-D mesh.
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+namespace ftmesh::topology {
+
+/// Output/input directions of a mesh router.  The first four are the mesh
+/// links; Local is the injection/ejection port.  Order is load-bearing: it is
+/// the port index used throughout the router pipeline.
+enum class Direction : std::uint8_t {
+  XPlus = 0,   ///< toward increasing x (east)
+  XMinus = 1,  ///< toward decreasing x (west)
+  YPlus = 2,   ///< toward increasing y (north)
+  YMinus = 3,  ///< toward decreasing y (south)
+  Local = 4,   ///< processing-element port
+};
+
+inline constexpr int kMeshDirections = 4;  ///< link ports per router
+inline constexpr int kPortCount = 5;       ///< link ports + local
+
+inline constexpr std::array<Direction, 4> kAllMeshDirections = {
+    Direction::XPlus, Direction::XMinus, Direction::YPlus, Direction::YMinus};
+
+constexpr int port_index(Direction d) noexcept { return static_cast<int>(d); }
+
+constexpr Direction opposite(Direction d) noexcept {
+  switch (d) {
+    case Direction::XPlus: return Direction::XMinus;
+    case Direction::XMinus: return Direction::XPlus;
+    case Direction::YPlus: return Direction::YMinus;
+    case Direction::YMinus: return Direction::YPlus;
+    case Direction::Local: return Direction::Local;
+  }
+  return Direction::Local;
+}
+
+constexpr bool is_positive(Direction d) noexcept {
+  return d == Direction::XPlus || d == Direction::YPlus;
+}
+
+constexpr std::string_view to_string(Direction d) noexcept {
+  switch (d) {
+    case Direction::XPlus: return "X+";
+    case Direction::XMinus: return "X-";
+    case Direction::YPlus: return "Y+";
+    case Direction::YMinus: return "Y-";
+    case Direction::Local: return "L";
+  }
+  return "?";
+}
+
+/// A node address (x, y) with x in [0, width), y in [0, height).
+struct Coord {
+  int x = 0;
+  int y = 0;
+
+  friend constexpr bool operator==(const Coord&, const Coord&) = default;
+
+  /// The neighbouring coordinate in direction d (may fall off the mesh; the
+  /// caller checks bounds via Mesh::contains).
+  [[nodiscard]] constexpr Coord step(Direction d) const noexcept {
+    switch (d) {
+      case Direction::XPlus: return {x + 1, y};
+      case Direction::XMinus: return {x - 1, y};
+      case Direction::YPlus: return {x, y + 1};
+      case Direction::YMinus: return {x, y - 1};
+      case Direction::Local: return *this;
+    }
+    return *this;
+  }
+};
+
+/// Manhattan distance between two coordinates.
+constexpr int manhattan(Coord a, Coord b) noexcept {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Node identifier: row-major index into the mesh.  -1 is "no node".
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+}  // namespace ftmesh::topology

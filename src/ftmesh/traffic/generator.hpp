@@ -1,0 +1,41 @@
+#pragma once
+// Message generation: per-node Poisson processes (exponential inter-arrival
+// times, per the paper) or saturated sources ("100% traffic load": a node
+// always has a message waiting).
+
+#include <memory>
+
+#include "ftmesh/router/network.hpp"
+#include "ftmesh/sim/event_queue.hpp"
+#include "ftmesh/traffic/traffic_pattern.hpp"
+
+namespace ftmesh::traffic {
+
+class Generator {
+ public:
+  /// `rate` in messages/node/cycle; rate <= 0 selects saturated sources.
+  Generator(const fault::FaultMap& faults, const TrafficPattern& pattern,
+            double rate, std::uint32_t message_length, sim::Rng rng);
+
+  /// Creates this cycle's new messages in `net` (call once per cycle,
+  /// before Network::step()).
+  void tick(router::Network& net);
+
+  [[nodiscard]] bool saturated() const noexcept { return rate_ <= 0.0; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
+
+ private:
+  const fault::FaultMap* faults_;
+  const TrafficPattern* pattern_;
+  double rate_;
+  std::uint32_t length_;
+  sim::Rng rng_;
+  std::vector<topology::Coord> sources_;
+  /// Poisson mode: each source's next arrival lives in the event queue
+  /// (payload = index into sources_).
+  sim::EventQueue<std::size_t> arrivals_;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace ftmesh::traffic

@@ -1,0 +1,76 @@
+#include "ftmesh/traffic/traffic_pattern.hpp"
+
+#include <stdexcept>
+
+namespace ftmesh::traffic {
+
+using topology::Coord;
+
+UniformTraffic::UniformTraffic(const fault::FaultMap& faults)
+    : faults_(&faults), active_(faults.active_nodes()) {
+  if (active_.size() < 2) {
+    throw std::invalid_argument("uniform traffic needs >= 2 active nodes");
+  }
+}
+
+std::optional<Coord> UniformTraffic::pick(Coord src, sim::Rng& rng) const {
+  // Rejection-sample the source itself; at most a few iterations since the
+  // active set has >= 2 nodes.
+  for (;;) {
+    const Coord dst = active_[rng.next_below(active_.size())];
+    if (!(dst == src)) return dst;
+  }
+}
+
+std::optional<Coord> TransposeTraffic::pick(Coord src, sim::Rng& rng) const {
+  (void)rng;
+  const Coord dst{src.y, src.x};
+  if (!faults_->mesh().contains(dst) || dst == src || !faults_->active(dst)) {
+    return std::nullopt;
+  }
+  return dst;
+}
+
+std::optional<Coord> ComplementTraffic::pick(Coord src, sim::Rng& rng) const {
+  (void)rng;
+  const Coord dst{faults_->mesh().width() - 1 - src.x,
+                  faults_->mesh().height() - 1 - src.y};
+  if (dst == src || !faults_->active(dst)) return std::nullopt;
+  return dst;
+}
+
+HotspotTraffic::HotspotTraffic(const fault::FaultMap& faults,
+                               topology::Coord hotspot, double fraction)
+    : uniform_(faults), faults_(&faults), hotspot_(hotspot), fraction_(fraction) {
+  if (!faults.active(hotspot)) {
+    throw std::invalid_argument("hotspot node must be active");
+  }
+}
+
+std::optional<Coord> HotspotTraffic::pick(Coord src, sim::Rng& rng) const {
+  if (!(hotspot_ == src) && rng.chance(fraction_)) return hotspot_;
+  return uniform_.pick(src, rng);
+}
+
+std::unique_ptr<TrafficPattern> make_pattern(std::string_view name,
+                                             const fault::FaultMap& faults) {
+  if (name == "uniform") return std::make_unique<UniformTraffic>(faults);
+  if (name == "transpose") return std::make_unique<TransposeTraffic>(faults);
+  if (name == "complement") return std::make_unique<ComplementTraffic>(faults);
+  if (name == "hotspot") {
+    // Default hotspot: the active node closest to the mesh centre, 10% of
+    // the traffic.
+    const auto& mesh = faults.mesh();
+    const Coord centre{mesh.width() / 2, mesh.height() / 2};
+    topology::Coord best = faults.active_nodes().front();
+    for (const auto c : faults.active_nodes()) {
+      if (topology::manhattan(c, centre) < topology::manhattan(best, centre)) {
+        best = c;
+      }
+    }
+    return std::make_unique<HotspotTraffic>(faults, best, 0.10);
+  }
+  throw std::invalid_argument("unknown traffic pattern: " + std::string(name));
+}
+
+}  // namespace ftmesh::traffic

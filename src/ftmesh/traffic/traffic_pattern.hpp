@@ -1,0 +1,86 @@
+#pragma once
+// Traffic patterns: destination selection given a source node.
+//
+// The paper uses uniform traffic (each active node addresses every other
+// active node with equal probability).  Transpose, bit-complement,
+// bit-reverse and hotspot are provided for the extension experiments.
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "ftmesh/fault/fault_model.hpp"
+#include "ftmesh/sim/rng.hpp"
+
+namespace ftmesh::traffic {
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Destination for a message from `src`, or nullopt when the pattern
+  /// gives `src` no valid destination (e.g. its transpose image is faulty);
+  /// the generator then skips the message.
+  [[nodiscard]] virtual std::optional<topology::Coord> pick(
+      topology::Coord src, sim::Rng& rng) const = 0;
+};
+
+/// Uniform over active nodes != src (the paper's workload).
+class UniformTraffic : public TrafficPattern {
+ public:
+  explicit UniformTraffic(const fault::FaultMap& faults);
+  [[nodiscard]] std::string_view name() const noexcept override { return "uniform"; }
+  [[nodiscard]] std::optional<topology::Coord> pick(topology::Coord src,
+                                                    sim::Rng& rng) const override;
+
+ private:
+  const fault::FaultMap* faults_;
+  std::vector<topology::Coord> active_;
+};
+
+/// (x, y) -> (y, x).
+class TransposeTraffic : public TrafficPattern {
+ public:
+  explicit TransposeTraffic(const fault::FaultMap& faults) : faults_(&faults) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "transpose"; }
+  [[nodiscard]] std::optional<topology::Coord> pick(topology::Coord src,
+                                                    sim::Rng& rng) const override;
+
+ private:
+  const fault::FaultMap* faults_;
+};
+
+/// (x, y) -> (W-1-x, H-1-y).
+class ComplementTraffic : public TrafficPattern {
+ public:
+  explicit ComplementTraffic(const fault::FaultMap& faults) : faults_(&faults) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "complement"; }
+  [[nodiscard]] std::optional<topology::Coord> pick(topology::Coord src,
+                                                    sim::Rng& rng) const override;
+
+ private:
+  const fault::FaultMap* faults_;
+};
+
+/// Uniform, except a configurable fraction of messages target one hotspot.
+class HotspotTraffic : public TrafficPattern {
+ public:
+  HotspotTraffic(const fault::FaultMap& faults, topology::Coord hotspot,
+                 double fraction);
+  [[nodiscard]] std::string_view name() const noexcept override { return "hotspot"; }
+  [[nodiscard]] std::optional<topology::Coord> pick(topology::Coord src,
+                                                    sim::Rng& rng) const override;
+
+ private:
+  UniformTraffic uniform_;
+  const fault::FaultMap* faults_;
+  topology::Coord hotspot_;
+  double fraction_;
+};
+
+/// Factory: "uniform", "transpose", "complement", "hotspot".
+std::unique_ptr<TrafficPattern> make_pattern(std::string_view name,
+                                             const fault::FaultMap& faults);
+
+}  // namespace ftmesh::traffic

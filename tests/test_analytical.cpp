@@ -1,0 +1,64 @@
+// Tests for the analytical latency model (the paper's future-work item).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftmesh/analysis/analytical_model.hpp"
+
+namespace {
+
+using ftmesh::analysis::AnalyticalModel;
+
+TEST(Analytical, MeanDistanceFormula) {
+  const AnalyticalModel m(10, 100, 24);
+  // 2 (k^2 - 1) / 3k = 2 * 99 / 30 = 6.6 for k = 10.
+  EXPECT_NEAR(m.mean_distance(), 6.6, 1e-9);
+}
+
+TEST(Analytical, ZeroLoadLatency) {
+  const AnalyticalModel m(10, 100, 24);
+  EXPECT_NEAR(m.zero_load_latency(), 106.6, 1e-9);
+}
+
+TEST(Analytical, UtilizationScalesLinearly) {
+  const AnalyticalModel m(10, 100, 24);
+  EXPECT_NEAR(m.utilization(0.002), 2.0 * m.utilization(0.001), 1e-12);
+}
+
+TEST(Analytical, SaturationRateMatchesUnitUtilization) {
+  const AnalyticalModel m(10, 100, 24);
+  EXPECT_NEAR(m.utilization(m.saturation_rate()), 1.0, 1e-12);
+  // k=10: 360 links / (100 nodes * 100 flits * 6.6) = ~0.000545 msg/node/cy.
+  EXPECT_NEAR(m.saturation_rate(), 360.0 / (100.0 * 100.0 * 6.6), 1e-9);
+}
+
+TEST(Analytical, LatencyMonotoneInLoad) {
+  const AnalyticalModel m(10, 100, 24);
+  double prev = 0.0;
+  for (double rate = 0.0; rate < m.saturation_rate();
+       rate += m.saturation_rate() / 20) {
+    const double lat = m.predict_latency(rate);
+    EXPECT_GE(lat, prev);
+    prev = lat;
+  }
+}
+
+TEST(Analytical, InfinitePastSaturation) {
+  const AnalyticalModel m(10, 100, 24);
+  EXPECT_TRUE(std::isinf(m.predict_latency(m.saturation_rate() * 1.01)));
+}
+
+TEST(Analytical, MoreVcsReduceWaiting) {
+  const AnalyticalModel few(10, 100, 2), many(10, 100, 24);
+  const double rate = few.saturation_rate() * 0.8;
+  EXPECT_GT(few.predict_latency(rate), many.predict_latency(rate));
+}
+
+TEST(Analytical, RejectsBadParameters) {
+  EXPECT_THROW(AnalyticalModel(1, 100, 24), std::invalid_argument);
+  EXPECT_THROW(AnalyticalModel(10, 0, 24), std::invalid_argument);
+  EXPECT_THROW(AnalyticalModel(10, 100, 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,261 @@
+// Tests for the Boppana-Chalasani f-ring fortification wrapper.
+
+#include <gtest/gtest.h>
+
+#include "ftmesh/routing/boppana_chalasani.hpp"
+#include "ftmesh/routing/minimal_adaptive.hpp"
+
+namespace {
+
+using ftmesh::fault::FaultMap;
+using ftmesh::fault::FRingSet;
+using ftmesh::fault::Orientation;
+using ftmesh::fault::Rect;
+using ftmesh::router::classify;
+using ftmesh::router::Message;
+using ftmesh::router::MsgType;
+using ftmesh::router::ring_orientation;
+using ftmesh::routing::BoppanaChalasani;
+using ftmesh::routing::CandidateList;
+using ftmesh::routing::opposite_type;
+using ftmesh::routing::VcLayout;
+using ftmesh::routing::VcRole;
+using ftmesh::topology::Coord;
+using ftmesh::topology::Direction;
+using ftmesh::topology::Mesh;
+
+struct BcFixture {
+  Mesh mesh{10, 10};
+  FaultMap faults;
+  FRingSet rings;
+  BoppanaChalasani bc;
+
+  explicit BcFixture(std::vector<Rect> blocks)
+      : faults(FaultMap::from_blocks(mesh, blocks)),
+        rings(faults),
+        bc(mesh, faults, rings,
+           std::make_unique<ftmesh::routing::MinimalAdaptive>(
+               mesh, faults, VcLayout::adaptive(24, true, false)),
+           "BC-test") {}
+};
+
+Message make_msg(Coord src, Coord dst) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.length = 10;
+  return m;
+}
+
+TEST(MsgType, ClassifyRowFirst) {
+  EXPECT_EQ(classify({2, 2}, {5, 9}), MsgType::WE);
+  EXPECT_EQ(classify({5, 2}, {2, 9}), MsgType::EW);
+  EXPECT_EQ(classify({2, 2}, {2, 9}), MsgType::SN);
+  EXPECT_EQ(classify({2, 9}, {2, 2}), MsgType::NS);
+}
+
+TEST(MsgType, OrientationRule) {
+  EXPECT_EQ(ring_orientation(MsgType::WE), Orientation::Clockwise);
+  EXPECT_EQ(ring_orientation(MsgType::SN), Orientation::Clockwise);
+  EXPECT_EQ(ring_orientation(MsgType::EW), Orientation::CounterClockwise);
+  EXPECT_EQ(ring_orientation(MsgType::NS), Orientation::CounterClockwise);
+}
+
+TEST(MsgType, OppositeTypeReversesOrientation) {
+  for (const auto t : {MsgType::WE, MsgType::EW, MsgType::SN, MsgType::NS}) {
+    EXPECT_NE(ring_orientation(t), ring_orientation(opposite_type(t)));
+    EXPECT_EQ(opposite_type(opposite_type(t)), t);
+  }
+}
+
+TEST(BoppanaChalasani, DelegatesToBaseWhenUnblocked) {
+  BcFixture f({Rect{4, 4, 5, 5}});
+  auto msg = make_msg({0, 0}, {9, 9});
+  CandidateList out;
+  f.bc.candidates({0, 0}, msg, out);
+  EXPECT_FALSE(out.empty());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NE(f.bc.layout().at(out[i].vc).role, VcRole::BcRing);
+  }
+}
+
+TEST(BoppanaChalasani, BlockedRowMessageEntersRingClockwise) {
+  BcFixture f({Rect{4, 3, 5, 5}});
+  // WE message at (3,4): only minimal dir X+ leads into the region.
+  auto msg = make_msg({3, 4}, {8, 4});
+  CandidateList out;
+  f.bc.candidates({3, 4}, msg, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].vc, f.bc.layout().ring_vc(MsgType::WE));
+  // Clockwise on the west side of the ring = up.
+  EXPECT_EQ(out[0].dir, Direction::YPlus);
+}
+
+TEST(BoppanaChalasani, BlockedColumnMessageUsesColumnChannel) {
+  BcFixture f({Rect{4, 4, 6, 5}});
+  // SN message at (5,3): minimal dir Y+ leads into the region.
+  auto msg = make_msg({5, 3}, {5, 8});
+  CandidateList out;
+  f.bc.candidates({5, 3}, msg, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].vc, f.bc.layout().ring_vc(MsgType::SN));
+  // Clockwise on the bottom side = west.
+  EXPECT_EQ(out[0].dir, Direction::XMinus);
+}
+
+TEST(BoppanaChalasani, OnHopEntersAndLeavesRingMode) {
+  BcFixture f({Rect{4, 3, 5, 5}});
+  auto msg = make_msg({3, 4}, {8, 4});
+  f.bc.on_inject(msg);
+  CandidateList out;
+  f.bc.candidates({3, 4}, msg, out);
+  ASSERT_EQ(out.size(), 1u);
+  f.bc.on_hop({3, 4}, out[0].dir, out[0].vc, msg);
+  EXPECT_TRUE(msg.rs.ring.active);
+  EXPECT_EQ(msg.rs.ring.region, 0);
+  EXPECT_EQ(msg.rs.ring.vc_type, MsgType::WE);
+  EXPECT_EQ(msg.rs.ring.entry_distance, 5);
+
+  // A later non-ring hop clears ring mode.
+  f.bc.on_hop({6, 6}, Direction::XPlus, f.bc.layout().adaptive()[0], msg);
+  EXPECT_FALSE(msg.rs.ring.active);
+}
+
+TEST(BoppanaChalasani, StaysOnRingUntilStrictlyCloserThanEntry) {
+  BcFixture f({Rect{4, 3, 5, 5}});
+  auto msg = make_msg({3, 4}, {8, 4});
+  f.bc.on_inject(msg);
+  // Walk the header along the ring: (3,4) -> (3,5) -> (3,6) -> (4,6) ...
+  Coord at{3, 4};
+  int ring_hops = 0;
+  for (int guard = 0; guard < 20; ++guard) {
+    if (at == msg.dst) break;
+    CandidateList out;
+    f.bc.candidates(at, msg, out);
+    ASSERT_FALSE(out.empty()) << "stuck at " << at.x << "," << at.y;
+    const auto& cv = out[0];
+    const bool ring_hop = f.bc.layout().at(cv.vc).role == VcRole::BcRing;
+    f.bc.on_hop(at, cv.dir, cv.vc, msg);
+    at = at.step(cv.dir);
+    if (ring_hop) ++ring_hops;
+    if (!ring_hop && !msg.rs.ring.active && ring_hops > 0) break;
+  }
+  // It must have exited the ring strictly closer than entry distance 5.
+  EXPECT_GT(ring_hops, 0);
+  EXPECT_LT(manhattan(at, msg.dst), 5);
+}
+
+TEST(BoppanaChalasani, ChainEndReversalFlipsChannelType) {
+  // Region touching the west edge; a NS message below it... use a SN message
+  // at the top-left that must reverse at the chain end.
+  BcFixture f({Rect{0, 4, 0, 6}});
+  // SN message at (0,3): Y+ blocked by the region, chain end below.
+  auto msg = make_msg({0, 3}, {0, 8});
+  f.bc.on_inject(msg);
+  CandidateList out;
+  f.bc.candidates({0, 3}, msg, out);
+  ASSERT_EQ(out.size(), 1u);
+  // SN is clockwise; at (0,3) — the clockwise chain end — it must reverse
+  // and use the NS (counter-clockwise) channel toward (1,3).
+  EXPECT_EQ(out[0].vc, f.bc.layout().ring_vc(MsgType::NS));
+  EXPECT_EQ(out[0].dir, Direction::XPlus);
+  f.bc.on_hop({0, 3}, out[0].dir, out[0].vc, msg);
+  EXPECT_TRUE(msg.rs.ring.active);
+  EXPECT_EQ(msg.rs.ring.reversals, 1);
+}
+
+TEST(BoppanaChalasani, PlanExposesBlockingRegion) {
+  BcFixture f({Rect{4, 4, 4, 4}, Rect{7, 7, 7, 7}});
+  auto msg = make_msg({3, 4}, {9, 4});
+  const auto move = f.bc.plan_ring_move({3, 4}, msg);
+  ASSERT_TRUE(move.has_value());
+  EXPECT_EQ(move->region, 0);
+  EXPECT_EQ(move->type, MsgType::WE);
+  EXPECT_FALSE(move->reversed);
+}
+
+TEST(BoppanaChalasani, NoPlanWhenNotFaultBlocked) {
+  BcFixture f({Rect{4, 4, 4, 4}});
+  auto msg = make_msg({0, 0}, {9, 9});
+  EXPECT_FALSE(f.bc.plan_ring_move({0, 0}, msg).has_value());
+}
+
+TEST(BoppanaChalasani, OverlappingRingsBothTraversable) {
+  // Two regions Chebyshev distance 2 apart: the column between them lies
+  // on both rings; blocked messages on either side must still get a plan.
+  BcFixture f({Rect{2, 4, 2, 4}, Rect{4, 4, 4, 4}});
+  // Shared ring node (3,4) is healthy and on both rings.
+  EXPECT_TRUE(f.rings.ring(0).contains({3, 4}));
+  EXPECT_TRUE(f.rings.ring(1).contains({3, 4}));
+  auto west = make_msg({1, 4}, {8, 4});
+  auto east = make_msg({5, 4}, {0, 4});
+  EXPECT_TRUE(f.bc.plan_ring_move({1, 4}, west).has_value());
+  const auto plan = f.bc.plan_ring_move({5, 4}, east);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->type, MsgType::EW);
+}
+
+TEST(BoppanaChalasani, MessageInTheSharedColumnPicksItsBlockingRegion) {
+  BcFixture f({Rect{2, 4, 2, 4}, Rect{4, 4, 4, 4}});
+  // At (3,4) a WE message is blocked by region 1 (the eastern one).
+  auto msg = make_msg({3, 4}, {8, 4});
+  const auto plan = f.bc.plan_ring_move({3, 4}, msg);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->region, 1);
+  EXPECT_EQ(plan->type, MsgType::WE);
+}
+
+TEST(BoppanaChalasani, DiagonalMessageNeverOfferedRingChannels) {
+  // A message with both x and y offsets always has a healthy minimal hop
+  // around a single rectangle, so the wrapper must always delegate to the
+  // base algorithm (ring channels appear in no candidate set).
+  BcFixture f({Rect{4, 4, 5, 5}});
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      const Coord at{x, y};
+      if (f.faults.blocked(at)) continue;
+      auto msg = make_msg(at, {9, 9});
+      if (at == msg.dst) continue;
+      if (at.x == msg.dst.x || at.y == msg.dst.y) continue;
+      CandidateList out;
+      f.bc.candidates(at, msg, out);
+      ASSERT_FALSE(out.empty()) << at.x << "," << at.y;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_NE(f.bc.layout().at(out[i].vc).role, VcRole::BcRing)
+            << at.x << "," << at.y;
+      }
+    }
+  }
+}
+
+TEST(BoppanaChalasani, ExitRuleKeepsStateUntilCloserThanEntry) {
+  BcFixture f({Rect{4, 3, 5, 5}});
+  auto msg = make_msg({3, 4}, {8, 4});
+  f.bc.on_inject(msg);
+  // Enter the ring.
+  CandidateList out;
+  f.bc.candidates({3, 4}, msg, out);
+  f.bc.on_hop({3, 4}, out[0].dir, out[0].vc, msg);
+  ASSERT_TRUE(msg.rs.ring.active);
+  // At (3,5) the distance (6) exceeds entry (5): only the ring hop may be
+  // offered even though no minimal hop exists anyway; at (3,6) a healthy
+  // minimal hop (X+) exists but distance 7 >= 5, so still ring-only.
+  out.clear();
+  f.bc.candidates({3, 6}, msg, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(f.bc.layout().at(out[0].vc).role, ftmesh::routing::VcRole::BcRing);
+}
+
+TEST(BoppanaChalasani, RingHopsCountTowardGenericCounters) {
+  BcFixture f({Rect{4, 3, 5, 5}});
+  auto msg = make_msg({3, 4}, {8, 4});
+  f.bc.on_inject(msg);
+  CandidateList out;
+  f.bc.candidates({3, 4}, msg, out);
+  ASSERT_FALSE(out.empty());
+  f.bc.on_hop({3, 4}, out[0].dir, out[0].vc, msg);
+  EXPECT_EQ(msg.rs.hops, 1);
+  EXPECT_EQ(msg.rs.misroutes, 1);  // the ring hop moved away from dst
+}
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Tests for the Boura-Das reconstruction (adaptive + fault-tolerant).
+
+#include <gtest/gtest.h>
+
+#include "ftmesh/routing/boura.hpp"
+
+namespace {
+
+using ftmesh::fault::FaultMap;
+using ftmesh::fault::Rect;
+using ftmesh::router::Message;
+using ftmesh::routing::Boura;
+using ftmesh::routing::CandidateList;
+using ftmesh::routing::VcLayout;
+using ftmesh::routing::VcRole;
+using ftmesh::topology::Coord;
+using ftmesh::topology::Direction;
+using ftmesh::topology::Mesh;
+
+Message make_msg(Coord src, Coord dst) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.length = 10;
+  return m;
+}
+
+VcLayout boura_layout(bool ring) { return VcLayout::duato(24, 2, 1, ring); }
+
+TEST(Boura, AdaptiveVariantHasNoUnsafeLabels) {
+  const Mesh mesh(10, 10);
+  const auto faults = FaultMap::from_blocks(mesh, {Rect{4, 4, 5, 5}});
+  const Boura b(mesh, faults, Boura::Variant::Adaptive, boura_layout(true));
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) EXPECT_FALSE(b.unsafe({x, y}));
+  }
+}
+
+TEST(Boura, EscapeTierPrefersPositiveDirections) {
+  const Mesh mesh(10, 10);
+  const FaultMap faults(mesh);
+  const Boura b(mesh, faults, Boura::Variant::Adaptive, boura_layout(true));
+  auto msg = make_msg({2, 2}, {5, 0});  // needs X+ (positive) and Y- (negative)
+  CandidateList out;
+  b.candidates({2, 2}, msg, out);
+  ASSERT_GE(out.tier_count(), 2u);
+  const auto [b2, e2] = out.tier_range(1);
+  ASSERT_GT(e2, b2);
+  for (std::size_t i = b2; i < e2; ++i) {
+    EXPECT_EQ(out[i].dir, Direction::XPlus);
+    EXPECT_EQ(b.layout().at(out[i].vc).role, VcRole::EscapeII);
+    EXPECT_EQ(b.layout().at(out[i].vc).level, 0);
+  }
+}
+
+TEST(Boura, EscapeTierUsesNegativeClassWhenOnlyNegativeRemains) {
+  const Mesh mesh(10, 10);
+  const FaultMap faults(mesh);
+  const Boura b(mesh, faults, Boura::Variant::Adaptive, boura_layout(true));
+  auto msg = make_msg({5, 5}, {2, 3});  // only negative directions
+  CandidateList out;
+  b.candidates({5, 5}, msg, out);
+  const auto [b2, e2] = out.tier_range(1);
+  ASSERT_GT(e2, b2);
+  for (std::size_t i = b2; i < e2; ++i) {
+    EXPECT_EQ(b.layout().at(out[i].vc).level, 1);
+  }
+}
+
+TEST(Boura, UnsafeLabelingFixpoint) {
+  const Mesh mesh(10, 10);
+  // Two unit regions with a single healthy column between them: the nodes
+  // in the gap have 2 faulty neighbours -> unsafe.
+  const auto faults =
+      FaultMap::from_blocks(mesh, {Rect{3, 5, 3, 5}, Rect{5, 5, 5, 5}});
+  const Boura b(mesh, faults, Boura::Variant::FaultTolerant, boura_layout(true));
+  EXPECT_TRUE(b.unsafe({4, 5}));
+  EXPECT_FALSE(b.unsafe({4, 4}));
+  EXPECT_FALSE(b.unsafe({0, 0}));
+}
+
+TEST(Boura, UnsafeCascades) {
+  const Mesh mesh(10, 10);
+  // Stacked gap: (4,5) unsafe makes (4,4)'s neighbourhood worse if another
+  // fault sits beside it.
+  const auto faults = FaultMap::from_blocks(
+      mesh, {Rect{3, 5, 3, 5}, Rect{5, 5, 5, 5}, Rect{3, 3, 3, 3},
+             Rect{5, 3, 5, 3}});
+  const Boura b(mesh, faults, Boura::Variant::FaultTolerant, boura_layout(true));
+  EXPECT_TRUE(b.unsafe({4, 5}));
+  EXPECT_TRUE(b.unsafe({4, 3}));
+  // (4,4) now has unsafe neighbours above and below -> unsafe by cascade.
+  EXPECT_TRUE(b.unsafe({4, 4}));
+}
+
+TEST(Boura, FtAvoidsUnsafeMinimalHops) {
+  const Mesh mesh(10, 10);
+  const auto faults =
+      FaultMap::from_blocks(mesh, {Rect{3, 5, 3, 5}, Rect{5, 5, 5, 5}});
+  const Boura b(mesh, faults, Boura::Variant::FaultTolerant, boura_layout(true));
+  ASSERT_TRUE(b.unsafe({4, 5}));
+  // Message at (4,4) wanting (4,7): minimal Y+ leads into the unsafe node.
+  auto msg = make_msg({4, 4}, {4, 7});
+  CandidateList out;
+  b.candidates({4, 4}, msg, out);
+  const auto [b1, e1] = out.tier_range(0);
+  EXPECT_EQ(e1, b1);  // no safe minimal hop in tier 1
+  // But later tiers must offer something (unsafe minimal or misroute).
+  EXPECT_GT(out.size(), 0u);
+}
+
+TEST(Boura, FtAllowsUnsafeDestination) {
+  const Mesh mesh(10, 10);
+  const auto faults =
+      FaultMap::from_blocks(mesh, {Rect{3, 5, 3, 5}, Rect{5, 5, 5, 5}});
+  const Boura b(mesh, faults, Boura::Variant::FaultTolerant, boura_layout(true));
+  auto msg = make_msg({4, 4}, {4, 5});  // destination itself unsafe
+  CandidateList out;
+  b.candidates({4, 4}, msg, out);
+  const auto [b1, e1] = out.tier_range(0);
+  EXPECT_GT(e1, b1);  // tier 1 offers the hop into the (unsafe) destination
+}
+
+TEST(Boura, NamesReflectVariant) {
+  const Mesh mesh(4, 4);
+  const FaultMap faults(mesh);
+  EXPECT_EQ(Boura(mesh, faults, Boura::Variant::Adaptive, boura_layout(true)).name(),
+            "Boura-Adaptive");
+  EXPECT_EQ(
+      Boura(mesh, faults, Boura::Variant::FaultTolerant, boura_layout(true)).name(),
+      "Boura-FT");
+}
+
+}  // namespace

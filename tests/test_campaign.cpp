@@ -1,0 +1,100 @@
+// Tests for the campaign (experiment-matrix) runner.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ftmesh/core/campaign.hpp"
+
+namespace {
+
+using ftmesh::core::CampaignSpec;
+using ftmesh::core::run_campaign;
+
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.base.width = spec.base.height = 6;
+  spec.base.message_length = 8;
+  spec.base.warmup_cycles = 200;
+  spec.base.total_cycles = 1000;
+  spec.base.seed = 9;
+  spec.algorithms = {"Minimal-Adaptive", "Nbc"};
+  spec.rates = {0.001, 0.004};
+  spec.fault_counts = {0, 3};
+  spec.patterns = 2;
+  return spec;
+}
+
+TEST(Campaign, MatrixShapeAndOrder) {
+  const auto cells = run_campaign(tiny_spec());
+  ASSERT_EQ(cells.size(), 2u * 2u * 2u);
+  // Algorithm-major, then rate, then fault count.
+  EXPECT_EQ(cells[0].algorithm, "Minimal-Adaptive");
+  EXPECT_EQ(cells[0].rate, 0.001);
+  EXPECT_EQ(cells[0].fault_count, 0);
+  EXPECT_EQ(cells[1].fault_count, 3);
+  EXPECT_EQ(cells[2].rate, 0.004);
+  EXPECT_EQ(cells[4].algorithm, "Nbc");
+}
+
+TEST(Campaign, FaultFreeCellsSkipPatternAveraging) {
+  const auto cells = run_campaign(tiny_spec());
+  for (const auto& cell : cells) {
+    if (cell.fault_count == 0) {
+      EXPECT_EQ(cell.runs.size(), 1u);
+    } else {
+      EXPECT_EQ(cell.runs.size(), 2u);
+    }
+    EXPECT_GT(cell.mean.latency.delivered, 0u);
+  }
+}
+
+TEST(Campaign, EmptyDimensionsFallBackToBase) {
+  CampaignSpec spec = tiny_spec();
+  spec.algorithms.clear();
+  spec.rates.clear();
+  spec.fault_counts.clear();
+  spec.base.algorithm = "Duato";
+  spec.base.injection_rate = 0.002;
+  spec.base.fault_count = 2;
+  const auto cells = run_campaign(spec);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].algorithm, "Duato");
+  EXPECT_EQ(cells[0].fault_count, 2);
+}
+
+TEST(Campaign, ValidateRejectsBadInput) {
+  auto spec = tiny_spec();
+  spec.algorithms = {"NotAnAlgorithm"};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = tiny_spec();
+  spec.patterns = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = tiny_spec();
+  spec.fault_counts = {99};
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(Campaign, CsvHasHeaderPlusOneRowPerCell) {
+  const auto cells = run_campaign(tiny_spec());
+  std::ostringstream os;
+  ftmesh::core::write_campaign_csv(os, cells);
+  int lines = 0;
+  for (const char ch : os.str()) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, static_cast<int>(cells.size()) + 1);
+  EXPECT_NE(os.str().find("accepted_fraction"), std::string::npos);
+}
+
+TEST(Campaign, DeterministicAcrossRuns) {
+  const auto a = run_campaign(tiny_spec());
+  const auto b = run_campaign(tiny_spec());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mean.latency.mean, b[i].mean.latency.mean);
+    EXPECT_EQ(a[i].mean.latency.delivered, b[i].mean.latency.delivered);
+  }
+}
+
+}  // namespace

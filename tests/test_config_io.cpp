@@ -1,0 +1,127 @@
+// Tests for SimConfig text (de)serialisation.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ftmesh/core/config_io.hpp"
+
+namespace {
+
+using ftmesh::core::load_config;
+using ftmesh::core::save_config;
+using ftmesh::core::SimConfig;
+
+TEST(ConfigIo, RoundTripPreservesEveryField) {
+  SimConfig cfg;
+  cfg.width = 12;
+  cfg.height = 8;
+  cfg.algorithm = "Duato-Nbc";
+  cfg.total_vcs = 20;
+  cfg.misroute_limit = 4;
+  cfg.xy_escape = false;
+  cfg.selection = ftmesh::routing::SelectionPolicy::LeastCongested;
+  cfg.buffer_depth = 3;
+  cfg.injection_vcs = 2;
+  cfg.traffic = "transpose";
+  cfg.injection_rate = -1.0;
+  cfg.message_length = 64;
+  cfg.fault_count = 7;
+  cfg.fault_blocks = {{1, 2, 3, 4}, {6, 6, 6, 6}};
+  cfg.warmup_cycles = 111;
+  cfg.total_cycles = 999;
+  cfg.seed = 0xdeadbeef;
+  cfg.watchdog_patience = 4321;
+  cfg.collect_vc_usage = true;
+  cfg.collect_traffic_map = true;
+
+  std::stringstream buffer;
+  save_config(buffer, cfg);
+  const SimConfig loaded = load_config(buffer);
+
+  EXPECT_EQ(loaded.width, cfg.width);
+  EXPECT_EQ(loaded.height, cfg.height);
+  EXPECT_EQ(loaded.algorithm, cfg.algorithm);
+  EXPECT_EQ(loaded.total_vcs, cfg.total_vcs);
+  EXPECT_EQ(loaded.misroute_limit, cfg.misroute_limit);
+  EXPECT_EQ(loaded.xy_escape, cfg.xy_escape);
+  EXPECT_EQ(loaded.selection, cfg.selection);
+  EXPECT_EQ(loaded.buffer_depth, cfg.buffer_depth);
+  EXPECT_EQ(loaded.injection_vcs, cfg.injection_vcs);
+  EXPECT_EQ(loaded.traffic, cfg.traffic);
+  EXPECT_DOUBLE_EQ(loaded.injection_rate, cfg.injection_rate);
+  EXPECT_EQ(loaded.message_length, cfg.message_length);
+  EXPECT_EQ(loaded.fault_count, cfg.fault_count);
+  ASSERT_EQ(loaded.fault_blocks.size(), 2u);
+  EXPECT_EQ(loaded.fault_blocks[0], cfg.fault_blocks[0]);
+  EXPECT_EQ(loaded.fault_blocks[1], cfg.fault_blocks[1]);
+  EXPECT_EQ(loaded.warmup_cycles, cfg.warmup_cycles);
+  EXPECT_EQ(loaded.total_cycles, cfg.total_cycles);
+  EXPECT_EQ(loaded.seed, cfg.seed);
+  EXPECT_EQ(loaded.watchdog_patience, cfg.watchdog_patience);
+  EXPECT_EQ(loaded.collect_vc_usage, cfg.collect_vc_usage);
+  EXPECT_EQ(loaded.collect_traffic_map, cfg.collect_traffic_map);
+}
+
+TEST(ConfigIo, CommentsAndBlanksIgnored) {
+  std::stringstream in(
+      "# full-line comment\n"
+      "\n"
+      "width = 6   # trailing comment\n"
+      "height = 7\n");
+  const auto cfg = load_config(in);
+  EXPECT_EQ(cfg.width, 6);
+  EXPECT_EQ(cfg.height, 7);
+  EXPECT_EQ(cfg.algorithm, SimConfig{}.algorithm);  // untouched default
+}
+
+TEST(ConfigIo, UnknownKeyFailsWithLineNumber) {
+  std::stringstream in("width = 6\nbogus_key = 1\n");
+  try {
+    load_config(in);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bogus_key"), std::string::npos);
+  }
+}
+
+TEST(ConfigIo, MissingEqualsFails) {
+  std::stringstream in("width 6\n");
+  EXPECT_THROW(load_config(in), std::invalid_argument);
+}
+
+TEST(ConfigIo, MalformedBlockFails) {
+  std::stringstream in("fault_blocks = 1,2,3\n");
+  EXPECT_THROW(load_config(in), std::invalid_argument);
+}
+
+TEST(ConfigIo, EmptyBlocksListIsEmpty) {
+  std::stringstream in("fault_blocks = \n");
+  const auto cfg = load_config(in);
+  EXPECT_TRUE(cfg.fault_blocks.empty());
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  SimConfig cfg;
+  cfg.algorithm = "Nbc";
+  cfg.seed = 77;
+  const std::string path = "/tmp/ftmesh_config_io_test.cfg";
+  ftmesh::core::save_config_file(path, cfg);
+  const auto loaded = ftmesh::core::load_config_file(path);
+  EXPECT_EQ(loaded.algorithm, "Nbc");
+  EXPECT_EQ(loaded.seed, 77u);
+}
+
+TEST(ConfigIo, MissingFileThrows) {
+  EXPECT_THROW(ftmesh::core::load_config_file("/nonexistent/x.cfg"),
+               std::runtime_error);
+}
+
+TEST(ConfigIo, LoadedConfigValidates) {
+  std::stringstream in("algorithm = Duato\nfault_count = 5\n");
+  const auto cfg = load_config(in);
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Tests for the discrete-event kernel.
+
+#include <gtest/gtest.h>
+
+#include "ftmesh/sim/event_queue.hpp"
+#include "ftmesh/sim/rng.hpp"
+
+namespace {
+
+using ftmesh::sim::EventQueue;
+
+TEST(EventQueue, EmptyByDefault) {
+  EventQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.due(1e9));
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.schedule(3.0, 3);
+  q.schedule(1.0, 1);
+  q.schedule(2.0, 2);
+  EXPECT_EQ(q.pop().payload, 1);
+  EXPECT_EQ(q.pop().payload, 2);
+  EXPECT_EQ(q.pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StableAtEqualTimes) {
+  EventQueue<int> q;
+  for (int i = 0; i < 50; ++i) q.schedule(7.0, i);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(q.pop().payload, i);
+}
+
+TEST(EventQueue, DueRespectsNow) {
+  EventQueue<int> q;
+  q.schedule(5.0, 1);
+  EXPECT_FALSE(q.due(4.999));
+  EXPECT_TRUE(q.due(5.0));
+  EXPECT_TRUE(q.due(6.0));
+}
+
+TEST(EventQueue, NextTimeTracksMinimum) {
+  EventQueue<int> q;
+  q.schedule(9.0, 1);
+  q.schedule(2.5, 2);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+  (void)q.pop();
+  EXPECT_DOUBLE_EQ(q.next_time(), 9.0);
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop) {
+  EventQueue<int> q;
+  ftmesh::sim::Rng rng(11);
+  double last = -1.0;
+  q.schedule(rng.next_double(), 0);
+  for (int i = 0; i < 2000; ++i) {
+    const auto e = q.pop();
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    // Re-schedule into the future, like a Poisson source does.
+    q.schedule(e.time + rng.exponential(1.0), e.payload);
+  }
+}
+
+TEST(EventQueue, ClearEmpties) {
+  EventQueue<int> q;
+  q.schedule(1.0, 1);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, MovesPayloads) {
+  EventQueue<std::string> q;
+  q.schedule(1.0, std::string("hello"));
+  EXPECT_EQ(q.pop().payload, "hello");
+}
+
+}  // namespace

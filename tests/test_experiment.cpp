@@ -1,0 +1,119 @@
+// Tests for the thread pool and the multi-run experiment harness.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "ftmesh/core/experiment.hpp"
+#include "ftmesh/core/thread_pool.hpp"
+
+namespace {
+
+using ftmesh::core::SimConfig;
+
+TEST(ThreadPool, RunsAllTasks) {
+  ftmesh::core::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ftmesh::core::ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ftmesh::core::ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  ftmesh::core::parallel_for(500, 8, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  ftmesh::core::parallel_for(0, 4, [](std::size_t) { FAIL(); });
+}
+
+SimConfig tiny() {
+  SimConfig cfg;
+  cfg.width = 6;
+  cfg.height = 6;
+  cfg.injection_rate = 0.001;
+  cfg.message_length = 8;
+  cfg.warmup_cycles = 200;
+  cfg.total_cycles = 1200;
+  return cfg;
+}
+
+TEST(Experiment, FaultPatternSweepReSeeds) {
+  const auto configs = ftmesh::core::fault_pattern_sweep(tiny(), 5);
+  ASSERT_EQ(configs.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(configs[static_cast<std::size_t>(i)].seed,
+              tiny().seed + static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Experiment, BatchMatchesSerialRuns) {
+  auto cfgs = ftmesh::core::fault_pattern_sweep(tiny(), 4);
+  for (auto& c : cfgs) c.fault_count = 3;
+  const auto parallel = ftmesh::core::run_batch(cfgs, 4);
+  const auto serial = ftmesh::core::run_batch(cfgs, 1);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].latency.delivered, serial[i].latency.delivered);
+    EXPECT_DOUBLE_EQ(parallel[i].latency.mean, serial[i].latency.mean);
+  }
+}
+
+TEST(Experiment, AggregateAveragesScalars) {
+  ftmesh::core::SimResult a, b;
+  a.cycles_run = b.cycles_run = 100;
+  a.latency.mean = 100.0;
+  b.latency.mean = 300.0;
+  a.latency.delivered = 10;
+  b.latency.delivered = 30;
+  a.throughput.accepted_fraction = 0.5;
+  b.throughput.accepted_fraction = 1.0;
+  const auto agg = ftmesh::core::aggregate({a, b});
+  EXPECT_DOUBLE_EQ(agg.latency.mean, 200.0);
+  EXPECT_EQ(agg.latency.delivered, 40u);
+  EXPECT_DOUBLE_EQ(agg.throughput.accepted_fraction, 0.75);
+}
+
+TEST(Experiment, AggregateSkipsFailedRuns) {
+  ftmesh::core::SimResult ok, failed;
+  ok.cycles_run = 100;
+  ok.latency.mean = 50.0;
+  failed.cycles_run = 0;  // marker for an undrawable pattern
+  failed.latency.mean = 9999.0;
+  const auto agg = ftmesh::core::aggregate({ok, failed});
+  EXPECT_DOUBLE_EQ(agg.latency.mean, 50.0);
+}
+
+TEST(Experiment, AggregateVcUsageElementwise) {
+  ftmesh::core::SimResult a, b;
+  a.cycles_run = b.cycles_run = 1;
+  a.vc_usage.percent = {10.0, 20.0};
+  b.vc_usage.percent = {30.0, 40.0};
+  const auto agg = ftmesh::core::aggregate({a, b});
+  ASSERT_EQ(agg.vc_usage.percent.size(), 2u);
+  EXPECT_DOUBLE_EQ(agg.vc_usage.percent[0], 20.0);
+  EXPECT_DOUBLE_EQ(agg.vc_usage.percent[1], 30.0);
+}
+
+TEST(Experiment, EmptyAggregateIsDefault) {
+  const auto agg = ftmesh::core::aggregate({});
+  EXPECT_EQ(agg.latency.delivered, 0u);
+  EXPECT_EQ(agg.latency.mean, 0.0);
+}
+
+}  // namespace

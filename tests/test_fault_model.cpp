@@ -1,0 +1,197 @@
+// Tests for the block fault model: coalescing, deactivation, connectivity.
+
+#include <gtest/gtest.h>
+
+#include "ftmesh/fault/fault_model.hpp"
+
+namespace {
+
+using ftmesh::fault::coalesce_blocks;
+using ftmesh::fault::FaultMap;
+using ftmesh::fault::NodeStatus;
+using ftmesh::fault::Rect;
+using ftmesh::sim::Rng;
+using ftmesh::topology::Coord;
+using ftmesh::topology::Mesh;
+
+TEST(Rect, ContainsAndDims) {
+  const Rect r{2, 3, 4, 5};
+  EXPECT_TRUE(r.contains({2, 3}));
+  EXPECT_TRUE(r.contains({4, 5}));
+  EXPECT_FALSE(r.contains({1, 3}));
+  EXPECT_FALSE(r.contains({2, 6}));
+  EXPECT_EQ(r.width(), 3);
+  EXPECT_EQ(r.height(), 3);
+  EXPECT_EQ(r.area(), 9);
+}
+
+TEST(Rect, ChebyshevGap) {
+  const Rect a{0, 0, 1, 1};
+  EXPECT_EQ(a.chebyshev_gap(Rect{0, 0, 1, 1}), 0);  // overlap
+  EXPECT_EQ(a.chebyshev_gap(Rect{2, 0, 2, 0}), 1);  // orthogonal touch
+  EXPECT_EQ(a.chebyshev_gap(Rect{2, 2, 2, 2}), 1);  // diagonal touch
+  EXPECT_EQ(a.chebyshev_gap(Rect{3, 0, 3, 0}), 2);
+  EXPECT_EQ(a.chebyshev_gap(Rect{0, 4, 1, 5}), 3);
+}
+
+TEST(Rect, Hull) {
+  const Rect a{1, 1, 2, 2}, b{4, 0, 5, 1};
+  const Rect h = a.hull(b);
+  EXPECT_EQ(h, (Rect{1, 0, 5, 2}));
+}
+
+TEST(Coalesce, SingleNodeIsUnitBlock) {
+  const Mesh m(10, 10);
+  const auto blocks = coalesce_blocks(m, {{3, 4}});
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (Rect{3, 4, 3, 4}));
+}
+
+TEST(Coalesce, AdjacentNodesMerge) {
+  const Mesh m(10, 10);
+  const auto blocks = coalesce_blocks(m, {{3, 4}, {4, 4}, {4, 5}});
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (Rect{3, 4, 4, 5}));
+}
+
+TEST(Coalesce, DiagonalNodesMerge) {
+  const Mesh m(10, 10);
+  const auto blocks = coalesce_blocks(m, {{3, 3}, {4, 4}});
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (Rect{3, 3, 4, 4}));
+}
+
+TEST(Coalesce, DistantNodesStaySeparate) {
+  const Mesh m(10, 10);
+  const auto blocks = coalesce_blocks(m, {{1, 1}, {7, 7}});
+  EXPECT_EQ(blocks.size(), 2u);
+}
+
+TEST(Coalesce, ChainReactionMerges) {
+  // Two separate pairs pulled together by a hull expansion.
+  const Mesh m(10, 10);
+  const auto blocks = coalesce_blocks(m, {{2, 2}, {4, 2}, {3, 3}});
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0], (Rect{2, 2, 4, 3}));
+}
+
+TEST(Coalesce, ResultsArePairwiseSeparated) {
+  const Mesh m(10, 10);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Coord> faulty;
+    for (int i = 0; i < 10; ++i) {
+      faulty.push_back({static_cast<int>(rng.next_below(10)),
+                        static_cast<int>(rng.next_below(10))});
+    }
+    const auto blocks = coalesce_blocks(m, faulty);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+        EXPECT_GE(blocks[i].chebyshev_gap(blocks[j]), 2)
+            << "blocks touch after coalescing";
+      }
+    }
+  }
+}
+
+TEST(FaultMap, FaultFreeByDefault) {
+  const Mesh m(6, 6);
+  const FaultMap map(m);
+  EXPECT_EQ(map.faulty_count(), 0);
+  EXPECT_EQ(map.deactivated_count(), 0);
+  EXPECT_EQ(map.active_count(), 36);
+  EXPECT_TRUE(map.connected());
+  EXPECT_TRUE(map.regions().empty());
+}
+
+TEST(FaultMap, LShapeDeactivatesHullInterior) {
+  const Mesh m(10, 10);
+  // L-shaped fault: hull [4..5]x[4..5] swallows (5,4).
+  const auto map = FaultMap::from_faulty_nodes(m, {{4, 4}, {4, 5}, {5, 5}});
+  EXPECT_EQ(map.faulty_count(), 3);
+  EXPECT_EQ(map.deactivated_count(), 1);
+  EXPECT_EQ(map.status({5, 4}), NodeStatus::Deactivated);
+  EXPECT_TRUE(map.blocked({5, 4}));
+  EXPECT_FALSE(map.active({5, 4}));
+  ASSERT_EQ(map.regions().size(), 1u);
+  EXPECT_EQ(map.regions()[0].box, (Rect{4, 4, 5, 5}));
+}
+
+TEST(FaultMap, RegionAtResolvesMembership) {
+  const Mesh m(10, 10);
+  const auto map = FaultMap::from_blocks(m, {Rect{2, 2, 3, 3}, Rect{7, 7, 7, 7}});
+  EXPECT_EQ(map.region_at({2, 2}).value(), 0);
+  EXPECT_EQ(map.region_at({3, 3}).value(), 0);
+  EXPECT_EQ(map.region_at({7, 7}).value(), 1);
+  EXPECT_FALSE(map.region_at({0, 0}).has_value());
+}
+
+TEST(FaultMap, BoundaryFlagDetectsEdges) {
+  const Mesh m(10, 10);
+  const auto interior = FaultMap::from_blocks(m, {Rect{4, 4, 5, 5}});
+  EXPECT_FALSE(interior.regions()[0].touches_boundary);
+  const auto edge = FaultMap::from_blocks(m, {Rect{0, 4, 0, 5}});
+  EXPECT_TRUE(edge.regions()[0].touches_boundary);
+}
+
+TEST(FaultMap, DisconnectingPatternThrows) {
+  const Mesh m(4, 4);
+  // A full column wall disconnects left from right.
+  EXPECT_THROW(FaultMap::from_blocks(m, {Rect{1, 0, 1, 3}}),
+               std::invalid_argument);
+}
+
+TEST(FaultMap, ActiveNodesExcludesBlockedOnly) {
+  const Mesh m(5, 5);
+  const auto map = FaultMap::from_blocks(m, {Rect{2, 2, 2, 2}});
+  const auto active = map.active_nodes();
+  EXPECT_EQ(active.size(), 24u);
+  for (const auto c : active) EXPECT_TRUE(map.active(c));
+}
+
+TEST(FaultMap, RandomIsDeterministicPerRngState) {
+  const Mesh m(10, 10);
+  Rng a(33), b(33);
+  const auto m1 = FaultMap::random(m, 8, a);
+  const auto m2 = FaultMap::random(m, 8, b);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      EXPECT_EQ(m1.status({x, y}), m2.status({x, y}));
+    }
+  }
+}
+
+TEST(FaultMap, RandomProducesRequestedFaultCount) {
+  const Mesh m(10, 10);
+  Rng rng(12);
+  const auto map = FaultMap::random(m, 10, rng);
+  EXPECT_EQ(map.faulty_count(), 10);
+  EXPECT_TRUE(map.connected());
+}
+
+TEST(FaultMap, RandomRejectsAbsurdCounts) {
+  const Mesh m(4, 4);
+  Rng rng(1);
+  EXPECT_THROW(FaultMap::random(m, -1, rng), std::invalid_argument);
+  EXPECT_THROW(FaultMap::random(m, 16, rng), std::invalid_argument);
+}
+
+TEST(FaultMap, ManyRandomPatternsStayConnected) {
+  const Mesh m(10, 10);
+  Rng rng(77);
+  for (int i = 0; i < 100; ++i) {
+    const auto map = FaultMap::random(m, 10, rng);
+    EXPECT_TRUE(map.connected());
+    EXPECT_GT(map.active_count(), 0);
+    // Block model invariant: every region box holds only blocked nodes.
+    for (const auto& region : map.regions()) {
+      for (int y = region.box.y0; y <= region.box.y1; ++y) {
+        for (int x = region.box.x0; x <= region.box.x1; ++x) {
+          EXPECT_TRUE(map.blocked({x, y}));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace

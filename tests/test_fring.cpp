@@ -1,0 +1,206 @@
+// Tests for f-ring / f-chain construction and traversal.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ftmesh/fault/fring.hpp"
+
+namespace {
+
+using ftmesh::fault::FaultMap;
+using ftmesh::fault::FRing;
+using ftmesh::fault::FRingSet;
+using ftmesh::fault::Orientation;
+using ftmesh::fault::Rect;
+using ftmesh::sim::Rng;
+using ftmesh::topology::Coord;
+using ftmesh::topology::Mesh;
+
+FaultMap one_block(const Mesh& m, Rect r) {
+  return FaultMap::from_blocks(m, {r});
+}
+
+TEST(FRing, SingleNodeRegionHasEightRingNodes) {
+  const Mesh m(10, 10);
+  const auto map = one_block(m, {4, 4, 4, 4});
+  const FRingSet rings(map);
+  ASSERT_EQ(rings.ring_count(), 1u);
+  const auto& ring = rings.ring(0);
+  EXPECT_TRUE(ring.closed());
+  EXPECT_EQ(ring.nodes().size(), 8u);
+}
+
+TEST(FRing, RingPerimeterMatchesBoxSize) {
+  const Mesh m(12, 12);
+  const auto map = one_block(m, {4, 3, 6, 7});  // 3 wide, 5 tall
+  const FRingSet rings(map);
+  const auto& ring = rings.ring(0);
+  EXPECT_TRUE(ring.closed());
+  // Perimeter of the (w+2) x (h+2) rectangle boundary: 2(w+2) + 2(h+2) - 4.
+  EXPECT_EQ(ring.nodes().size(), 2u * 5 + 2u * 7 - 4);
+}
+
+TEST(FRing, RingNodesAreAdjacentInSequence) {
+  const Mesh m(10, 10);
+  const auto map = one_block(m, {3, 3, 5, 4});
+  const FRingSet rings(map);
+  const auto& nodes = rings.ring(0).nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& a = nodes[i];
+    const auto& b = nodes[(i + 1) % nodes.size()];
+    EXPECT_EQ(manhattan(a, b), 1) << "ring must be a mesh cycle";
+  }
+}
+
+TEST(FRing, RingNodesAreHealthyAndHugRegion) {
+  const Mesh m(10, 10);
+  const auto map = one_block(m, {3, 3, 5, 4});
+  const FRingSet rings(map);
+  for (const auto c : rings.ring(0).nodes()) {
+    EXPECT_FALSE(map.blocked(c));
+    // Chebyshev distance exactly 1 from the box.
+    const auto& box = rings.ring(0).region_box();
+    const int dx = std::max({box.x0 - c.x, c.x - box.x1, 0});
+    const int dy = std::max({box.y0 - c.y, c.y - box.y1, 0});
+    EXPECT_EQ(std::max(dx, dy), 1);
+  }
+}
+
+TEST(FRing, ClockwiseOrderGoesEastOnTop) {
+  const Mesh m(10, 10);
+  const auto map = one_block(m, {4, 4, 4, 4});
+  const FRingSet rings(map);
+  const auto& ring = rings.ring(0);
+  // Top-side node (4, 5): clockwise successor must be to the east.
+  const auto next = ring.next({4, 5}, Orientation::Clockwise);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(*next, (Coord{5, 5}));
+  const auto prev = ring.next({4, 5}, Orientation::CounterClockwise);
+  ASSERT_TRUE(prev.has_value());
+  EXPECT_EQ(*prev, (Coord{3, 5}));
+}
+
+TEST(FRing, ClosedRingWrapsAround) {
+  const Mesh m(10, 10);
+  const auto map = one_block(m, {4, 4, 4, 4});
+  const FRingSet rings(map);
+  const auto& ring = rings.ring(0);
+  Coord at = ring.nodes().front();
+  for (std::size_t i = 0; i < ring.nodes().size(); ++i) {
+    const auto next = ring.next(at, Orientation::Clockwise);
+    ASSERT_TRUE(next.has_value());
+    at = *next;
+  }
+  EXPECT_EQ(at, ring.nodes().front());
+}
+
+TEST(FRing, EdgeRegionFormsOpenChain) {
+  const Mesh m(10, 10);
+  const auto map = one_block(m, {0, 4, 0, 5});  // touches west edge
+  const FRingSet rings(map);
+  const auto& ring = rings.ring(0);
+  EXPECT_FALSE(ring.closed());
+  // Chain: (0,3),(1,3),(1,4),(1,5),(1,6),(0,6) in some orientation.
+  EXPECT_EQ(ring.nodes().size(), 6u);
+  // Chain ends return nullopt.
+  const Coord first = ring.nodes().front();
+  const Coord last = ring.nodes().back();
+  EXPECT_FALSE(ring.next(first, Orientation::CounterClockwise).has_value());
+  EXPECT_FALSE(ring.next(last, Orientation::Clockwise).has_value());
+}
+
+TEST(FRing, CornerRegionChain) {
+  const Mesh m(10, 10);
+  const auto map = one_block(m, {0, 0, 1, 1});
+  const FRingSet rings(map);
+  const auto& ring = rings.ring(0);
+  EXPECT_FALSE(ring.closed());
+  // In-mesh arc: (0,2),(1,2),(2,2),(2,1),(2,0).
+  EXPECT_EQ(ring.nodes().size(), 5u);
+  for (const auto c : ring.nodes()) EXPECT_FALSE(map.blocked(c));
+}
+
+TEST(FRing, IndexOfAndContains) {
+  const Mesh m(10, 10);
+  const auto map = one_block(m, {4, 4, 5, 5});
+  const FRingSet rings(map);
+  const auto& ring = rings.ring(0);
+  for (std::size_t i = 0; i < ring.nodes().size(); ++i) {
+    EXPECT_EQ(ring.index_of(ring.nodes()[i]).value(), i);
+  }
+  EXPECT_FALSE(ring.contains({0, 0}));
+  EXPECT_FALSE(ring.contains({4, 4}));  // inside the region, not on the ring
+  EXPECT_FALSE(ring.index_of({-1, 4}).has_value());
+}
+
+TEST(FRing, StepsBetweenClosed) {
+  const Mesh m(10, 10);
+  const auto map = one_block(m, {4, 4, 4, 4});
+  const FRingSet rings(map);
+  const auto& ring = rings.ring(0);
+  const Coord a = ring.nodes()[0];
+  const Coord b = ring.nodes()[3];
+  EXPECT_EQ(ring.steps_between(a, b, Orientation::Clockwise).value(), 3);
+  EXPECT_EQ(ring.steps_between(a, b, Orientation::CounterClockwise).value(), 5);
+}
+
+TEST(FRing, StepsBetweenChainRespectsEnds) {
+  const Mesh m(10, 10);
+  const auto map = one_block(m, {0, 4, 0, 5});
+  const FRingSet rings(map);
+  const auto& ring = rings.ring(0);
+  const Coord first = ring.nodes().front();
+  const Coord last = ring.nodes().back();
+  EXPECT_EQ(ring.steps_between(first, last, Orientation::Clockwise).value(),
+            static_cast<int>(ring.nodes().size()) - 1);
+  EXPECT_FALSE(ring.steps_between(first, last, Orientation::CounterClockwise)
+                   .has_value());
+}
+
+TEST(FRingSet, MembershipCoversAllRings) {
+  const Mesh m(12, 12);
+  const auto map = FaultMap::from_blocks(
+      m, {Rect{2, 2, 3, 4}, Rect{8, 8, 8, 8}, Rect{8, 2, 9, 2}});
+  const FRingSet rings(map);
+  ASSERT_EQ(rings.ring_count(), 3u);
+  std::set<std::pair<int, int>> expected;
+  for (const auto& ring : rings.rings()) {
+    for (const auto c : ring.nodes()) expected.insert({c.x, c.y});
+  }
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 12; ++x) {
+      const bool want = expected.count({x, y}) > 0;
+      EXPECT_EQ(rings.on_any_ring({x, y}), want) << x << "," << y;
+    }
+  }
+}
+
+TEST(FRingSet, NearbyRegionsShareRingNodes) {
+  const Mesh m(10, 10);
+  // Regions two apart: the column between them is on both rings.
+  const auto map =
+      FaultMap::from_blocks(m, {Rect{2, 2, 2, 2}, Rect{4, 2, 4, 2}});
+  const FRingSet rings(map);
+  ASSERT_EQ(rings.ring_count(), 2u);
+  EXPECT_TRUE(rings.ring(0).contains({3, 2}));
+  EXPECT_TRUE(rings.ring(1).contains({3, 2}));
+}
+
+TEST(FRingSet, RandomPatternsAlwaysYieldTraversableStructures) {
+  const Mesh m(10, 10);
+  Rng rng(3);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto map = FaultMap::random(m, 10, rng);
+    const FRingSet rings(map);
+    EXPECT_EQ(rings.ring_count(), map.regions().size());
+    for (const auto& ring : rings.rings()) {
+      EXPECT_GE(ring.nodes().size(), 2u);
+      for (std::size_t i = 0; i + 1 < ring.nodes().size(); ++i) {
+        EXPECT_EQ(manhattan(ring.nodes()[i], ring.nodes()[i + 1]), 1);
+      }
+    }
+  }
+}
+
+}  // namespace

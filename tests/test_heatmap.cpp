@@ -1,0 +1,94 @@
+// Tests for the ASCII heatmap renderer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ftmesh/report/heatmap.hpp"
+
+namespace {
+
+using ftmesh::fault::FaultMap;
+using ftmesh::fault::Rect;
+using ftmesh::report::HeatmapOptions;
+using ftmesh::report::print_heatmap;
+using ftmesh::topology::Mesh;
+
+TEST(Heatmap, RendersAllRows) {
+  const Mesh mesh(4, 3);
+  const FaultMap faults(mesh);
+  std::vector<double> values(12, 0.0);
+  std::ostringstream os;
+  HeatmapOptions opts;
+  opts.show_scale = false;
+  print_heatmap(os, faults, values, opts);
+  // 3 rows of 4 glyphs.
+  int lines = 0;
+  for (const char ch : os.str()) {
+    if (ch == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(Heatmap, PeakGetsHottestGlyph) {
+  const Mesh mesh2(3, 2);
+  const FaultMap faults(mesh2);
+  std::vector<double> values(6, 0.0);
+  values[0] = 10.0;  // node (0,0): bottom-left in the printout
+  std::ostringstream os;
+  HeatmapOptions opts;
+  opts.ramp = ".X";
+  opts.show_scale = false;
+  print_heatmap(os, faults, values, opts);
+  const auto text = os.str();
+  // Bottom row, first glyph = 'X'; everything else '.'.
+  const auto last_line = text.rfind("  ");
+  EXPECT_EQ(text[last_line + 2], 'X');
+  int hot = 0;
+  for (const char ch : text) {
+    if (ch == 'X') ++hot;
+  }
+  EXPECT_EQ(hot, 1);
+}
+
+TEST(Heatmap, MarksFaultyAndDeactivated) {
+  const Mesh mesh(10, 10);
+  // L shape: hull deactivates one node.
+  const auto faults =
+      FaultMap::from_faulty_nodes(mesh, {{4, 4}, {4, 5}, {5, 5}});
+  std::vector<double> values(100, 1.0);
+  std::ostringstream os;
+  print_heatmap(os, faults, values);
+  const auto text = os.str();
+  int f_count = 0, d_count = 0;
+  for (const char ch : text) {
+    if (ch == 'F') ++f_count;
+    if (ch == 'f') ++d_count;
+  }
+  EXPECT_EQ(f_count, 3);
+  EXPECT_EQ(d_count, 1);
+}
+
+TEST(Heatmap, ScaleLineShowsPeak) {
+  const Mesh mesh(3, 2);
+  const FaultMap faults(mesh);
+  std::vector<double> values(6, 0.0);
+  values[3] = 42.0;
+  std::ostringstream os;
+  print_heatmap(os, faults, values);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(Heatmap, AllZeroGridUsesColdGlyph) {
+  const Mesh mesh(3, 2);
+  const FaultMap faults(mesh);
+  std::vector<double> values(6, 0.0);
+  std::ostringstream os;
+  HeatmapOptions opts;
+  opts.ramp = "_#";
+  opts.show_scale = false;
+  print_heatmap(os, faults, values, opts);
+  for (const char ch : os.str()) EXPECT_NE(ch, '#');
+}
+
+}  // namespace

@@ -1,0 +1,210 @@
+// Unit tests for the hop-based schemes (PHop / NHop / Pbc / Nbc).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ftmesh/routing/hop_scheme.hpp"
+
+namespace {
+
+using ftmesh::fault::FaultMap;
+using ftmesh::router::Message;
+using ftmesh::routing::CandidateList;
+using ftmesh::routing::HopScheme;
+using ftmesh::routing::VcLayout;
+using ftmesh::routing::VcRole;
+using ftmesh::topology::Coord;
+using ftmesh::topology::Direction;
+using ftmesh::topology::Mesh;
+
+struct Fixture {
+  Mesh mesh{10, 10};
+  FaultMap faults{mesh};
+};
+
+Message make_msg(Coord src, Coord dst) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.length = 10;
+  return m;
+}
+
+TEST(HopScheme, Names) {
+  Fixture f;
+  const auto layout = VcLayout::hop_based(24, 19, 1, true);
+  EXPECT_EQ(HopScheme(f.mesh, f.faults, HopScheme::Kind::Positive, false, layout).name(), "PHop");
+  EXPECT_EQ(HopScheme(f.mesh, f.faults, HopScheme::Kind::Positive, true, layout).name(), "Pbc");
+  const auto nlayout = VcLayout::hop_based(24, 10, 2, true);
+  EXPECT_EQ(HopScheme(f.mesh, f.faults, HopScheme::Kind::Negative, false, nlayout).name(), "NHop");
+  EXPECT_EQ(HopScheme(f.mesh, f.faults, HopScheme::Kind::Negative, true, nlayout).name(), "Nbc");
+}
+
+TEST(HopScheme, PHopUsesClassEqualToHops) {
+  Fixture f;
+  HopScheme phop(f.mesh, f.faults, HopScheme::Kind::Positive, false,
+                 VcLayout::hop_based(24, 19, 1, true));
+  auto msg = make_msg({0, 0}, {3, 0});
+  phop.on_inject(msg);
+  EXPECT_EQ(msg.rs.cards_left, 0);
+
+  CandidateList out;
+  phop.candidates({0, 0}, msg, out);
+  // Class 0 has two channels (vc 0 and the spare), one direction.
+  ASSERT_EQ(out.size(), 2u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].dir, Direction::XPlus);
+    EXPECT_EQ(phop.layout().at(out[i].vc).level, 0);
+  }
+
+  phop.on_hop({0, 0}, Direction::XPlus, out[0].vc, msg);
+  EXPECT_EQ(msg.rs.hops, 1);
+  out.clear();
+  phop.candidates({1, 0}, msg, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(phop.layout().at(out[0].vc).level, 1);
+}
+
+TEST(HopScheme, NHopUsesClassEqualToNegativeHops) {
+  Fixture f;
+  HopScheme nhop(f.mesh, f.faults, HopScheme::Kind::Negative, false,
+                 VcLayout::hop_based(24, 10, 2, true));
+  // Start on colour 0 at (0,0): first hop is non-negative.
+  auto msg = make_msg({0, 0}, {2, 2});
+  nhop.on_inject(msg);
+  CandidateList out;
+  nhop.candidates({0, 0}, msg, out);
+  // Two minimal dirs x 2 channels of class 0.
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(nhop.layout().at(out[i].vc).level, 0);
+  }
+  nhop.on_hop({0, 0}, Direction::XPlus, out[0].vc, msg);
+  EXPECT_EQ(msg.rs.negative_hops, 0);  // colour 0 -> 1: non-negative
+  out.clear();
+  nhop.candidates({1, 0}, msg, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(nhop.layout().at(out[i].vc).level, 0);  // still class 0
+  }
+  // From colour 1 the next hop is negative.
+  nhop.on_hop({1, 0}, Direction::XPlus, out[0].vc, msg);
+  EXPECT_EQ(msg.rs.negative_hops, 1);
+  out.clear();
+  nhop.candidates({2, 0}, msg, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(nhop.layout().at(out[i].vc).level, 1);
+  }
+}
+
+TEST(HopScheme, BonusCardsGrantWiderClassRange) {
+  Fixture f;
+  HopScheme pbc(f.mesh, f.faults, HopScheme::Kind::Positive, true,
+                VcLayout::hop_based(24, 19, 1, true));
+  // Distance 3 on a diameter-18 mesh: b = 18 - 3 = 15 cards.
+  auto msg = make_msg({0, 0}, {3, 0});
+  pbc.on_inject(msg);
+  EXPECT_EQ(msg.rs.cards_left, 15);
+
+  CandidateList out;
+  pbc.candidates({0, 0}, msg, out);
+  // Classes 0..15 on one direction; class 0 has 2 channels.
+  EXPECT_EQ(out.size(), 17u);
+  int max_class = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    max_class = std::max(max_class, pbc.layout().at(out[i].vc).level);
+  }
+  EXPECT_EQ(max_class, 15);
+}
+
+TEST(HopScheme, SpendingCardsNarrowsFutureChoice) {
+  Fixture f;
+  HopScheme pbc(f.mesh, f.faults, HopScheme::Kind::Positive, true,
+                VcLayout::hop_based(24, 19, 1, true));
+  auto msg = make_msg({0, 0}, {3, 0});
+  pbc.on_inject(msg);
+
+  // Jump straight to class 10: spends 10 cards.
+  CandidateList out;
+  pbc.candidates({0, 0}, msg, out);
+  int vc10 = -1;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (pbc.layout().at(out[i].vc).level == 10) vc10 = out[i].vc;
+  }
+  ASSERT_GE(vc10, 0);
+  pbc.on_hop({0, 0}, Direction::XPlus, vc10, msg);
+  EXPECT_EQ(msg.rs.cards_left, 5);
+  EXPECT_EQ(msg.rs.class_offset, 10);
+  EXPECT_EQ(pbc.current_class(msg), 11);  // 1 hop + offset 10
+
+  out.clear();
+  pbc.candidates({1, 0}, msg, out);
+  int lo = 99, hi = -1;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    lo = std::min(lo, pbc.layout().at(out[i].vc).level);
+    hi = std::max(hi, pbc.layout().at(out[i].vc).level);
+  }
+  EXPECT_EQ(lo, 11);
+  EXPECT_EQ(hi, 16);  // 11 + 5 remaining cards
+}
+
+TEST(HopScheme, MaxDistanceMessageGetsNoCards) {
+  Fixture f;
+  HopScheme pbc(f.mesh, f.faults, HopScheme::Kind::Positive, true,
+                VcLayout::hop_based(24, 19, 1, true));
+  auto msg = make_msg({0, 0}, {9, 9});
+  pbc.on_inject(msg);
+  EXPECT_EQ(msg.rs.cards_left, 0);
+}
+
+TEST(HopScheme, NbcCardsUseNegativeHopBudget) {
+  Fixture f;
+  HopScheme nbc(f.mesh, f.faults, HopScheme::Kind::Negative, true,
+                VcLayout::hop_based(24, 10, 2, true));
+  // (0,0) colour 0, distance 2: needs 1 negative hop; max class 9 -> 8 cards.
+  auto msg = make_msg({0, 0}, {2, 0});
+  nbc.on_inject(msg);
+  EXPECT_EQ(msg.rs.cards_left, 8);
+}
+
+TEST(HopScheme, ClassClampsAtTopAfterDetours) {
+  Fixture f;
+  HopScheme phop(f.mesh, f.faults, HopScheme::Kind::Positive, false,
+                 VcLayout::hop_based(24, 19, 1, true));
+  auto msg = make_msg({0, 0}, {1, 0});
+  phop.on_inject(msg);
+  msg.rs.hops = 50;  // simulate a long ring detour history
+  CandidateList out;
+  phop.candidates({0, 0}, msg, out);
+  ASSERT_FALSE(out.empty());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(phop.layout().at(out[i].vc).level, 18);
+  }
+}
+
+TEST(HopScheme, OffersNothingWhenFaultBlocked) {
+  Mesh mesh(10, 10);
+  const auto faults = FaultMap::from_blocks(mesh, {{5, 0, 5, 1}});
+  HopScheme phop(mesh, faults, HopScheme::Kind::Positive, false,
+                 VcLayout::hop_based(24, 19, 1, true));
+  auto msg = make_msg({4, 0}, {9, 0});
+  phop.on_inject(msg);
+  CandidateList out;
+  phop.candidates({4, 0}, msg, out);
+  EXPECT_TRUE(out.empty());  // the BC wrapper takes over in this situation
+}
+
+TEST(HopScheme, OnlyMinimalDirectionsOffered) {
+  Fixture f;
+  HopScheme phop(f.mesh, f.faults, HopScheme::Kind::Positive, false,
+                 VcLayout::hop_based(24, 19, 1, true));
+  auto msg = make_msg({5, 5}, {2, 7});
+  phop.on_inject(msg);
+  CandidateList out;
+  phop.candidates({5, 5}, msg, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(out[i].dir == Direction::XMinus || out[i].dir == Direction::YPlus);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for the JSON result writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ftmesh/report/json.hpp"
+
+namespace {
+
+using ftmesh::report::JsonWriter;
+
+TEST(JsonWriter, FlatObject) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").value(std::string("x"));
+  w.key("c").value(true);
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":"x","c":true})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("arr").begin_array();
+  w.value(1);
+  w.value(2);
+  w.begin_object();
+  w.key("k").value(false);
+  w.end_object();
+  w.end_array();
+  w.key("after").value(3);
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"arr":[1,2,{"k":false}],"after":3})");
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("o").begin_object();
+  w.end_object();
+  w.key("a").begin_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"o":{},"a":[]})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonWriter::escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriter, DoubleValuesPlain) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_array();
+  w.value(0.5);
+  w.value(100.0);
+  w.end_array();
+  EXPECT_EQ(os.str(), "[0.5,100]");
+}
+
+TEST(JsonWriter, ResultDocumentIsBalanced) {
+  // Structural sanity of write_result_json: balanced braces/brackets,
+  // quotes even, required keys present.
+  ftmesh::core::SimConfig cfg;
+  cfg.total_cycles = 300;
+  cfg.warmup_cycles = 100;
+  ftmesh::core::Simulator sim(cfg);
+  const auto r = sim.run();
+  std::ostringstream os;
+  ftmesh::report::write_result_json(os, cfg, r);
+  const auto text = os.str();
+  int braces = 0, brackets = 0, quotes = 0;
+  for (const char ch : text) {
+    if (ch == '{') ++braces;
+    if (ch == '}') --braces;
+    if (ch == '[') ++brackets;
+    if (ch == ']') --brackets;
+    if (ch == '"') ++quotes;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(quotes % 2, 0);
+  for (const char* needle :
+       {"\"config\"", "\"latency\"", "\"throughput\"", "\"faults\"",
+        "\"deadlock\"", "\"accepted\""}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace

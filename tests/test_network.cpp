@@ -1,0 +1,320 @@
+// Router-pipeline tests: wormhole invariants, credits, delivery, drain.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ftmesh/router/network.hpp"
+#include "ftmesh/routing/registry.hpp"
+
+namespace {
+
+using ftmesh::fault::FaultMap;
+using ftmesh::fault::FRingSet;
+using ftmesh::router::Flit;
+using ftmesh::router::FlitType;
+using ftmesh::router::Network;
+using ftmesh::router::NetworkConfig;
+using ftmesh::sim::Rng;
+using ftmesh::topology::Coord;
+using ftmesh::topology::Mesh;
+
+struct NetFixture {
+  Mesh mesh{10, 10};
+  FaultMap faults{mesh};
+  FRingSet rings{faults};
+  std::unique_ptr<ftmesh::routing::RoutingAlgorithm> algo;
+  std::unique_ptr<Network> net;
+
+  explicit NetFixture(const std::string& name = "Minimal-Adaptive",
+                      NetworkConfig cfg = {}) {
+    algo = ftmesh::routing::make_algorithm(name, mesh, faults, rings);
+    net = std::make_unique<Network>(mesh, faults, *algo, cfg, Rng(7));
+  }
+};
+
+TEST(Network, SingleMessageIsDelivered) {
+  NetFixture f;
+  const auto id = f.net->create_message({0, 0}, {5, 5}, 20);
+  for (int i = 0; i < 300 && !f.net->message(id).done; ++i) f.net->step();
+  const auto& m = f.net->message(id);
+  ASSERT_TRUE(m.done);
+  EXPECT_EQ(m.rs.hops, 10);  // minimal path, no contention
+  EXPECT_EQ(m.rs.misroutes, 0);
+  // Zero-load latency: hops + length - 1 (the first flit moves in its
+  // creation cycle) plus small pipeline overheads.
+  EXPECT_GE(m.delivered - m.created, 10u + 20u - 1u);
+  EXPECT_LE(m.delivered - m.created, 10u + 20u + 8u);
+}
+
+TEST(Network, ZeroLoadLatencyIsDistancePlusSerialization) {
+  NetFixture f;
+  const auto id = f.net->create_message({2, 3}, {7, 3}, 50);
+  for (int i = 0; i < 300 && !f.net->message(id).done; ++i) f.net->step();
+  const auto& m = f.net->message(id);
+  ASSERT_TRUE(m.done);
+  const auto latency = m.delivered - m.created;
+  EXPECT_NEAR(static_cast<double>(latency), 5 + 50, 6.0);
+}
+
+TEST(Network, SingleFlitMessage) {
+  NetFixture f;
+  const auto id = f.net->create_message({0, 0}, {1, 0}, 1);
+  for (int i = 0; i < 50 && !f.net->message(id).done; ++i) f.net->step();
+  EXPECT_TRUE(f.net->message(id).done);
+}
+
+TEST(Network, MessageToSameRowAndColumn) {
+  NetFixture f;
+  const auto a = f.net->create_message({0, 5}, {9, 5}, 10);
+  const auto b = f.net->create_message({5, 0}, {5, 9}, 10);
+  for (int i = 0; i < 200; ++i) f.net->step();
+  EXPECT_TRUE(f.net->message(a).done);
+  EXPECT_TRUE(f.net->message(b).done);
+}
+
+TEST(Network, FlitsArriveInOrderWithoutInterleaving) {
+  NetFixture f;
+  // Wormhole ordering invariant: each message's flits arrive at its
+  // destination in strict seq order, none lost or duplicated.  (Flits of
+  // *different* messages may interleave at a node: ejection serves several
+  // input VCs.)
+  std::map<ftmesh::router::MessageId, std::uint32_t> next_seq;
+  std::map<ftmesh::router::MessageId, int> eject_node;
+  bool violated = false;
+  f.net->set_eject_hook([&](const Flit& flit, Coord at) {
+    if (flit.seq != next_seq[flit.msg]) violated = true;
+    ++next_seq[flit.msg];
+    const int node = f.mesh.id_of(at);
+    auto [it, fresh] = eject_node.emplace(flit.msg, node);
+    if (!fresh && it->second != node) violated = true;  // split delivery
+  });
+  // Many concurrent messages to the same destination.
+  for (int i = 0; i < 8; ++i) {
+    f.net->create_message({i, 0}, {9, 9}, 12);
+    f.net->create_message({0, i + 1}, {9, 9}, 12);
+  }
+  for (int i = 0; i < 1500; ++i) f.net->step();
+  EXPECT_FALSE(violated);
+  for (const auto& m : f.net->messages()) EXPECT_TRUE(m.done);
+}
+
+TEST(Network, DrainsCompletely) {
+  NetFixture f;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const Coord src{static_cast<int>(rng.next_below(10)),
+                    static_cast<int>(rng.next_below(10))};
+    const Coord dst{static_cast<int>(rng.next_below(10)),
+                    static_cast<int>(rng.next_below(10))};
+    if (src == dst) continue;
+    f.net->create_message(src, dst, 8);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    f.net->step();
+    if (i > 10 && f.net->flits_in_network() == 0) break;
+  }
+  // After drain: no flits anywhere, every message done, all VCs released.
+  EXPECT_EQ(f.net->flits_in_network(), 0u);
+  for (const auto& m : f.net->messages()) EXPECT_TRUE(m.done);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      const auto& rt = f.net->router_at({x, y});
+      for (int port = 0; port < ftmesh::topology::kMeshDirections; ++port) {
+        for (int vc = 0; vc < rt.vcs(); ++vc) {
+          EXPECT_FALSE(rt.output(port, vc).allocated);
+          EXPECT_EQ(rt.output(port, vc).credits, f.net->config().buffer_depth);
+        }
+      }
+    }
+  }
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run = [] {
+    NetFixture f;
+    Rng rng(99);
+    for (int c = 0; c < 400; ++c) {
+      if (c % 3 == 0) {
+        const Coord src{static_cast<int>(rng.next_below(10)),
+                        static_cast<int>(rng.next_below(10))};
+        Coord dst{static_cast<int>(rng.next_below(10)),
+                  static_cast<int>(rng.next_below(10))};
+        if (!(src == dst)) f.net->create_message(src, dst, 16);
+      }
+      f.net->step();
+    }
+    std::vector<std::uint64_t> stamps;
+    for (const auto& m : f.net->messages()) stamps.push_back(m.delivered);
+    return stamps;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Network, MeasurementWindowCountsOnlyAfterBegin) {
+  NetFixture f;
+  f.net->create_message({0, 0}, {3, 0}, 10);
+  for (int i = 0; i < 60; ++i) f.net->step();
+  EXPECT_EQ(f.net->measured_flits_delivered(), 0u);
+  f.net->begin_measurement();
+  const auto id = f.net->create_message({0, 0}, {3, 0}, 10);
+  for (int i = 0; i < 60; ++i) f.net->step();
+  EXPECT_TRUE(f.net->message(id).done);
+  EXPECT_EQ(f.net->measured_flits_delivered(), 10u);
+  EXPECT_EQ(f.net->measured_messages_delivered(), 1u);
+  EXPECT_EQ(f.net->measured_flits_generated(), 10u);
+}
+
+TEST(Network, SourceQueueTracksBacklog) {
+  NetFixture f;
+  for (int i = 0; i < 5; ++i) f.net->create_message({0, 0}, {9, 9}, 100);
+  EXPECT_EQ(f.net->source_queue_length({0, 0}), 5u);
+  f.net->step();  // first message moves into the injection channel
+  EXPECT_EQ(f.net->source_queue_length({0, 0}), 4u);
+}
+
+TEST(Network, InjectionVcsOutOfRangeThrows) {
+  NetFixture f;
+  NetworkConfig cfg;
+  cfg.injection_vcs = 0;
+  EXPECT_THROW(Network(f.mesh, f.faults, *f.algo, cfg, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Network, TwoInjectionVcsInterleaveMessagesFromOneSource) {
+  NetworkConfig cfg;
+  cfg.injection_vcs = 2;
+  NetFixture f("Minimal-Adaptive", cfg);
+  const auto a = f.net->create_message({0, 0}, {9, 0}, 60);
+  const auto b = f.net->create_message({0, 0}, {0, 9}, 60);
+  for (int i = 0; i < 40; ++i) f.net->step();
+  // With two injection channels both messages are in flight concurrently.
+  EXPECT_GT(f.net->message(a).rs.hops, 0);
+  EXPECT_GT(f.net->message(b).rs.hops, 0);
+  for (int i = 0; i < 400; ++i) f.net->step();
+  EXPECT_TRUE(f.net->message(a).done);
+  EXPECT_TRUE(f.net->message(b).done);
+}
+
+TEST(Network, VcUsageSamplingAccumulates) {
+  NetworkConfig cfg;
+  cfg.collect_vc_usage = true;
+  NetFixture f("Minimal-Adaptive", cfg);
+  f.net->begin_measurement();
+  f.net->create_message({0, 0}, {9, 9}, 40);
+  for (int i = 0; i < 100; ++i) f.net->step();
+  EXPECT_EQ(f.net->vc_usage_samples(), 100u);
+  std::uint64_t total = 0;
+  for (const auto v : f.net->vc_busy_counts()) total += v;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Network, TrafficMapCountsTraversals) {
+  NetworkConfig cfg;
+  cfg.collect_traffic_map = true;
+  NetFixture f("Minimal-Adaptive", cfg);
+  f.net->begin_measurement();
+  const auto id = f.net->create_message({0, 0}, {4, 0}, 10);
+  for (int i = 0; i < 100; ++i) f.net->step();
+  ASSERT_TRUE(f.net->message(id).done);
+  // Every node on the path saw all 10 flits cross its switch.
+  std::uint64_t total = 0;
+  for (const auto v : f.net->node_traffic()) total += v;
+  EXPECT_EQ(total, 10u * 5u);  // 5 switch traversals per flit (src..dst)
+}
+
+TEST(Network, DepthOneBuffersStillStreamCorrectly) {
+  // Minimum buffering: the credit loop is tightest, throughput drops, but
+  // correctness (delivery, ordering) must hold.
+  NetworkConfig cfg;
+  cfg.buffer_depth = 1;
+  NetFixture f("Minimal-Adaptive", cfg);
+  std::map<ftmesh::router::MessageId, std::uint32_t> next_seq;
+  bool violated = false;
+  f.net->set_eject_hook([&](const Flit& flit, Coord) {
+    if (flit.seq != next_seq[flit.msg]) violated = true;
+    ++next_seq[flit.msg];
+  });
+  for (int i = 0; i < 10; ++i) f.net->create_message({i % 10, 0}, {9, 9}, 30);
+  for (int i = 0; i < 4000; ++i) f.net->step();
+  EXPECT_FALSE(violated);
+  for (const auto& m : f.net->messages()) EXPECT_TRUE(m.done);
+}
+
+TEST(Network, VeryLongMessageSpansTheWholePath) {
+  // 400 flits over a 9-hop path: the worm occupies every buffer on the
+  // route at once and must still deliver in order.
+  NetFixture f;
+  const auto id = f.net->create_message({0, 0}, {9, 8}, 400);
+  for (int i = 0; i < 1000 && !f.net->message(id).done; ++i) f.net->step();
+  const auto& m = f.net->message(id);
+  ASSERT_TRUE(m.done);
+  EXPECT_NEAR(static_cast<double>(m.delivered - m.created), 17 + 400, 10.0);
+}
+
+TEST(Network, RectangularMeshWorks) {
+  const Mesh mesh(12, 4);
+  const FaultMap faults(mesh);
+  const FRingSet rings(faults);
+  const auto algo =
+      ftmesh::routing::make_algorithm("Nbc", mesh, faults, rings);
+  Network net(mesh, faults, *algo, {}, Rng(5));
+  const auto a = net.create_message({0, 0}, {11, 3}, 10);
+  const auto b = net.create_message({11, 0}, {0, 3}, 10);
+  for (int i = 0; i < 300; ++i) net.step();
+  EXPECT_TRUE(net.message(a).done);
+  EXPECT_TRUE(net.message(b).done);
+  EXPECT_EQ(net.message(a).rs.hops, 14);
+}
+
+TEST(Network, AdaptivityCountersAccumulateWhileMeasuring) {
+  NetFixture f;
+  f.net->create_message({0, 0}, {5, 5}, 10);
+  for (int i = 0; i < 60; ++i) f.net->step();
+  EXPECT_EQ(f.net->measured_route_decisions(), 0u);  // not measuring yet
+  f.net->begin_measurement();
+  f.net->create_message({0, 0}, {5, 5}, 10);
+  for (int i = 0; i < 60; ++i) f.net->step();
+  EXPECT_GT(f.net->measured_route_decisions(), 0u);
+  EXPECT_GE(f.net->measured_candidates_offered(),
+            f.net->measured_candidates_free());
+  EXPECT_GT(f.net->measured_candidates_free(), 0u);
+}
+
+TEST(Network, NoWaitCycleOnHealthyTraffic) {
+  NetFixture f;
+  for (int i = 0; i < 20; ++i) f.net->create_message({i % 10, 1}, {9, 8}, 20);
+  for (int i = 0; i < 300; ++i) f.net->step();
+  EXPECT_TRUE(f.net->find_deadlock_cycle().empty());
+}
+
+TEST(Network, NoWaitCycleAtSaturationWithFaults) {
+  const Mesh mesh(10, 10);
+  ftmesh::sim::Rng frng(13);
+  const auto faults = FaultMap::random(mesh, 10, frng);
+  const FRingSet rings(faults);
+  const auto algo = ftmesh::routing::make_algorithm("PHop", mesh, faults, rings);
+  Network net(mesh, faults, *algo, {}, Rng(5));
+  ftmesh::sim::Rng rng(3);
+  const auto active = faults.active_nodes();
+  for (int c = 0; c < 1500; ++c) {
+    if (c % 2 == 0) {
+      const auto src = active[rng.next_below(active.size())];
+      const auto dst = active[rng.next_below(active.size())];
+      if (!(src == dst)) net.create_message(src, dst, 30);
+    }
+    net.step();
+    if (c % 250 == 0) EXPECT_TRUE(net.find_deadlock_cycle().empty()) << c;
+  }
+}
+
+TEST(Network, WatchdogStaysQuietOnHealthyTraffic) {
+  NetFixture f;
+  for (int i = 0; i < 30; ++i) {
+    f.net->create_message({i % 10, (i * 3) % 10}, {(i * 7 + 1) % 10, i % 10}, 10);
+  }
+  for (int i = 0; i < 3000; ++i) f.net->step();
+  EXPECT_FALSE(f.net->watchdog().tripped());
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Tests for the reporting utilities (table, CSV, CLI).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ftmesh/report/cli.hpp"
+#include "ftmesh/report/csv.hpp"
+#include "ftmesh/report/table.hpp"
+
+namespace {
+
+using ftmesh::report::Cli;
+using ftmesh::report::CsvWriter;
+using ftmesh::report::Table;
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  // Rule line present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, SetCellByIndex) {
+  Table t({"x", "y"});
+  const auto row = t.add_row();
+  t.set(row, 0, "foo");
+  t.set(row, 1, 3.14159, 2);
+  EXPECT_EQ(t.cell(row, 0), "foo");
+  EXPECT_EQ(t.cell(row, 1), "3.14");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_EQ(t.cell(0, 2), "");
+  std::ostringstream os;
+  t.print(os);  // must not throw
+}
+
+TEST(Table, FormatDouble) {
+  EXPECT_EQ(ftmesh::report::format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(ftmesh::report::format_double(2.0, 0), "2");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"a", "b"});
+  csv.row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--full",       "--rate", "0.02",
+                        "--algorithm=Duato",    "pos1"};
+  const Cli cli(6, argv);
+  EXPECT_TRUE(cli.flag("full"));
+  EXPECT_FALSE(cli.flag("missing"));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), 0.02);
+  EXPECT_EQ(cli.get("algorithm", ""), "Duato");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  EXPECT_EQ(cli.get("x", "def"), "def");
+  EXPECT_EQ(cli.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("d", 1.5), 1.5);
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  const char* argv[] = {"prog", "--rate", "-1"};
+  const Cli cli(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate", 0.0), -1.0);
+}
+
+TEST(Cli, FullScaleViaEnv) {
+  const char* argv[] = {"prog"};
+  const Cli cli(1, argv);
+  ::setenv("FTMESH_FULL", "1", 1);
+  EXPECT_TRUE(cli.full_scale());
+  ::setenv("FTMESH_FULL", "0", 1);
+  EXPECT_FALSE(cli.full_scale());
+  ::unsetenv("FTMESH_FULL");
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Tests for the saturation-point finder.
+
+#include <gtest/gtest.h>
+
+#include "ftmesh/analysis/saturation.hpp"
+
+namespace {
+
+using ftmesh::analysis::find_saturation_rate;
+using ftmesh::analysis::SaturationOptions;
+using ftmesh::core::SimConfig;
+
+SimConfig quick_config() {
+  SimConfig cfg;
+  cfg.width = cfg.height = 8;
+  cfg.algorithm = "Minimal-Adaptive";
+  cfg.message_length = 20;
+  cfg.warmup_cycles = 600;
+  cfg.total_cycles = 2600;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Saturation, RejectsBadBracket) {
+  EXPECT_THROW(find_saturation_rate(quick_config(), {0.0, 0.1, 0.95, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(find_saturation_rate(quick_config(), {0.2, 0.1, 0.95, 3}),
+               std::invalid_argument);
+}
+
+TEST(Saturation, FindsKneeInsideBracket) {
+  SaturationOptions opts;
+  opts.lo = 0.0002;
+  opts.hi = 0.05;
+  opts.iterations = 6;
+  const auto r = find_saturation_rate(quick_config(), opts);
+  EXPECT_GT(r.rate, opts.lo);
+  EXPECT_LT(r.rate, opts.hi);
+  EXPECT_GE(r.accepted, opts.threshold);
+  EXPECT_EQ(r.simulations, 1 + opts.iterations);
+}
+
+TEST(Saturation, SaturatedFloorReportsFloor) {
+  SaturationOptions opts;
+  opts.lo = 0.04;  // far past saturation for 20-flit messages on 8x8
+  opts.hi = 0.08;
+  opts.iterations = 3;
+  const auto r = find_saturation_rate(quick_config(), opts);
+  EXPECT_DOUBLE_EQ(r.rate, opts.lo);
+  EXPECT_LT(r.accepted, opts.threshold);
+  EXPECT_EQ(r.simulations, 1);
+}
+
+TEST(Saturation, MoreCapacityMeansLaterKnee) {
+  // Shorter messages saturate at a higher message rate.
+  auto small = quick_config();
+  small.message_length = 10;
+  auto large = quick_config();
+  large.message_length = 40;
+  SaturationOptions opts;
+  opts.lo = 0.0002;
+  opts.hi = 0.08;
+  opts.iterations = 7;
+  const auto r_small = find_saturation_rate(small, opts);
+  const auto r_large = find_saturation_rate(large, opts);
+  EXPECT_GT(r_small.rate, r_large.rate);
+}
+
+}  // namespace

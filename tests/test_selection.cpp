@@ -1,0 +1,89 @@
+// Tests for the selection policy (random / least-congested).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ftmesh/routing/selection.hpp"
+
+namespace {
+
+using ftmesh::routing::CandidateVc;
+using ftmesh::routing::select_candidate;
+using ftmesh::routing::SelectionPolicy;
+using ftmesh::sim::Rng;
+using ftmesh::topology::Direction;
+
+std::vector<CandidateVc> three_candidates() {
+  return {{Direction::XPlus, 0}, {Direction::XPlus, 1}, {Direction::YPlus, 2}};
+}
+
+TEST(Selection, StringRoundTrip) {
+  using ftmesh::routing::selection_from_string;
+  using ftmesh::routing::to_string;
+  EXPECT_EQ(selection_from_string(to_string(SelectionPolicy::Random)),
+            SelectionPolicy::Random);
+  EXPECT_EQ(selection_from_string(to_string(SelectionPolicy::LeastCongested)),
+            SelectionPolicy::LeastCongested);
+  EXPECT_THROW(selection_from_string("nope"), std::invalid_argument);
+}
+
+TEST(Selection, EmptySetThrows) {
+  Rng rng(1);
+  const std::vector<CandidateVc> none;
+  EXPECT_THROW(select_candidate(SelectionPolicy::Random, none,
+                                [](std::size_t) { return 0; }, rng),
+               std::logic_error);
+}
+
+TEST(Selection, SingletonShortCircuits) {
+  Rng rng(1);
+  const std::vector<CandidateVc> one = {{Direction::XPlus, 5}};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(select_candidate(SelectionPolicy::Random, one,
+                               [](std::size_t) { return 0; }, rng),
+              0u);
+  }
+}
+
+TEST(Selection, RandomIsRoughlyUniform) {
+  Rng rng(7);
+  const auto cands = three_candidates();
+  std::map<std::size_t, int> hits;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++hits[select_candidate(SelectionPolicy::Random, cands,
+                            [](std::size_t) { return 0; }, rng)];
+  }
+  for (const auto& [idx, n] : hits) {
+    EXPECT_LT(idx, 3u);
+    EXPECT_NEAR(n, kDraws / 3.0, kDraws / 3.0 * 0.1);
+  }
+}
+
+TEST(Selection, LeastCongestedPicksMostCredits) {
+  Rng rng(3);
+  const auto cands = three_candidates();
+  const auto credits = [](std::size_t i) { return i == 1 ? 8 : 2; };
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(select_candidate(SelectionPolicy::LeastCongested, cands, credits,
+                               rng),
+              1u);
+  }
+}
+
+TEST(Selection, LeastCongestedBreaksTiesRandomly) {
+  Rng rng(9);
+  const auto cands = three_candidates();
+  const auto credits = [](std::size_t i) { return i == 0 ? 1 : 5; };
+  std::map<std::size_t, int> hits;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++hits[select_candidate(SelectionPolicy::LeastCongested, cands, credits, rng)];
+  }
+  EXPECT_EQ(hits.count(0), 0u);  // the low-credit candidate never wins
+  EXPECT_NEAR(hits[1], kDraws / 2.0, kDraws / 2.0 * 0.1);
+  EXPECT_NEAR(hits[2], kDraws / 2.0, kDraws / 2.0 * 0.1);
+}
+
+}  // namespace

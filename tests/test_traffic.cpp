@@ -1,0 +1,161 @@
+// Tests for traffic patterns and the Poisson/saturated generator.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ftmesh/routing/registry.hpp"
+#include "ftmesh/traffic/generator.hpp"
+#include "ftmesh/traffic/traffic_pattern.hpp"
+
+namespace {
+
+using ftmesh::fault::FaultMap;
+using ftmesh::fault::FRingSet;
+using ftmesh::fault::Rect;
+using ftmesh::sim::Rng;
+using ftmesh::topology::Coord;
+using ftmesh::topology::Mesh;
+namespace traffic = ftmesh::traffic;
+
+TEST(Uniform, NeverPicksSelfOrBlockedNodes) {
+  const Mesh mesh(8, 8);
+  const auto faults = FaultMap::from_blocks(mesh, {Rect{3, 3, 4, 4}});
+  const traffic::UniformTraffic pattern(faults);
+  Rng rng(5);
+  const Coord src{0, 0};
+  for (int i = 0; i < 2000; ++i) {
+    const auto dst = pattern.pick(src, rng);
+    ASSERT_TRUE(dst.has_value());
+    EXPECT_FALSE(*dst == src);
+    EXPECT_TRUE(faults.active(*dst));
+  }
+}
+
+TEST(Uniform, CoversAllActiveNodesEvenly) {
+  const Mesh mesh(4, 4);
+  const FaultMap faults(mesh);
+  const traffic::UniformTraffic pattern(faults);
+  Rng rng(9);
+  std::map<int, int> counts;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto dst = pattern.pick({0, 0}, rng);
+    ++counts[mesh.id_of(*dst)];
+  }
+  EXPECT_EQ(counts.size(), 15u);  // all but the source
+  for (const auto& [id, n] : counts) {
+    EXPECT_NEAR(n, kDraws / 15.0, kDraws / 15.0 * 0.15);
+  }
+}
+
+TEST(Transpose, MirrorsCoordinates) {
+  const Mesh mesh(8, 8);
+  const FaultMap faults(mesh);
+  const traffic::TransposeTraffic pattern(faults);
+  Rng rng(1);
+  EXPECT_EQ(pattern.pick({2, 5}, rng).value(), (Coord{5, 2}));
+  EXPECT_FALSE(pattern.pick({3, 3}, rng).has_value());  // self-image
+}
+
+TEST(Transpose, SkipsBlockedImage) {
+  const Mesh mesh(8, 8);
+  const auto faults = FaultMap::from_blocks(mesh, {Rect{5, 2, 5, 2}});
+  const traffic::TransposeTraffic pattern(faults);
+  Rng rng(1);
+  EXPECT_FALSE(pattern.pick({2, 5}, rng).has_value());
+}
+
+TEST(Complement, MapsToOppositeCorner) {
+  const Mesh mesh(10, 10);
+  const FaultMap faults(mesh);
+  const traffic::ComplementTraffic pattern(faults);
+  Rng rng(1);
+  EXPECT_EQ(pattern.pick({0, 0}, rng).value(), (Coord{9, 9}));
+  EXPECT_EQ(pattern.pick({2, 7}, rng).value(), (Coord{7, 2}));
+}
+
+TEST(Hotspot, RoutesRequestedFractionToHotspot) {
+  const Mesh mesh(8, 8);
+  const FaultMap faults(mesh);
+  const traffic::HotspotTraffic pattern(faults, {4, 4}, 0.3);
+  Rng rng(21);
+  int hits = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (pattern.pick({0, 0}, rng).value() == (Coord{4, 4})) ++hits;
+  }
+  // 30% direct + a little from the uniform remainder.
+  EXPECT_GT(hits, kDraws * 0.29);
+  EXPECT_LT(hits, kDraws * 0.34);
+}
+
+TEST(Hotspot, RejectsBlockedHotspot) {
+  const Mesh mesh(8, 8);
+  const auto faults = FaultMap::from_blocks(mesh, {Rect{4, 4, 4, 4}});
+  EXPECT_THROW(traffic::HotspotTraffic(faults, {4, 4}, 0.1),
+               std::invalid_argument);
+}
+
+TEST(PatternFactory, KnownNamesAndErrors) {
+  const Mesh mesh(8, 8);
+  const FaultMap faults(mesh);
+  for (const auto* name : {"uniform", "transpose", "complement", "hotspot"}) {
+    EXPECT_EQ(traffic::make_pattern(name, faults)->name(), name);
+  }
+  EXPECT_THROW(traffic::make_pattern("nope", faults), std::invalid_argument);
+}
+
+struct GenFixture {
+  Mesh mesh{6, 6};
+  FaultMap faults{mesh};
+  FRingSet rings{faults};
+  std::unique_ptr<ftmesh::routing::RoutingAlgorithm> algo =
+      ftmesh::routing::make_algorithm("Minimal-Adaptive", mesh, faults, rings);
+  ftmesh::router::Network net{mesh, faults, *algo, {}, Rng(3)};
+  traffic::UniformTraffic pattern{faults};
+};
+
+TEST(Generator, PoissonRateMatchesLongRunAverage) {
+  GenFixture f;
+  traffic::Generator gen(f.faults, f.pattern, 0.002, 4, Rng(11));
+  for (int c = 0; c < 20000; ++c) {
+    gen.tick(f.net);
+    f.net.step();
+  }
+  // Expected: 36 nodes x 0.002 x 20000 = 1440 messages.
+  EXPECT_NEAR(static_cast<double>(gen.generated()), 1440.0, 1440.0 * 0.1);
+}
+
+TEST(Generator, SaturatedKeepsSourcesBusy) {
+  GenFixture f;
+  traffic::Generator gen(f.faults, f.pattern, -1.0, 4, Rng(13));
+  EXPECT_TRUE(gen.saturated());
+  for (int c = 0; c < 200; ++c) {
+    gen.tick(f.net);
+    f.net.step();
+  }
+  // Every active node must have generated multiple messages by now.
+  EXPECT_GT(gen.generated(), 36u * 2u);
+}
+
+TEST(Generator, OnlyActiveSourcesGenerate) {
+  const Mesh mesh(6, 6);
+  const auto faults = FaultMap::from_blocks(mesh, {Rect{2, 2, 3, 3}});
+  const FRingSet rings(faults);
+  const auto algo =
+      ftmesh::routing::make_algorithm("Minimal-Adaptive", mesh, faults, rings);
+  ftmesh::router::Network net(mesh, faults, *algo, {}, Rng(3));
+  const traffic::UniformTraffic pattern(faults);
+  traffic::Generator gen(faults, pattern, -1.0, 2, Rng(17));
+  for (int c = 0; c < 100; ++c) {
+    gen.tick(net);
+    net.step();
+  }
+  for (const auto& m : net.messages()) {
+    EXPECT_TRUE(faults.active(m.src));
+    EXPECT_TRUE(faults.active(m.dst));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Tests for virtual-channel layout partitioning.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ftmesh/routing/vc_layout.hpp"
+
+namespace {
+
+using ftmesh::router::MsgType;
+using ftmesh::routing::VcLayout;
+using ftmesh::routing::VcRole;
+
+TEST(VcLayout, PaperPHopLayout) {
+  // 24 VCs = 19 classes x 1 + 4 ring + 1 spare (goes to class 0).
+  const auto l = VcLayout::hop_based(24, 19, 1, true);
+  EXPECT_EQ(l.total(), 24);
+  EXPECT_EQ(l.escape_class_count(), 19);
+  EXPECT_EQ(l.escape_class(0).size(), 2u);  // vc 0 + the spare
+  for (int c = 1; c < 19; ++c) EXPECT_EQ(l.escape_class(c).size(), 1u);
+  EXPECT_TRUE(l.has_ring());
+  EXPECT_TRUE(l.adaptive().empty());
+}
+
+TEST(VcLayout, PaperNHopLayout) {
+  // 24 VCs = 10 classes x 2 + 4 ring, exactly.
+  const auto l = VcLayout::hop_based(24, 10, 2, true);
+  EXPECT_EQ(l.total(), 24);
+  EXPECT_EQ(l.escape_class_count(), 10);
+  for (int c = 0; c < 10; ++c) EXPECT_EQ(l.escape_class(c).size(), 2u);
+  EXPECT_TRUE(l.has_ring());
+}
+
+TEST(VcLayout, RingChannelsAreDistinctPerType) {
+  const auto l = VcLayout::hop_based(24, 10, 2, true);
+  std::set<int> seen;
+  for (const auto t : {MsgType::WE, MsgType::EW, MsgType::SN, MsgType::NS}) {
+    const int vc = l.ring_vc(t);
+    EXPECT_GE(vc, 0);
+    EXPECT_LT(vc, 24);
+    EXPECT_EQ(l.at(vc).role, VcRole::BcRing);
+    seen.insert(vc);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(VcLayout, EscapeClassClampsOutOfRangeLevels) {
+  const auto l = VcLayout::hop_based(24, 10, 2, true);
+  EXPECT_EQ(l.escape_class(99).data(), l.escape_class(9).data());
+  EXPECT_EQ(l.escape_class(-1).data(), l.escape_class(0).data());
+}
+
+TEST(VcLayout, HopBasedRejectsOverBudget) {
+  EXPECT_THROW(VcLayout::hop_based(20, 19, 1, true), std::invalid_argument);
+  EXPECT_THROW(VcLayout::hop_based(8, 0, 1, false), std::invalid_argument);
+}
+
+TEST(VcLayout, DuatoPbcLayout) {
+  // 24 = 19 escape + 4 ring + 1 adaptive.
+  const auto l = VcLayout::duato(24, 19, 1, true);
+  EXPECT_EQ(l.adaptive().size(), 1u);
+  EXPECT_EQ(l.escape_class_count(), 19);
+  EXPECT_TRUE(l.has_ring());
+  EXPECT_TRUE(l.xy_escape().empty());
+}
+
+TEST(VcLayout, DuatoNbcLayoutHasWideClassI) {
+  // 24 = 10 escape + 4 ring + 10 adaptive (the paper's point about
+  // Duato-Nbc having more class-I channels than Duato-Pbc).
+  const auto l = VcLayout::duato(24, 10, 1, true);
+  EXPECT_EQ(l.adaptive().size(), 10u);
+}
+
+TEST(VcLayout, DuatoXyLayout) {
+  const auto l = VcLayout::duato(24, 0, 0, true, true);
+  EXPECT_EQ(l.adaptive().size(), 19u);
+  EXPECT_EQ(l.xy_escape().size(), 1u);
+  EXPECT_EQ(l.escape_class_count(), 0);
+  EXPECT_TRUE(l.escape_class(0).empty());
+}
+
+TEST(VcLayout, AdaptiveLayout) {
+  const auto l = VcLayout::adaptive(24, true, true);
+  EXPECT_EQ(l.adaptive().size(), 19u);
+  EXPECT_EQ(l.xy_escape().size(), 1u);
+  EXPECT_TRUE(l.has_ring());
+  const auto no_ring = VcLayout::adaptive(24, false, false);
+  EXPECT_EQ(no_ring.adaptive().size(), 24u);
+  EXPECT_FALSE(no_ring.has_ring());
+  EXPECT_EQ(no_ring.ring_vc(MsgType::WE), -1);
+}
+
+TEST(VcLayout, DuatoRequiresClassI) {
+  EXPECT_THROW(VcLayout::duato(23, 19, 1, true), std::invalid_argument);
+}
+
+TEST(VcLayout, AllIndicesPartitioned) {
+  const auto l = VcLayout::duato(24, 10, 1, true, true);
+  std::vector<int> seen(24, 0);
+  for (const int vc : l.adaptive()) ++seen[static_cast<std::size_t>(vc)];
+  for (const int vc : l.xy_escape()) ++seen[static_cast<std::size_t>(vc)];
+  for (int c = 0; c < l.escape_class_count(); ++c) {
+    for (const int vc : l.escape_class(c)) ++seen[static_cast<std::size_t>(vc)];
+  }
+  for (const auto t : {MsgType::WE, MsgType::EW, MsgType::SN, MsgType::NS}) {
+    ++seen[static_cast<std::size_t>(l.ring_vc(t))];
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+}  // namespace

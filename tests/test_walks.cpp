@@ -1,0 +1,143 @@
+// Header-walk properties: the routing *relation* itself (no flits, no
+// contention) must bring a header from any source to any destination.
+//
+// Walking the first candidate at every node is the uncontended behaviour of
+// the network; if these walks terminate, the routing function is connected
+// around the faults.  The suite sweeps:
+//   W1  every rectangle position/size of a single block fault (exhaustive)
+//   W2  random multi-region patterns x all eleven algorithms
+//   W3  boundary-hugging regions (f-chains, incl. chain-end reversal)
+
+#include <gtest/gtest.h>
+
+#include "ftmesh/routing/registry.hpp"
+
+namespace {
+
+using ftmesh::fault::FaultMap;
+using ftmesh::fault::FRingSet;
+using ftmesh::fault::Rect;
+using ftmesh::router::Message;
+using ftmesh::routing::RoutingAlgorithm;
+using ftmesh::sim::Rng;
+using ftmesh::topology::Coord;
+using ftmesh::topology::Mesh;
+
+/// Walks msg's header from src to dst taking the first candidate at each
+/// node; returns hops taken, or -1 if it stalls or exceeds the budget.
+int walk(const RoutingAlgorithm& algo, const Mesh& mesh, Coord src, Coord dst) {
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.length = 100;
+  algo.on_inject(msg);
+  Coord at = src;
+  ftmesh::routing::CandidateList out;
+  const int budget = 10 * mesh.diameter();
+  for (int hop = 0; hop < budget; ++hop) {
+    if (at == dst) return hop;
+    out.clear();
+    algo.candidates(at, msg, out);
+    if (out.empty()) return -1;
+    const auto& cv = out[0];
+    algo.on_hop(at, cv.dir, cv.vc, msg);
+    at = at.step(cv.dir);
+  }
+  return at == dst ? budget : -1;
+}
+
+/// Walks a sample of source/destination pairs over a fault map.
+void check_pairs(const Mesh& mesh, const FaultMap& map,
+                 const RoutingAlgorithm& algo, int pairs, Rng& rng,
+                 const std::string& label) {
+  const auto active = map.active_nodes();
+  ASSERT_GE(active.size(), 2u);
+  for (int i = 0; i < pairs; ++i) {
+    const Coord src = active[rng.next_below(active.size())];
+    const Coord dst = active[rng.next_below(active.size())];
+    if (src == dst) continue;
+    const int hops = walk(algo, mesh, src, dst);
+    ASSERT_GE(hops, 0) << label << ": stuck " << src.x << "," << src.y
+                       << " -> " << dst.x << "," << dst.y;
+    EXPECT_GE(hops, manhattan(src, dst)) << label;
+  }
+}
+
+TEST(Walks, W1_EverySingleBlockPosition) {
+  const Mesh mesh(8, 8);
+  Rng rng(41);
+  int rects = 0;
+  for (int w = 1; w <= 3; ++w) {
+    for (int h = 1; h <= 3; ++h) {
+      for (int x0 = 0; x0 + w <= 8; ++x0) {
+        for (int y0 = 0; y0 + h <= 8; ++y0) {
+          const Rect r{x0, y0, x0 + w - 1, y0 + h - 1};
+          FaultMap map = FaultMap::from_blocks(mesh, {r});
+          const FRingSet rings(map);
+          const auto algo =
+              ftmesh::routing::make_algorithm("Nbc", mesh, map, rings);
+          check_pairs(mesh, map, *algo, 6, rng,
+                      "rect(" + std::to_string(x0) + "," + std::to_string(y0) +
+                          "," + std::to_string(w) + "x" + std::to_string(h) + ")");
+          ++rects;
+        }
+      }
+    }
+  }
+  EXPECT_GT(rects, 300);  // the sweep really was exhaustive
+}
+
+TEST(Walks, W2_AllAlgorithmsOnRandomPatterns) {
+  const Mesh mesh(10, 10);
+  Rng fault_rng(77);
+  for (int pattern = 0; pattern < 5; ++pattern) {
+    const auto map = FaultMap::random(mesh, 10, fault_rng);
+    const FRingSet rings(map);
+    for (const auto& name : ftmesh::routing::algorithm_names()) {
+      const auto algo = ftmesh::routing::make_algorithm(name, mesh, map, rings);
+      Rng rng(static_cast<std::uint64_t>(pattern) * 131 + 7);
+      check_pairs(mesh, map, *algo, 30, rng,
+                  name + " pattern " + std::to_string(pattern));
+    }
+  }
+}
+
+TEST(Walks, W3_BoundaryChainsWithReversal) {
+  const Mesh mesh(10, 10);
+  Rng rng(3);
+  // Regions hugging each mesh side and two corners: all produce f-chains.
+  const std::vector<Rect> edge_rects = {
+      {0, 3, 0, 6},  // west edge
+      {9, 2, 9, 5},  // east edge
+      {3, 0, 6, 0},  // south edge
+      {2, 9, 5, 9},  // north edge
+      {0, 0, 1, 1},  // SW corner
+      {8, 8, 9, 9},  // NE corner
+  };
+  for (const auto& r : edge_rects) {
+    const auto map = FaultMap::from_blocks(mesh, {r});
+    const FRingSet rings(map);
+    for (const auto* name : {"PHop", "Nbc", "Duato", "Minimal-Adaptive"}) {
+      const auto algo = ftmesh::routing::make_algorithm(name, mesh, map, rings);
+      check_pairs(mesh, map, *algo, 25, rng, std::string(name) + " edge rect");
+    }
+  }
+}
+
+TEST(Walks, W4_RingEntryDistanceRuleGuaranteesProgress) {
+  // Force classic blocked starts: source directly west of a wide region,
+  // destination directly east, for every row the region spans.
+  const Mesh mesh(10, 10);
+  const Rect r{4, 2, 5, 7};
+  const auto map = FaultMap::from_blocks(mesh, {r});
+  const FRingSet rings(map);
+  const auto algo = ftmesh::routing::make_algorithm("NHop", mesh, map, rings);
+  for (int y = r.y0; y <= r.y1; ++y) {
+    const int hops = walk(*algo, mesh, {r.x0 - 1, y}, {r.x1 + 1, y});
+    ASSERT_GE(hops, 0) << "row " << y;
+    // Must detour: strictly more hops than the (blocked) Manhattan distance.
+    EXPECT_GT(hops, manhattan(Coord{r.x0 - 1, y}, Coord{r.x1 + 1, y}));
+  }
+}
+
+}  // namespace

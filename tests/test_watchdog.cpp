@@ -1,0 +1,61 @@
+// Tests for the deadlock watchdog.
+
+#include <gtest/gtest.h>
+
+#include "ftmesh/sim/watchdog.hpp"
+
+namespace {
+
+using ftmesh::sim::Watchdog;
+
+TEST(Watchdog, QuietWhenEmpty) {
+  Watchdog dog(10);
+  for (int i = 0; i < 100; ++i) dog.observe(0, 0);
+  EXPECT_FALSE(dog.tripped());
+}
+
+TEST(Watchdog, QuietWhileMoving) {
+  Watchdog dog(10);
+  for (int i = 0; i < 100; ++i) dog.observe(1, 50);
+  EXPECT_FALSE(dog.tripped());
+  EXPECT_EQ(dog.idle_streak(), 0u);
+}
+
+TEST(Watchdog, TripsAfterPatienceIdleCycles) {
+  Watchdog dog(10);
+  for (int i = 0; i < 9; ++i) dog.observe(0, 50);
+  EXPECT_FALSE(dog.tripped());
+  dog.observe(0, 50);
+  EXPECT_TRUE(dog.tripped());
+}
+
+TEST(Watchdog, MovementResetsTheStreak) {
+  Watchdog dog(10);
+  for (int i = 0; i < 9; ++i) dog.observe(0, 50);
+  dog.observe(5, 50);  // progress
+  EXPECT_EQ(dog.idle_streak(), 0u);
+  for (int i = 0; i < 9; ++i) dog.observe(0, 50);
+  EXPECT_FALSE(dog.tripped());
+}
+
+TEST(Watchdog, DrainToEmptyResetsStreak) {
+  Watchdog dog(10);
+  for (int i = 0; i < 9; ++i) dog.observe(0, 50);
+  dog.observe(0, 0);  // network empty: not a deadlock
+  EXPECT_EQ(dog.idle_streak(), 0u);
+  EXPECT_FALSE(dog.tripped());
+}
+
+TEST(Watchdog, StaysTrippedUntilReset) {
+  Watchdog dog(2);
+  dog.observe(0, 1);
+  dog.observe(0, 1);
+  EXPECT_TRUE(dog.tripped());
+  dog.observe(10, 1);  // progress does not clear a trip
+  EXPECT_TRUE(dog.tripped());
+  dog.reset();
+  EXPECT_FALSE(dog.tripped());
+  EXPECT_EQ(dog.idle_streak(), 0u);
+}
+
+}  // namespace

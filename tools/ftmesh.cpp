@@ -1,0 +1,218 @@
+// The ftmesh command-line driver: run simulations, sweep rates, find
+// saturation points, and inspect fault patterns without writing C++.
+//
+//   ftmesh run        [--config f] [--algorithm A] [--rate R] [--faults N]
+//                     [--cycles N] [--seed S] [--json] [--save-config f]
+//   ftmesh sweep      [--algorithm A] [--from R0] [--to R1] [--steps N] ...
+//   ftmesh saturation [--algorithm A] [--threshold T] ...
+//   ftmesh faults     [--faults N] [--seed S]
+//   ftmesh campaign   [--algorithms A,B,..] [--rates r1,r2,..]
+//                     [--fault-counts 0,5,10] [--patterns N] [--out f.csv]
+//   ftmesh algorithms
+//
+// Flags mirror SimConfig fields; a --config file provides the base and
+// explicit flags override it.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ftmesh/analysis/saturation.hpp"
+#include "ftmesh/core/campaign.hpp"
+#include "ftmesh/core/config_io.hpp"
+#include "ftmesh/core/experiment.hpp"
+#include "ftmesh/report/cli.hpp"
+#include "ftmesh/report/heatmap.hpp"
+#include "ftmesh/report/json.hpp"
+#include "ftmesh/report/table.hpp"
+
+namespace {
+
+using ftmesh::core::SimConfig;
+using ftmesh::report::Cli;
+
+SimConfig config_from_cli(const Cli& cli) {
+  SimConfig cfg;
+  if (const auto path = cli.get("config", ""); !path.empty()) {
+    cfg = ftmesh::core::load_config_file(path);
+  }
+  cfg.algorithm = cli.get("algorithm", cfg.algorithm);
+  cfg.traffic = cli.get("traffic", cfg.traffic);
+  cfg.width = static_cast<int>(cli.get_int("width", cfg.width));
+  cfg.height = static_cast<int>(cli.get_int("height", cfg.height));
+  cfg.injection_rate = cli.get_double("rate", cfg.injection_rate);
+  cfg.message_length =
+      static_cast<std::uint32_t>(cli.get_int("length", cfg.message_length));
+  cfg.total_vcs = static_cast<int>(cli.get_int("vcs", cfg.total_vcs));
+  cfg.fault_count = static_cast<int>(cli.get_int("faults", cfg.fault_count));
+  cfg.total_cycles =
+      static_cast<std::uint64_t>(cli.get_int("cycles", static_cast<std::int64_t>(cfg.total_cycles)));
+  cfg.warmup_cycles = static_cast<std::uint64_t>(
+      cli.get_int("warmup", static_cast<std::int64_t>(cfg.total_cycles / 3)));
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
+  cfg.buffer_depth = static_cast<int>(cli.get_int("buffer-depth", cfg.buffer_depth));
+  return cfg;
+}
+
+int cmd_run(const Cli& cli) {
+  auto cfg = config_from_cli(cli);
+  if (const auto path = cli.get("save-config", ""); !path.empty()) {
+    ftmesh::core::save_config_file(path, cfg);
+    std::cerr << "wrote " << path << "\n";
+  }
+  ftmesh::core::Simulator sim(cfg);
+  const auto r = sim.run();
+  if (cli.flag("json")) {
+    ftmesh::report::write_result_json(std::cout, cfg, r);
+    return r.deadlock ? 1 : 0;
+  }
+  ftmesh::report::Table table({"metric", "value"});
+  const auto row = [&](const std::string& k, const std::string& v) {
+    table.add_row({k, v});
+  };
+  row("algorithm", cfg.algorithm);
+  row("faults", std::to_string(r.faulty_nodes) + " faulty + " +
+                    std::to_string(r.deactivated_nodes) + " deactivated");
+  row("cycles run", std::to_string(r.cycles_run));
+  row("messages delivered", std::to_string(r.latency.delivered));
+  row("mean latency", ftmesh::report::format_double(r.latency.mean, 1));
+  row("mean network latency",
+      ftmesh::report::format_double(r.latency.mean_network, 1));
+  row("p99 latency", ftmesh::report::format_double(r.latency.p99, 1));
+  row("accepted flits/node/cycle",
+      ftmesh::report::format_double(r.throughput.accepted_flits_per_node_cycle, 4));
+  row("accepted/offered",
+      ftmesh::report::format_double(r.throughput.accepted_fraction, 3));
+  row("mean hops", ftmesh::report::format_double(r.latency.mean_hops, 2));
+  row("deadlock", r.deadlock ? "YES" : "no");
+  table.print(std::cout);
+  return r.deadlock ? 1 : 0;
+}
+
+int cmd_sweep(const Cli& cli) {
+  auto base = config_from_cli(cli);
+  const double from = cli.get_double("from", 0.0005);
+  const double to = cli.get_double("to", 0.005);
+  const int steps = static_cast<int>(cli.get_int("steps", 8));
+  std::vector<SimConfig> configs;
+  std::vector<double> rates;
+  for (int i = 0; i < steps; ++i) {
+    const double rate =
+        from + (to - from) * static_cast<double>(i) / std::max(1, steps - 1);
+    rates.push_back(rate);
+    auto cfg = base;
+    cfg.injection_rate = rate;
+    configs.push_back(cfg);
+  }
+  const auto results = ftmesh::core::run_batch(configs);
+  ftmesh::report::Table table(
+      {"rate", "accepted/offered", "mean latency", "network latency"});
+  for (int i = 0; i < steps; ++i) {
+    const auto row = table.add_row();
+    table.set(row, 0, rates[static_cast<std::size_t>(i)], 5);
+    table.set(row, 1, results[static_cast<std::size_t>(i)].throughput.accepted_fraction, 3);
+    table.set(row, 2, results[static_cast<std::size_t>(i)].latency.mean, 1);
+    table.set(row, 3, results[static_cast<std::size_t>(i)].latency.mean_network, 1);
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_saturation(const Cli& cli) {
+  auto base = config_from_cli(cli);
+  ftmesh::analysis::SaturationOptions opts;
+  opts.lo = cli.get_double("from", 0.0002);
+  opts.hi = cli.get_double("to", 0.01);
+  opts.threshold = cli.get_double("threshold", 0.95);
+  opts.iterations = static_cast<int>(cli.get_int("iterations", 7));
+  const auto r = ftmesh::analysis::find_saturation_rate(base, opts);
+  std::cout << base.algorithm << ": saturation at ~" << r.rate
+            << " msg/node/cycle (accepted/offered " << r.accepted << ", "
+            << r.simulations << " probe simulations)\n";
+  return 0;
+}
+
+int cmd_faults(const Cli& cli) {
+  const auto cfg = config_from_cli(cli);
+  const ftmesh::topology::Mesh mesh(cfg.width, cfg.height);
+  ftmesh::sim::Rng rng = ftmesh::sim::Rng(cfg.seed).derive(0xFA);
+  const auto map = cfg.fault_count > 0
+                       ? ftmesh::fault::FaultMap::random(mesh, cfg.fault_count, rng)
+                       : ftmesh::fault::FaultMap(mesh);
+  std::cout << map.faulty_count() << " faulty + " << map.deactivated_count()
+            << " deactivated nodes, " << map.regions().size() << " region(s)\n";
+  std::vector<double> zeros(static_cast<std::size_t>(mesh.node_count()), 0.0);
+  ftmesh::report::HeatmapOptions opts;
+  opts.show_scale = false;
+  ftmesh::report::print_heatmap(std::cout, map, zeros, opts);
+  return 0;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(text);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_campaign(const Cli& cli) {
+  ftmesh::core::CampaignSpec spec;
+  spec.base = config_from_cli(cli);
+  spec.algorithms = split_list(cli.get("algorithms", ""));
+  for (const auto& r : split_list(cli.get("rates", ""))) {
+    spec.rates.push_back(std::stod(r));
+  }
+  for (const auto& f : split_list(cli.get("fault-counts", ""))) {
+    spec.fault_counts.push_back(std::stoi(f));
+  }
+  spec.patterns = static_cast<int>(cli.get_int("patterns", 1));
+  const auto cells = ftmesh::core::run_campaign(spec);
+  if (const auto path = cli.get("out", ""); !path.empty()) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot write " + path);
+    ftmesh::core::write_campaign_csv(os, cells);
+    std::cerr << "wrote " << cells.size() << " cells to " << path << "\n";
+  } else {
+    ftmesh::core::write_campaign_csv(std::cout, cells);
+  }
+  return 0;
+}
+
+int cmd_algorithms() {
+  for (const auto& name : ftmesh::routing::algorithm_names()) {
+    std::cout << name << "\n";
+  }
+  return 0;
+}
+
+void usage() {
+  std::cerr << "usage: ftmesh <run|sweep|saturation|faults|campaign|algorithms> "
+               "[flags]\n(see the header of tools/ftmesh.cpp)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Cli cli(argc - 1, argv + 1);
+  try {
+    if (cmd == "run") return cmd_run(cli);
+    if (cmd == "sweep") return cmd_sweep(cli);
+    if (cmd == "saturation") return cmd_saturation(cli);
+    if (cmd == "faults") return cmd_faults(cli);
+    if (cmd == "campaign") return cmd_campaign(cli);
+    if (cmd == "algorithms") return cmd_algorithms();
+  } catch (const std::exception& e) {
+    std::cerr << "ftmesh: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+  return 2;
+}
