@@ -1,0 +1,51 @@
+#pragma once
+// Dense ids for the network's virtual channels, shared by the offline
+// deadlock verifier (verify::) and the router's debug cross-check.
+//
+// A channel is an *output* (link, vc) pair of a router: the physical link
+// from `node` in mesh direction `dir`, virtual channel `vc`.  The local
+// (injection/ejection) port is not a channel — injection sources and
+// ejection sinks cannot participate in a channel-dependency cycle.
+//
+// The header flit buffered at input port p of the router at node n occupies
+// the channel (u, opposite(p), vc) where u = n.step(p): the upstream
+// router's output channel feeding that input buffer.
+
+#include <cstdint>
+
+#include "ftmesh/topology/coordinates.hpp"
+
+namespace ftmesh::router {
+
+/// Channel id of (node, dir, vc) given `total_vcs` VCs per physical channel.
+[[nodiscard]] constexpr std::int32_t channel_id(topology::NodeId node,
+                                                topology::Direction dir,
+                                                int vc,
+                                                int total_vcs) noexcept {
+  return (static_cast<std::int32_t>(node) * topology::kMeshDirections +
+          static_cast<std::int32_t>(dir)) *
+             total_vcs +
+         vc;
+}
+
+[[nodiscard]] constexpr std::int32_t channel_table_size(int node_count,
+                                                        int total_vcs) noexcept {
+  return node_count * topology::kMeshDirections * total_vcs;
+}
+
+[[nodiscard]] constexpr topology::NodeId channel_node(std::int32_t ch,
+                                                      int total_vcs) noexcept {
+  return ch / (topology::kMeshDirections * total_vcs);
+}
+
+[[nodiscard]] constexpr topology::Direction channel_dir(std::int32_t ch,
+                                                        int total_vcs) noexcept {
+  return static_cast<topology::Direction>(
+      (ch / total_vcs) % topology::kMeshDirections);
+}
+
+[[nodiscard]] constexpr int channel_vc(std::int32_t ch, int total_vcs) noexcept {
+  return ch % total_vcs;
+}
+
+}  // namespace ftmesh::router

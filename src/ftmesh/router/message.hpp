@@ -46,6 +46,13 @@ struct RingState {
 struct RouteState {
   std::uint16_t hops = 0;           ///< total hops taken (all channels)
   std::uint16_t negative_hops = 0;  ///< hops from colour-1 to colour-0 nodes
+  /// Hop-scheme buffer-class counter.  Unlike `hops`, this advances only on
+  /// the base scheme's own hops, never on Boppana-Chalasani ring detours:
+  /// counting ring hops would overrun the diameter-sized class budget and
+  /// void the strictly-increasing-class deadlock argument (every non-ring
+  /// hop is minimal, so class hops + ring arcs <= initial distance keeps
+  /// the class within the top level).
+  std::uint16_t class_hops = 0;
   std::uint16_t class_offset = 0;   ///< bonus cards spent so far
   std::uint16_t cards_left = 0;     ///< bonus cards remaining
   std::uint16_t misroutes = 0;      ///< non-minimal hops (Fully-Adaptive cap)

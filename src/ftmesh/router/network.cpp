@@ -1,5 +1,7 @@
 #include "ftmesh/router/network.hpp"
 
+#include "ftmesh/router/channel_id.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <functional>
@@ -144,6 +146,15 @@ void Network::phase_injection() {
   }
 }
 
+void Network::set_debug_channel_order(std::vector<std::int32_t> ranks) {
+  const auto expected = static_cast<std::size_t>(
+      channel_table_size(mesh_->node_count(), algorithm_->layout().total()));
+  if (!ranks.empty() && ranks.size() != expected) {
+    throw std::invalid_argument("debug channel order: size mismatch");
+  }
+  debug_channel_order_ = std::move(ranks);
+}
+
 void Network::phase_routing() {
   const int vcs = algorithm_->layout().total();
   const int nivc = kPortCount * vcs;
@@ -200,6 +211,22 @@ void Network::phase_routing() {
             },
             rng_);
         const auto& chosen = free_cands_[pick];
+#ifndef NDEBUG
+        if (!debug_channel_order_.empty() && port != port_index(Direction::Local)) {
+          // The held channel is the upstream router's output feeding this
+          // input port (see channel_id.hpp).  On ranked -> ranked moves the
+          // verified dependency order must strictly increase.
+          const auto in_dir = static_cast<Direction>(port);
+          const NodeId up = mesh_->id_of(c.step(in_dir));
+          const auto held = static_cast<std::size_t>(
+              channel_id(up, opposite(in_dir), vc, vcs));
+          const auto next = static_cast<std::size_t>(
+              channel_id(id, chosen.dir, chosen.vc, vcs));
+          assert(debug_channel_order_[held] < 0 ||
+                 debug_channel_order_[next] < 0 ||
+                 debug_channel_order_[held] < debug_channel_order_[next]);
+        }
+#endif
         rt.output(port_index(chosen.dir), chosen.vc).allocate(m.id);
         ivc.out_dir = chosen.dir;
         ivc.out_vc = chosen.vc;

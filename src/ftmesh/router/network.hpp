@@ -141,6 +141,14 @@ class Network {
   using EjectHook = std::function<void(const Flit&, topology::Coord)>;
   void set_eject_hook(EjectHook hook) { eject_hook_ = std::move(hook); }
 
+  /// Debug cross-check against the offline deadlock verifier: `ranks` maps
+  /// each channel id (router/channel_id.hpp) to its topological rank in the
+  /// verified channel-dependency order, -1 for unchecked channels (see
+  /// verify::VerifyReport::channel_order).  In debug builds every routing
+  /// allocation then asserts that a header holding a ranked channel only
+  /// acquires strictly higher-ranked ones; release builds ignore the order.
+  void set_debug_channel_order(std::vector<std::int32_t> ranks);
+
  private:
   struct LinkReg {
     Flit flit;
@@ -200,6 +208,7 @@ class Network {
   std::uint64_t measured_candidates_free_ = 0;
 
   EjectHook eject_hook_;
+  std::vector<std::int32_t> debug_channel_order_;  // empty = check disabled
 
   // per-cycle scratch (kept across calls to avoid reallocation)
   routing::CandidateList cand_;

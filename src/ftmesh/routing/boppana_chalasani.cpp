@@ -93,18 +93,57 @@ void BoppanaChalasani::candidates(Coord at, const router::Message& msg,
     // Healthy minimal progress exists: route (or leave the ring) via the
     // base algorithm.
     base_->candidates(at, msg, out);
+    // Escape guarantee under faults: a fault can leave the base with
+    // adaptive candidates only (its dimension-order escape pointing into
+    // the fault while the other minimal direction is healthy).  Duato's
+    // progress condition needs an escape-capable channel at every state,
+    // so offer the ring as a final, lowest-priority tier — the classic
+    // fortification applied to the escape function, not just to full
+    // blockage.
+    bool has_escape = false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (layout().at(out[i].vc).role != VcRole::AdaptiveI) {
+        has_escape = true;
+        break;
+      }
+    }
+    if (has_escape) return;
+    const auto move = plan_ring_move(at, msg);
+    if (!move) return;
+    if (!out.empty()) out.next_tier();
+    add_ring_candidate(at, *move, out);
     return;
   }
   const auto move = plan_ring_move(at, msg);
   if (!move) return;  // not fault-blocked (transient) — wait
-  const Coord delta{move->next.x - at.x, move->next.y - at.y};
+  add_ring_candidate(at, *move, out);
+}
+
+void BoppanaChalasani::add_ring_candidate(Coord at, const RingMove& move,
+                                          CandidateList& out) const {
+  const Coord delta{move.next.x - at.x, move.next.y - at.y};
   Direction dir = Direction::Local;
   if (delta.x == 1) dir = Direction::XPlus;
   else if (delta.x == -1) dir = Direction::XMinus;
   else if (delta.y == 1) dir = Direction::YPlus;
   else if (delta.y == -1) dir = Direction::YMinus;
-  const int vc = layout().ring_vc(move->type);
+  const int vc = layout().ring_vc(move.type);
   if (dir != Direction::Local && vc >= 0) out.add(dir, vc);
+}
+
+std::uint64_t BoppanaChalasani::route_state_key(
+    const router::Message& msg) const noexcept {
+  std::uint64_t key = base_->route_state_key(msg) << 21;
+  const auto& ring = msg.rs.ring;
+  if (ring.active) {
+    key |= 1ULL << 20;
+    key |= static_cast<std::uint64_t>(ring.region & 0xFF) << 12;
+    key |= static_cast<std::uint64_t>(ring.vc_type) << 10;
+    key |= static_cast<std::uint64_t>(ring.orientation) << 9;
+    key |= static_cast<std::uint64_t>(ring.reversals > 0 ? 1 : 0) << 8;
+    key |= static_cast<std::uint64_t>(ring.entry_distance & 0xFF);
+  }
+  return key;
 }
 
 void BoppanaChalasani::on_hop(Coord at, Direction dir, int vc,

@@ -42,6 +42,19 @@ class BoppanaChalasani : public RoutingAlgorithm {
   void on_hop(topology::Coord at, topology::Direction dir, int vc,
               router::Message& msg) const override;
 
+  /// The fortification adds ring channels but does not change which CDG the
+  /// base algorithm's argument needs.
+  [[nodiscard]] DeadlockArgument deadlock_argument() const noexcept override {
+    return base_->deadlock_argument();
+  }
+
+  /// Base key widened with the ring-mode fields candidates() reads.  Stale
+  /// ring fields are masked out while inactive (they are rewritten from
+  /// scratch on the next ring entry), and `reversals` collapses to the one
+  /// bit plan_ring_move inspects.
+  [[nodiscard]] std::uint64_t route_state_key(
+      const router::Message& msg) const noexcept override;
+
   /// The planned ring move for a blocked/ring-mode header at `at`:
   /// (next ring node, region id, effective type, orientation, reversed).
   /// Exposed for tests.
@@ -61,6 +74,10 @@ class BoppanaChalasani : public RoutingAlgorithm {
   /// message's row/column type.
   [[nodiscard]] std::optional<int> blocking_region(topology::Coord at,
                                                    topology::Coord dst) const;
+
+  /// Appends the (direction, ring vc) candidate realising `move`.
+  void add_ring_candidate(topology::Coord at, const RingMove& move,
+                          CandidateList& out) const;
 
   const fault::FRingSet* rings_;
   std::unique_ptr<RoutingAlgorithm> base_;

@@ -60,16 +60,18 @@ void Boura::candidates(Coord at, const router::Message& msg,
   out.next_tier();
 
   // Tier 2: escape discipline — all positive-direction offsets resolved on
-  // escape class 0 before negative-direction offsets on class 1.
-  bool have_positive = false;
-  for (int d = 0; d < nmin; ++d) {
-    if (is_positive(minimal[static_cast<std::size_t>(d)])) have_positive = true;
-  }
+  // escape class 0 before negative-direction offsets on class 1.  The phase
+  // comes from the offsets themselves, not from which hops happen to be
+  // usable: a fault masking the only positive hop must not release the
+  // message into the negative class early — that back-edge makes the escape
+  // CDG cyclic.  It empties the tier instead, and the ring fortification
+  // supplies the escape candidate.  For the same reason the FT variant's
+  // unsafe-node avoidance does not apply here: escape availability is the
+  // deadlock guarantee, and unsafe nodes are healthy.
+  const bool have_positive = msg.dst.x > at.x || msg.dst.y > at.y;
   for (int d = 0; d < nmin; ++d) {
     const Direction dir = minimal[static_cast<std::size_t>(d)];
-    if (have_positive && !is_positive(dir)) continue;
-    const Coord next = at.step(dir);
-    if (ft && unsafe(next) && !(next == msg.dst)) continue;
+    if (have_positive != is_positive(dir)) continue;
     for (const int vc : layout_.escape_class(have_positive ? 0 : 1)) {
       out.add(dir, vc);
     }

@@ -38,6 +38,12 @@ class Boura : public RoutingAlgorithm {
   void candidates(topology::Coord at, const router::Message& msg,
                   CandidateList& out) const override;
 
+  /// candidates() reads only the header position and destination.
+  [[nodiscard]] std::uint64_t route_state_key(
+      const router::Message&) const noexcept override {
+    return 0;
+  }
+
   /// True when `c` carries the unsafe label (FT variant only; always false
   /// for the adaptive variant).
   [[nodiscard]] bool unsafe(topology::Coord c) const noexcept {

@@ -32,6 +32,14 @@ class Duato : public RoutingAlgorithm {
     escape_->on_hop(at, dir, vc, msg);
   }
 
+  /// Class-I candidates read no routing state; the escape tier's key is the
+  /// whole story.  (deadlock_argument stays EscapeCdg per Duato's theorem,
+  /// even when the escape algorithm alone would demand a full-CDG check.)
+  [[nodiscard]] std::uint64_t route_state_key(
+      const router::Message& msg) const noexcept override {
+    return escape_->route_state_key(msg);
+  }
+
   [[nodiscard]] const RoutingAlgorithm& escape() const noexcept { return *escape_; }
 
  private:

@@ -4,6 +4,8 @@
 // non-minimal (but healthy, non-U-turn) hop, up to `misroute_limit` times
 // (the paper fixes the limit at 10 to preclude livelock).
 
+#include <algorithm>
+
 #include "ftmesh/routing/routing_algorithm.hpp"
 #include "ftmesh/routing/xy.hpp"
 
@@ -26,6 +28,15 @@ class FullyAdaptive : public RoutingAlgorithm {
 
   void candidates(topology::Coord at, const router::Message& msg,
                   CandidateList& out) const override;
+
+  /// candidates() reads the misroute budget (saturating at the limit, since
+  /// tier 2 closes for good once it is spent) and the U-turn guard.
+  [[nodiscard]] std::uint64_t route_state_key(
+      const router::Message& msg) const noexcept override {
+    const auto spent = static_cast<std::uint64_t>(
+        std::min(static_cast<int>(msg.rs.misroutes), misroute_limit_));
+    return spent << 3 | static_cast<std::uint64_t>(msg.rs.last_dir);
+  }
 
  private:
   VcLayout layout_;

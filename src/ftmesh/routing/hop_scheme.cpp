@@ -20,13 +20,22 @@ std::string_view HopScheme::name() const noexcept {
 }
 
 int HopScheme::current_class(const router::Message& msg) const noexcept {
-  const int taken = kind_ == Kind::Positive
-                        ? static_cast<int>(msg.rs.hops)
-                        : static_cast<int>(msg.rs.negative_hops);
-  return taken + static_cast<int>(msg.rs.class_offset);
+  return static_cast<int>(msg.rs.class_hops) +
+         static_cast<int>(msg.rs.class_offset);
+}
+
+std::uint64_t HopScheme::route_state_key(
+    const router::Message& msg) const noexcept {
+  const int top = layout_.escape_class_count() - 1;
+  const auto lo =
+      static_cast<std::uint64_t>(std::min(current_class(msg), top));
+  const auto hi = static_cast<std::uint64_t>(
+      std::min(static_cast<int>(lo) + static_cast<int>(msg.rs.cards_left), top));
+  return lo << 8 | hi;
 }
 
 void HopScheme::on_inject(router::Message& msg) const {
+  msg.rs.class_hops = 0;
   msg.rs.class_offset = 0;
   if (!bonus_) {
     msg.rs.cards_left = 0;
@@ -70,6 +79,16 @@ void HopScheme::on_hop(Coord at, Direction dir, int vc,
       msg.rs.class_offset = static_cast<std::uint16_t>(msg.rs.class_offset + spend);
       msg.rs.cards_left = static_cast<std::uint16_t>(msg.rs.cards_left - spend);
     }
+  }
+  // Advance the class counter.  This runs for every hop the scheme (or a
+  // Duato wrapper delegating to it) takes — class-I adaptive hops included,
+  // which keeps the class a lower bound on progress — but never for ring
+  // hops (the Boppana-Chalasani wrapper bypasses the base's on_hop there).
+  if (kind_ == Kind::Positive) {
+    ++msg.rs.class_hops;
+  } else if (topology::Mesh::colour(at) == 1 &&
+             topology::Mesh::colour(at.step(dir)) == 0) {
+    ++msg.rs.class_hops;
   }
   RoutingAlgorithm::on_hop(at, dir, vc, msg);
 }

@@ -38,10 +38,24 @@ class HopScheme : public RoutingAlgorithm {
   void on_hop(topology::Coord at, topology::Direction dir, int vc,
               router::Message& msg) const override;
 
+  /// The class index must strictly increase along every dependency chain,
+  /// so the whole CDG must be acyclic.
+  [[nodiscard]] DeadlockArgument deadlock_argument() const noexcept override {
+    return DeadlockArgument::FullCdg;
+  }
+
+  /// Candidates depend only on the clamped class window [lo, hi]; both are
+  /// congruent under on_hop (lo' = min(max(level, lo) + 1, top) and
+  /// hi' = min(hi + 1, top)), so the pair is a complete finite projection.
+  [[nodiscard]] std::uint64_t route_state_key(
+      const router::Message& msg) const noexcept override;
+
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
   [[nodiscard]] bool bonus_cards() const noexcept { return bonus_; }
 
-  /// Current minimum legal class for `msg` (its class "floor").
+  /// Current minimum legal class for `msg` (its class "floor").  Based on
+  /// RouteState::class_hops, which excludes ring-detour hops: counting those
+  /// would overrun the diameter-sized class budget (see message.hpp).
   [[nodiscard]] int current_class(const router::Message& msg) const noexcept;
 
  private:

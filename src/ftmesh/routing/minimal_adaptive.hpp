@@ -27,6 +27,12 @@ class MinimalAdaptive : public RoutingAlgorithm {
   void candidates(topology::Coord at, const router::Message& msg,
                   CandidateList& out) const override;
 
+  /// candidates() reads only the header position and destination.
+  [[nodiscard]] std::uint64_t route_state_key(
+      const router::Message&) const noexcept override {
+    return 0;
+  }
+
  private:
   VcLayout layout_;
   XyRouting xy_;

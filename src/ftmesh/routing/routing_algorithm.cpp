@@ -19,6 +19,21 @@ void RoutingAlgorithm::on_hop(Coord at, Direction dir, int vc,
   msg.rs.last_dir = dir;
 }
 
+std::uint64_t RoutingAlgorithm::route_state_key(
+    const router::Message& msg) const noexcept {
+  // Conservative default: every counter candidates() could read, unclamped.
+  // Sound for any algorithm, but keeps distinct keys for states that may
+  // behave identically; override with a clamped projection where possible.
+  const auto& rs = msg.rs;
+  std::uint64_t key = rs.hops;
+  key = key << 10 | rs.negative_hops;
+  key = key << 10 | rs.class_hops;
+  key = key << 8 | (rs.class_offset & 0xFF);
+  key = key << 8 | (rs.cards_left & 0xFF);
+  key = key << 6 | (rs.misroutes & 0x3F);
+  return key;
+}
+
 int RoutingAlgorithm::usable_minimal(Coord at, Coord dst,
                                      std::array<Direction, 2>& dirs) const noexcept {
   std::array<Direction, 2> minimal{};

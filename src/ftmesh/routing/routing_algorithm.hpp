@@ -13,7 +13,9 @@
 // Message::rs), which makes them safe to share between the router pipeline
 // and tests.
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -53,23 +55,46 @@ class CandidateList {
 
   [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
-  [[nodiscard]] const CandidateVc& operator[](std::size_t i) const { return items_[i]; }
+  [[nodiscard]] const CandidateVc& operator[](std::size_t i) const {
+    assert(i < items_.size());
+    return items_[i];
+  }
 
-  /// Number of tier ranges (boundaries + 1); trailing ranges may be empty.
+  /// Number of tier ranges (boundaries + 1).  Zero when no candidate was
+  /// added, even if tier boundaries were pushed (an all-empty list has no
+  /// usable tiers); trailing ranges may be empty.
   [[nodiscard]] std::size_t tier_count() const noexcept {
     return items_.empty() ? 0 : tiers_.size() + 1;
   }
 
   /// Half-open range [begin, end) of tier `t` (t < tier_count()).
   [[nodiscard]] std::pair<std::size_t, std::size_t> tier_range(std::size_t t) const noexcept {
+    assert(t < tier_count());
     const std::size_t begin = t == 0 ? 0 : tiers_[t - 1];
     const std::size_t end = t < tiers_.size() ? tiers_[t] : items_.size();
+    assert(begin <= end && end <= items_.size());
     return {begin, end};
   }
 
  private:
   std::vector<CandidateVc> items_;
   std::vector<std::size_t> tiers_;
+};
+
+/// Which channel-dependency graph the static verifier (verify::) must prove
+/// acyclic for an algorithm's deadlock-freedom argument to hold.  Boppana-
+/// Chalasani ring channels are in neither subgraph: the verifier checks
+/// them as a separate layer (no arc may wrap a fault ring) and the
+/// fortification theorem covers dependencies crossing the layers.
+enum class DeadlockArgument : std::uint8_t {
+  /// Every non-ring channel the algorithm can use must form an acyclic CDG
+  /// (hop-count ordering: the hop schemes, XY).
+  FullCdg = 0,
+  /// Only the escape subnetwork (every non-class-I, non-ring channel) must
+  /// be acyclic; adaptive class-I channels may depend cyclically per
+  /// Duato's theorem (Duato variants, Boura, the free-choice algorithms
+  /// with an XY escape).
+  EscapeCdg = 1,
 };
 
 class RoutingAlgorithm {
@@ -91,6 +116,24 @@ class RoutingAlgorithm {
   /// (dir, vc).  Default updates the generic hop counters.
   virtual void on_hop(topology::Coord at, topology::Direction dir, int vc,
                       router::Message& msg) const;
+
+  // ---- static-verification hooks (verify::) ---------------------------
+
+  /// Which CDG check proves this algorithm deadlock-free.
+  [[nodiscard]] virtual DeadlockArgument deadlock_argument() const noexcept {
+    return DeadlockArgument::EscapeCdg;
+  }
+
+  /// Canonical key of the routing-state fields `candidates` actually reads,
+  /// with unbounded counters clamped at their behavioural saturation point.
+  /// Contract: two messages with equal keys, equal destination and equal
+  /// header position receive identical candidate sets, and equal keys map to
+  /// equal keys under on_hop (congruence) — the verifier relies on this to
+  /// make its reachable-state enumeration finite.  The default packs the raw
+  /// counters, which is always sound but may blow up the verifier's state
+  /// space; algorithms should override with their clamped projection.
+  [[nodiscard]] virtual std::uint64_t route_state_key(
+      const router::Message& msg) const noexcept;
 
  protected:
   RoutingAlgorithm(const topology::Mesh& mesh, const fault::FaultMap& faults)

@@ -1,0 +1,48 @@
+#pragma once
+// A deliberately deadlock-prone routing algorithm used to demonstrate (and
+// regression-test) that the verifier actually catches cycles: minimal
+// adaptive routing on a single virtual channel with every turn permitted
+// and no escape discipline.  Four messages turning E->N, N->W, W->S and
+// S->E around any unit square close a channel-dependency cycle, the classic
+// wormhole deadlock the turn model forbids.  It claims a FullCdg argument,
+// which the verifier must refute.
+
+#include "ftmesh/routing/routing_algorithm.hpp"
+
+namespace ftmesh::verify {
+
+class BrokenDemoRouting : public routing::RoutingAlgorithm {
+ public:
+  BrokenDemoRouting(const topology::Mesh& mesh, const fault::FaultMap& faults)
+      : routing::RoutingAlgorithm(mesh, faults),
+        layout_(routing::VcLayout::adaptive(1, /*ring=*/false, /*xy=*/false)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Broken-Demo";
+  }
+  [[nodiscard]] const routing::VcLayout& layout() const noexcept override {
+    return layout_;
+  }
+
+  void candidates(topology::Coord at, const router::Message& msg,
+                  routing::CandidateList& out) const override {
+    std::array<topology::Direction, 2> dirs{};
+    const int n = usable_minimal(at, msg.dst, dirs);
+    for (int d = 0; d < n; ++d) {
+      out.add(dirs[static_cast<std::size_t>(d)], 0);
+    }
+  }
+
+  [[nodiscard]] routing::DeadlockArgument deadlock_argument() const noexcept override {
+    return routing::DeadlockArgument::FullCdg;
+  }
+  [[nodiscard]] std::uint64_t route_state_key(
+      const router::Message&) const noexcept override {
+    return 0;
+  }
+
+ private:
+  routing::VcLayout layout_;
+};
+
+}  // namespace ftmesh::verify

@@ -1,0 +1,137 @@
+#include "ftmesh/verify/scc.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ftmesh::verify {
+
+namespace {
+
+constexpr std::int32_t kUnvisited = -1;
+
+bool included(const std::vector<char>& include, std::int32_t v) {
+  return include.empty() || include[static_cast<std::size_t>(v)] != 0;
+}
+
+}  // namespace
+
+SccResult strongly_connected_components(
+    const std::vector<std::vector<std::int32_t>>& adj,
+    const std::vector<char>& include) {
+  const auto n = static_cast<std::int32_t>(adj.size());
+  SccResult r;
+  r.comp.assign(adj.size(), -1);
+
+  std::vector<std::int32_t> index(adj.size(), kUnvisited);
+  std::vector<std::int32_t> lowlink(adj.size(), 0);
+  std::vector<char> on_stack(adj.size(), 0);
+  std::vector<std::int32_t> stack;
+  std::int32_t next_index = 0;
+
+  // Explicit DFS frame: vertex and position in its adjacency list.
+  struct Frame {
+    std::int32_t v;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames;
+
+  for (std::int32_t root = 0; root < n; ++root) {
+    if (!included(include, root) || index[static_cast<std::size_t>(root)] != kUnvisited) {
+      continue;
+    }
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      auto& f = frames.back();
+      const auto v = static_cast<std::size_t>(f.v);
+      if (f.edge == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(f.v);
+        on_stack[v] = 1;
+      }
+      bool descended = false;
+      while (f.edge < adj[v].size()) {
+        const std::int32_t w = adj[v][f.edge++];
+        if (!included(include, w)) continue;
+        const auto wi = static_cast<std::size_t>(w);
+        if (index[wi] == kUnvisited) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[wi] != 0) {
+          lowlink[v] = std::min(lowlink[v], index[wi]);
+        }
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        const std::int32_t comp = r.comp_count++;
+        std::int32_t size = 0;
+        for (;;) {
+          const std::int32_t w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = 0;
+          r.comp[static_cast<std::size_t>(w)] = comp;
+          ++size;
+          if (w == f.v) break;
+        }
+        r.comp_size.push_back(size);
+      }
+      const std::int32_t finished = f.v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const auto p = static_cast<std::size_t>(frames.back().v);
+        lowlink[p] = std::min(lowlink[p], lowlink[static_cast<std::size_t>(finished)]);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<std::int32_t> find_cycle(
+    const std::vector<std::vector<std::int32_t>>& adj,
+    const std::vector<char>& include) {
+  const auto r = strongly_connected_components(adj, include);
+
+  // Locate an offending component: size > 1, or a self-loop.
+  std::int32_t target = -1;
+  std::int32_t start = -1;
+  for (std::int32_t v = 0; v < static_cast<std::int32_t>(adj.size()); ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (r.comp[vi] < 0) continue;
+    if (r.comp_size[static_cast<std::size_t>(r.comp[vi])] > 1) {
+      target = r.comp[vi];
+      start = v;
+      break;
+    }
+    for (const std::int32_t w : adj[vi]) {
+      if (w == v && included(include, w)) return {v};  // self-loop
+    }
+  }
+  if (target < 0) return {};
+
+  // Walk inside the component until a vertex repeats; the suffix from its
+  // first occurrence is a cycle.  Every vertex of a size->1 SCC has an
+  // out-edge staying inside it, so the walk cannot get stuck.
+  std::vector<std::int32_t> path;
+  std::vector<std::int32_t> pos_on_path(adj.size(), -1);
+  std::int32_t v = start;
+  for (;;) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (pos_on_path[vi] >= 0) {
+      return {path.begin() + pos_on_path[vi], path.end()};
+    }
+    pos_on_path[vi] = static_cast<std::int32_t>(path.size());
+    path.push_back(v);
+    std::int32_t next = -1;
+    for (const std::int32_t w : adj[vi]) {
+      if (included(include, w) && r.comp[static_cast<std::size_t>(w)] == target) {
+        next = w;
+        break;
+      }
+    }
+    if (next < 0) return path;  // unreachable for a well-formed SCC
+    v = next;
+  }
+}
+
+}  // namespace ftmesh::verify

@@ -1,0 +1,35 @@
+#pragma once
+// Strongly connected components (iterative Tarjan) over a subgraph, used by
+// the verifier to decide channel-dependency-graph acyclicity and to extract
+// a witness cycle when there is one.
+
+#include <cstdint>
+#include <vector>
+
+namespace ftmesh::verify {
+
+struct SccResult {
+  /// Component id per vertex; -1 for vertices excluded from the subgraph.
+  std::vector<std::int32_t> comp;
+  std::int32_t comp_count = 0;
+  std::vector<std::int32_t> comp_size;  ///< indexed by component id
+
+  /// Components are numbered in reverse topological order of the
+  /// condensation (sinks first): an edge u -> v implies comp[v] <= comp[u],
+  /// strictly when the graph is acyclic.
+};
+
+/// Components of the subgraph of `adj` induced by `include[v] != 0`.  An
+/// empty `include` selects every vertex.
+[[nodiscard]] SccResult strongly_connected_components(
+    const std::vector<std::vector<std::int32_t>>& adj,
+    const std::vector<char>& include);
+
+/// A dependency cycle in the induced subgraph (vertex list, first != last,
+/// each adjacent pair an edge, last -> first closes it), or empty when the
+/// subgraph is acyclic.  Self-loops yield a one-vertex cycle.
+[[nodiscard]] std::vector<std::int32_t> find_cycle(
+    const std::vector<std::vector<std::int32_t>>& adj,
+    const std::vector<char>& include);
+
+}  // namespace ftmesh::verify

@@ -205,10 +205,13 @@ TEST(BoppanaChalasani, MessageInTheSharedColumnPicksItsBlockingRegion) {
   EXPECT_EQ(plan->type, MsgType::WE);
 }
 
-TEST(BoppanaChalasani, DiagonalMessageNeverOfferedRingChannels) {
+TEST(BoppanaChalasani, DiagonalMessageAlwaysKeepsBaseCandidatesFirst) {
   // A message with both x and y offsets always has a healthy minimal hop
-  // around a single rectangle, so the wrapper must always delegate to the
-  // base algorithm (ring channels appear in no candidate set).
+  // around a single rectangle, so the wrapper always delegates to the base
+  // algorithm first.  Because this fixture's base has no escape channel of
+  // its own, the wrapper may additionally append the ring as a final
+  // escape tier — but only at nodes where a fault blocks a minimal hop,
+  // and never ahead of the base's candidates.
   BcFixture f({Rect{4, 4, 5, 5}});
   for (int x = 0; x < 10; ++x) {
     for (int y = 0; y < 10; ++y) {
@@ -220,9 +223,20 @@ TEST(BoppanaChalasani, DiagonalMessageNeverOfferedRingChannels) {
       CandidateList out;
       f.bc.candidates(at, msg, out);
       ASSERT_FALSE(out.empty()) << at.x << "," << at.y;
+      std::array<Direction, 2> minimal{};
+      const int n = f.mesh.minimal_directions_into(at, msg.dst, minimal);
+      bool fault_adjacent = false;
+      for (int i = 0; i < n; ++i) {
+        if (f.faults.blocked(at.step(minimal[static_cast<std::size_t>(i)]))) {
+          fault_adjacent = true;
+        }
+      }
+      const auto [tier0_begin, tier0_end] = out.tier_range(0);
+      ASSERT_GT(tier0_end, tier0_begin) << at.x << "," << at.y;
       for (std::size_t i = 0; i < out.size(); ++i) {
-        EXPECT_NE(f.bc.layout().at(out[i].vc).role, VcRole::BcRing)
-            << at.x << "," << at.y;
+        if (f.bc.layout().at(out[i].vc).role != VcRole::BcRing) continue;
+        EXPECT_TRUE(fault_adjacent) << at.x << "," << at.y;
+        EXPECT_GE(i, tier0_end) << at.x << "," << at.y;
       }
     }
   }

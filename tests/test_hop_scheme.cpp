@@ -173,7 +173,7 @@ TEST(HopScheme, ClassClampsAtTopAfterDetours) {
                  VcLayout::hop_based(24, 19, 1, true));
   auto msg = make_msg({0, 0}, {1, 0});
   phop.on_inject(msg);
-  msg.rs.hops = 50;  // simulate a long ring detour history
+  msg.rs.class_hops = 50;  // defensive clamp even if the class overruns
   CandidateList out;
   phop.candidates({0, 0}, msg, out);
   ASSERT_FALSE(out.empty());

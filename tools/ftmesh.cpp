@@ -8,6 +8,9 @@
 //   ftmesh faults     [--faults N] [--seed S]
 //   ftmesh campaign   [--algorithms A,B,..] [--rates r1,r2,..]
 //                     [--fault-counts 0,5,10] [--patterns N] [--out f.csv]
+//   ftmesh verify     [--algo A|all|broken-demo] [--faults 0,5,10]
+//                     [--seed S] [--width W] [--height H] [--vcs V]
+//                     [--threads N]
 //   ftmesh algorithms
 //
 // Flags mirror SimConfig fields; a --config file provides the base and
@@ -25,6 +28,8 @@
 #include "ftmesh/report/heatmap.hpp"
 #include "ftmesh/report/json.hpp"
 #include "ftmesh/report/table.hpp"
+#include "ftmesh/verify/broken_demo.hpp"
+#include "ftmesh/verify/verifier.hpp"
 
 namespace {
 
@@ -181,6 +186,63 @@ int cmd_campaign(const Cli& cli) {
   return 0;
 }
 
+// Static deadlock-freedom verification: enumerate the channel-dependency
+// graph of each requested algorithm against each fault pattern and check
+// acyclicity + progress.  Exit 0 only when every combination verifies.
+int cmd_verify(const Cli& cli) {
+  const auto cfg = config_from_cli(cli);
+  const ftmesh::topology::Mesh mesh(cfg.width, cfg.height);
+
+  std::vector<std::string> names;
+  const auto algo_arg = cli.get("algo", cli.get("algorithm", "all"));
+  if (algo_arg == "all") {
+    names = ftmesh::routing::algorithm_names();
+  } else {
+    names = split_list(algo_arg);
+  }
+
+  std::vector<int> fault_counts;
+  for (const auto& f : split_list(cli.get("faults", "0"))) {
+    fault_counts.push_back(std::stoi(f));
+  }
+  if (fault_counts.empty()) fault_counts.push_back(0);
+
+  ftmesh::verify::VerifyOptions vopts;
+  vopts.threads = static_cast<int>(cli.get_int("threads", 0));
+
+  bool all_ok = true;
+  for (const int fault_count : fault_counts) {
+    // Same derivation as the simulator so a verified pattern is exactly the
+    // pattern a run with the same --faults/--seed would use.
+    ftmesh::sim::Rng rng = ftmesh::sim::Rng(cfg.seed).derive(0xFA);
+    const auto map =
+        fault_count > 0
+            ? ftmesh::fault::FaultMap::random(mesh, fault_count, rng)
+            : ftmesh::fault::FaultMap(mesh);
+    const ftmesh::fault::FRingSet rings(map);
+
+    for (const auto& name : names) {
+      std::unique_ptr<ftmesh::routing::RoutingAlgorithm> algo;
+      if (name == "broken-demo") {
+        algo = std::make_unique<ftmesh::verify::BrokenDemoRouting>(mesh, map);
+      } else {
+        ftmesh::routing::RoutingOptions ropts;
+        ropts.total_vcs = cfg.total_vcs;
+        ropts.misroute_limit = cfg.misroute_limit;
+        ropts.xy_escape = cfg.xy_escape;
+        algo = ftmesh::routing::make_algorithm(name, mesh, map, rings, ropts);
+      }
+      const auto report =
+          ftmesh::verify::verify_algorithm(*algo, mesh, map, vopts);
+      ftmesh::verify::print_report(std::cout, report, mesh);
+      all_ok = all_ok && report.ok();
+    }
+  }
+  std::cout << (all_ok ? "verification PASSED" : "verification FAILED")
+            << "\n";
+  return all_ok ? 0 : 1;
+}
+
 int cmd_algorithms() {
   for (const auto& name : ftmesh::routing::algorithm_names()) {
     std::cout << name << "\n";
@@ -189,7 +251,8 @@ int cmd_algorithms() {
 }
 
 void usage() {
-  std::cerr << "usage: ftmesh <run|sweep|saturation|faults|campaign|algorithms> "
+  std::cerr << "usage: ftmesh "
+               "<run|sweep|saturation|faults|campaign|verify|algorithms> "
                "[flags]\n(see the header of tools/ftmesh.cpp)\n";
 }
 
@@ -208,6 +271,7 @@ int main(int argc, char** argv) {
     if (cmd == "saturation") return cmd_saturation(cli);
     if (cmd == "faults") return cmd_faults(cli);
     if (cmd == "campaign") return cmd_campaign(cli);
+    if (cmd == "verify") return cmd_verify(cli);
     if (cmd == "algorithms") return cmd_algorithms();
   } catch (const std::exception& e) {
     std::cerr << "ftmesh: " << e.what() << "\n";

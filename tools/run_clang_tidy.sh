@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the ftmesh
+# sources using a build tree's compile_commands.json.
+#
+#   tools/run_clang_tidy.sh [build-dir] [source-glob...]
+#
+# Defaults: build dir "build", sources = every .cpp under src/ftmesh and
+# tools/.  Exits 0 with a notice when clang-tidy is not installed so that
+# optional CI legs and developer machines without LLVM degrade gracefully
+# instead of failing the pipeline.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"${repo_root}/build"}
+[ $# -gt 0 ] && shift
+
+tidy_bin=${CLANG_TIDY:-clang-tidy}
+if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '${tidy_bin}' not found; skipping (install LLVM or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+if [ ! -f "${build_dir}/compile_commands.json" ]; then
+  echo "run_clang_tidy: ${build_dir}/compile_commands.json missing;" >&2
+  echo "  configure with: cmake -B '${build_dir}' -S '${repo_root}' -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+if [ $# -gt 0 ]; then
+  files="$*"
+else
+  files=$(find "${repo_root}/src/ftmesh" "${repo_root}/tools" -name '*.cpp' | sort)
+fi
+
+status=0
+for f in ${files}; do
+  echo "== ${f}"
+  "${tidy_bin}" -p "${build_dir}" --quiet "${f}" || status=1
+done
+exit ${status}
