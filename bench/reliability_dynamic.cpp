@@ -1,0 +1,95 @@
+// Reliability under dynamic faults — extension study (inject/).
+//
+// The paper evaluates static fault patterns fixed before warm-up; this
+// bench drives the dynamic fault engine instead: nodes fail *while traffic
+// is in flight* following a seeded Poisson arrival process, severed worms
+// are flushed and retransmitted from the source, and the f-ring set is
+// rebuilt incrementally around every event.  Swept dimension: the fault
+// arrival rate (failures per cycle), across every algorithm.
+//
+// Each run finishes with a drain phase (generation stopped, clock running)
+// so the accounting identity holds: generated == delivered + aborted.
+// Expected shape: higher arrival rates flush and retransmit more messages
+// and depress post-fault throughput; delivery stays lossless (no message
+// silently vanishes) and no watchdog trips for any algorithm.
+
+#include "common.hpp"
+
+#include <memory>
+
+#include "ftmesh/core/simulator.hpp"
+#include "ftmesh/core/thread_pool.hpp"
+
+namespace {
+
+struct Cell {
+  std::string algorithm;
+  double arrival_rate = 0.0;
+  ftmesh::core::SimResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ftmesh::report::Cli cli(argc, argv);
+  const auto scale = ftbench::scale_from(cli, 6000, 2000, 3);
+  ftbench::print_banner(
+      "Reliability: dynamic fault injection",
+      "extension of IPPS'07 Sec. 5 (runtime failures + recovery)", scale);
+
+  // Failures per cycle, starting after warm-up.  20-flit messages keep the
+  // reduced-scale drain short; the recovery protocol is length-agnostic.
+  const std::vector<double> arrival_rates = {0.0005, 0.001, 0.002};
+  const int failures = 4;
+
+  std::vector<Cell> cells;
+  for (const auto& name : ftbench::series()) {
+    for (const double rate : arrival_rates) {
+      cells.push_back({name, rate, {}});
+    }
+  }
+
+  ftmesh::core::parallel_for(cells.size(), 0, [&](std::size_t i) {
+    auto cfg = ftbench::paper_config(scale);
+    cfg.algorithm = cells[i].algorithm;
+    cfg.message_length = 20;
+    cfg.injection_rate = 0.01;  // 0.2 flits/node/cycle, below saturation
+    cfg.fault_schedule = "random:count=" + std::to_string(failures) +
+                         ",rate=" + std::to_string(cells[i].arrival_rate) +
+                         ",start=" + std::to_string(scale.warmup);
+    ftmesh::core::Simulator sim(cfg);
+    sim.run();
+    sim.drain();
+    cells[i].result = sim.snapshot();
+  });
+
+  ftmesh::report::Table table({"algorithm", "arrival_rate", "events",
+                               "delivered", "aborted", "retrans",
+                               "recovery_p95", "post_fault_thpt", "watchdog"});
+  bool ok = true;
+  for (const auto& cell : cells) {
+    const auto& r = cell.result;
+    const auto& rel = r.reliability;
+    const auto row = table.add_row();
+    table.set(row, 0, cell.algorithm);
+    table.set(row, 1, cell.arrival_rate, 4);
+    table.set(row, 2, std::to_string(rel.fault_events_applied) + "+" +
+                          std::to_string(rel.fault_events_rejected) + "rej");
+    table.set(row, 3, static_cast<double>(rel.delivered), 0);
+    table.set(row, 4, static_cast<double>(rel.aborted), 0);
+    table.set(row, 5, static_cast<double>(rel.retransmissions), 0);
+    table.set(row, 6, rel.recovery_latency_p95, 1);
+    table.set(row, 7, rel.post_fault_throughput, 4);
+    table.set(row, 8, r.deadlock ? "TRIP" : "ok");
+    const bool accounted =
+        rel.generated == rel.delivered + rel.aborted + rel.in_flight_end &&
+        rel.in_flight_end == 0;
+    ok = ok && !r.deadlock && accounted;
+  }
+  ftbench::emit(table, scale);
+  std::cout << "\nInvariants: every message delivered or aborted after the "
+               "drain (no leaks), no\nwatchdog trips; retransmissions grow "
+               "with the fault arrival rate.\n"
+            << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}

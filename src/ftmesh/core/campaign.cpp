@@ -82,7 +82,9 @@ void write_campaign_csv(std::ostream& os,
            "mean_latency", "mean_network_latency", "p99_latency",
            "mean_hops", "mean_misroutes", "ring_message_fraction",
            "adaptivity_offered", "adaptivity_free",
-           "delivered", "undelivered", "deadlock"});
+           "delivered", "undelivered", "deadlock",
+           "msgs_aborted", "retransmissions", "recovered_messages",
+           "recovery_latency_mean", "post_fault_throughput"});
   for (const auto& cell : cells) {
     const auto& m = cell.mean;
     csv.row({cell.algorithm, report::format_double(cell.rate, 6),
@@ -100,7 +102,12 @@ void write_campaign_csv(std::ostream& os,
              report::format_double(m.adaptivity.mean_free, 3),
              std::to_string(m.latency.delivered),
              std::to_string(m.latency.undelivered),
-             m.deadlock ? "1" : "0"});
+             m.deadlock ? "1" : "0",
+             std::to_string(m.reliability.aborted),
+             std::to_string(m.reliability.retransmissions),
+             std::to_string(m.reliability.recovered_messages),
+             report::format_double(m.reliability.recovery_latency_mean, 3),
+             report::format_double(m.reliability.post_fault_throughput, 6)});
   }
 }
 

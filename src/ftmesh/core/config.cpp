@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "ftmesh/inject/fault_schedule.hpp"
 #include "ftmesh/routing/registry.hpp"
+#include "ftmesh/topology/mesh.hpp"
 
 namespace ftmesh::core {
 
@@ -28,6 +30,17 @@ void SimConfig::validate() const {
     throw std::invalid_argument("warmup must end before total_cycles");
   }
   if (misroute_limit < 0) throw std::invalid_argument("misroute_limit < 0");
+  if (fault_max_retries < 0) {
+    throw std::invalid_argument("fault_max_retries must be >= 0");
+  }
+  if (fault_retry_backoff < 1) {
+    throw std::invalid_argument("fault_retry_backoff must be >= 1");
+  }
+  if (!fault_schedule.empty()) {
+    // Parse errors surface at configuration time, not mid-run.
+    inject::FaultSchedule::validate_spec(fault_schedule,
+                                         topology::Mesh(width, height));
+  }
 }
 
 }  // namespace ftmesh::core

@@ -38,6 +38,13 @@ struct SimConfig {
   int fault_count = 0;
   std::vector<fault::Rect> fault_blocks;
 
+  // dynamic faults (inject/): runtime fault events + message recovery.
+  // Empty schedule = static faults only.  See FaultSchedule for the spec
+  // grammar ("fail@2000:4,4; random:count=3,rate=0.001").
+  std::string fault_schedule;
+  int fault_max_retries = 3;              ///< retransmissions per message
+  std::uint64_t fault_retry_backoff = 64; ///< base retry delay, doubled per retry
+
   // schedule
   std::uint64_t warmup_cycles = 10000;
   std::uint64_t total_cycles = 30000;

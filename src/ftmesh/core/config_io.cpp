@@ -66,6 +66,9 @@ void save_config(std::ostream& os, const SimConfig& cfg) {
      << "message_length = " << cfg.message_length << "\n"
      << "fault_count = " << cfg.fault_count << "\n"
      << "fault_blocks = " << blocks_to_string(cfg.fault_blocks) << "\n"
+     << "fault_schedule = " << cfg.fault_schedule << "\n"
+     << "fault_max_retries = " << cfg.fault_max_retries << "\n"
+     << "fault_retry_backoff = " << cfg.fault_retry_backoff << "\n"
      << "warmup_cycles = " << cfg.warmup_cycles << "\n"
      << "total_cycles = " << cfg.total_cycles << "\n"
      << "seed = " << cfg.seed << "\n"
@@ -109,6 +112,9 @@ SimConfig load_config(std::istream& is) {
       else if (key == "message_length") cfg.message_length = static_cast<std::uint32_t>(std::stoul(value));
       else if (key == "fault_count") cfg.fault_count = std::stoi(value);
       else if (key == "fault_blocks") cfg.fault_blocks = blocks_from_string(value);
+      else if (key == "fault_schedule") cfg.fault_schedule = value;
+      else if (key == "fault_max_retries") cfg.fault_max_retries = std::stoi(value);
+      else if (key == "fault_retry_backoff") cfg.fault_retry_backoff = std::stoull(value);
       else if (key == "warmup_cycles") cfg.warmup_cycles = std::stoull(value);
       else if (key == "total_cycles") cfg.total_cycles = std::stoull(value);
       else if (key == "seed") cfg.seed = std::stoull(value);

@@ -79,6 +79,29 @@ SimResult aggregate(const std::vector<SimResult>& results) {
     agg.traffic_split.other_peak_percent += r.traffic_split.other_peak_percent;
     agg.traffic_split.fring_nodes += r.traffic_split.fring_nodes;
     agg.traffic_split.other_nodes += r.traffic_split.other_nodes;
+    if (r.reliability.enabled) {
+      auto& ar = agg.reliability;
+      const auto& rr = r.reliability;
+      ar.enabled = true;
+      ar.generated += rr.generated;
+      ar.delivered += rr.delivered;
+      ar.aborted += rr.aborted;
+      ar.in_flight_end += rr.in_flight_end;
+      ar.retransmissions += rr.retransmissions;
+      ar.messages_flushed += rr.messages_flushed;
+      ar.fault_events_applied += rr.fault_events_applied;
+      ar.fault_events_rejected += rr.fault_events_rejected;
+      ar.node_failures += rr.node_failures;
+      ar.node_repairs += rr.node_repairs;
+      ar.rings_reused += rr.rings_reused;
+      ar.rings_rebuilt += rr.rings_rebuilt;
+      ar.recovered_messages += rr.recovered_messages;
+      ar.recovery_latency_mean += rr.recovery_latency_mean;
+      ar.recovery_latency_p95 += rr.recovery_latency_p95;
+      ar.recovery_latency_max =
+          std::max(ar.recovery_latency_max, rr.recovery_latency_max);
+      ar.post_fault_throughput += rr.post_fault_throughput;
+    }
   }
   if (n == 0.0) return agg;
   const auto div = [n](double& v) { v /= n; };
@@ -100,6 +123,11 @@ SimResult aggregate(const std::vector<SimResult>& results) {
   div(agg.traffic_split.other_mean_percent);
   div(agg.traffic_split.fring_peak_percent);
   div(agg.traffic_split.other_peak_percent);
+  if (agg.reliability.enabled) {
+    div(agg.reliability.recovery_latency_mean);
+    div(agg.reliability.recovery_latency_p95);
+    div(agg.reliability.post_fault_throughput);
+  }
   agg.traffic_split.fring_nodes =
       static_cast<std::size_t>(static_cast<double>(agg.traffic_split.fring_nodes) / n);
   agg.traffic_split.other_nodes =

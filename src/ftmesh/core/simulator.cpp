@@ -42,10 +42,29 @@ Simulator::Simulator(SimConfig cfg)
   generator_ = std::make_unique<traffic::Generator>(
       *faults_, *pattern_, cfg_.injection_rate, cfg_.message_length,
       root.derive(0x7A));
+
+  if (!cfg_.fault_schedule.empty()) {
+    inject::InjectConfig icfg;
+    icfg.max_retries = cfg_.fault_max_retries;
+    icfg.retry_backoff = cfg_.fault_retry_backoff;
+    injector_ = std::make_unique<inject::FaultInjector>(
+        inject::FaultSchedule::from_spec(cfg_.fault_schedule, mesh_,
+                                         root.derive(0xD1)),
+        *faults_, *rings_, icfg);
+  }
+}
+
+void Simulator::post_reconfigure() {
+  network_->revalidate_ring_state(*rings_);
+  network_->reset_watchdog();
+  algorithm_->on_fault_change();
+  pattern_->refresh();
+  generator_->refresh(static_cast<double>(network_->cycle()));
 }
 
 void Simulator::step() {
   if (network_->cycle() == cfg_.warmup_cycles) network_->begin_measurement();
+  if (injector_ && injector_->tick(*network_)) post_reconfigure();
   generator_->tick(*network_);
   network_->step();
 }
@@ -56,6 +75,18 @@ SimResult Simulator::run() {
     if (network_->watchdog().tripped()) break;
   }
   return snapshot();
+}
+
+std::uint64_t Simulator::drain(std::uint64_t max_extra_cycles) {
+  std::uint64_t extra = 0;
+  while (extra < max_extra_cycles && !network_->watchdog().tripped()) {
+    const bool engine_idle = !injector_ || injector_->quiescent();
+    if (network_->drained() && engine_idle) break;
+    if (injector_ && injector_->tick(*network_)) post_reconfigure();
+    network_->step();
+    ++extra;
+  }
+  return extra;
 }
 
 SimResult Simulator::snapshot() const {
@@ -73,6 +104,9 @@ SimResult Simulator::snapshot() const {
         static_cast<double>(network_->measured_candidates_offered()) / n;
     r.adaptivity.mean_free =
         static_cast<double>(network_->measured_candidates_free()) / n;
+  }
+  if (injector_) {
+    r.reliability = stats::summarize_reliability(*network_, injector_->log());
   }
   r.deadlock = network_->watchdog().tripped();
   r.cycles_run = network_->cycle();

@@ -7,9 +7,11 @@
 #include <memory>
 
 #include "ftmesh/core/config.hpp"
+#include "ftmesh/inject/fault_injector.hpp"
 #include "ftmesh/router/network.hpp"
 #include "ftmesh/routing/registry.hpp"
 #include "ftmesh/stats/latency_stats.hpp"
+#include "ftmesh/stats/reliability_stats.hpp"
 #include "ftmesh/stats/traffic_map.hpp"
 #include "ftmesh/stats/vc_usage.hpp"
 #include "ftmesh/traffic/generator.hpp"
@@ -31,6 +33,7 @@ struct SimResult {
   AdaptivitySummary adaptivity;
   stats::VcUsage vc_usage;          ///< filled when collect_vc_usage
   stats::TrafficSplit traffic_split; ///< filled when collect_traffic_map
+  stats::ReliabilitySummary reliability;  ///< filled when a fault schedule ran
   bool deadlock = false;            ///< watchdog tripped (run aborted early)
   std::uint64_t cycles_run = 0;
   int fault_regions = 0;
@@ -50,9 +53,17 @@ class Simulator {
   /// Runs the full schedule (idempotent: call once) and reduces stats.
   SimResult run();
 
-  /// Fine-grained stepping for tests/examples: one cycle (generation +
-  /// network).
+  /// Fine-grained stepping for tests/examples: one cycle (fault events +
+  /// generation + network).
   void step();
+
+  /// After run(): advances the clock with generation stopped until every
+  /// in-flight message delivers or aborts and the fault engine is idle, or
+  /// `max_extra_cycles` pass, or the watchdog trips.  Returns the drain
+  /// cycles executed.  With dynamic faults this is the accounting check:
+  /// afterwards generated == delivered + aborted iff recovery leaked
+  /// nothing.
+  std::uint64_t drain(std::uint64_t max_extra_cycles = 200000);
 
   [[nodiscard]] const SimConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] const topology::Mesh& mesh() const noexcept { return mesh_; }
@@ -64,10 +75,20 @@ class Simulator {
   [[nodiscard]] router::Network& network() noexcept { return *network_; }
   [[nodiscard]] const router::Network& network() const noexcept { return *network_; }
 
+  /// The dynamic fault engine, or nullptr when no schedule is configured.
+  [[nodiscard]] const inject::FaultInjector* injector() const noexcept {
+    return injector_.get();
+  }
+
   /// Collects the result of whatever has run so far.
   [[nodiscard]] SimResult snapshot() const;
 
  private:
+  /// Refreshes every fault-derived cache after the injector mutated the
+  /// fault map: in-flight ring state, watchdog, algorithm labels, traffic
+  /// pattern / generator source sets.
+  void post_reconfigure();
+
   SimConfig cfg_;
   topology::Mesh mesh_;
   std::unique_ptr<fault::FaultMap> faults_;
@@ -76,6 +97,7 @@ class Simulator {
   std::unique_ptr<traffic::TrafficPattern> pattern_;
   std::unique_ptr<router::Network> network_;
   std::unique_ptr<traffic::Generator> generator_;
+  std::unique_ptr<inject::FaultInjector> injector_;
 };
 
 }  // namespace ftmesh::core

@@ -88,7 +88,22 @@ FaultMap FaultMap::random(const Mesh& mesh, int fault_count, sim::Rng& rng,
     map.apply_blocks(coalesce_blocks(mesh, faulty), faulty);
     if (map.active_count() > 1 && map.connected()) return map;
   }
-  throw std::runtime_error("could not draw a connected fault pattern");
+  throw FaultPatternError(
+      "could not draw a connected fault pattern with " +
+          std::to_string(fault_count) + " faults after " +
+          std::to_string(max_attempts) + " attempts",
+      max_attempts);
+}
+
+std::vector<Coord> FaultMap::faulty_nodes() const {
+  std::vector<Coord> out;
+  out.reserve(static_cast<std::size_t>(faulty_count_));
+  for (int y = 0; y < mesh_->height(); ++y) {
+    for (int x = 0; x < mesh_->width(); ++x) {
+      if (status({x, y}) == NodeStatus::Faulty) out.push_back({x, y});
+    }
+  }
+  return out;
 }
 
 std::vector<Coord> FaultMap::active_nodes() const {

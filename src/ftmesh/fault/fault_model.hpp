@@ -1,13 +1,20 @@
 #pragma once
 // Fault map: per-node health status under the block fault model.
 //
-// Construction enforces the paper's assumptions: only node failures, static
-// non-malicious fault patterns, block (convex) regions, and patterns that do
-// not disconnect the network.  Deactivated nodes (healthy nodes absorbed by
-// a rectangular hull) behave exactly like faulty nodes for routing and
-// traffic purposes; the distinction is kept for reporting.
+// Construction enforces the paper's assumptions: only node failures, block
+// (convex) regions, and patterns that do not disconnect the network.
+// Deactivated nodes (healthy nodes absorbed by a rectangular hull) behave
+// exactly like faulty nodes for routing and traffic purposes; the
+// distinction is kept for reporting.
+//
+// The paper itself studies static patterns only; the dynamic fault-injection
+// subsystem (inject/) additionally mutates a live map between cycles by
+// assigning a whole new pattern (copy-assignment keeps the object address
+// stable, so routers and algorithms holding references observe the change).
 
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "ftmesh/fault/fault_region.hpp"
@@ -15,6 +22,20 @@
 #include "ftmesh/topology/mesh.hpp"
 
 namespace ftmesh::fault {
+
+/// Thrown by FaultMap::random when no connected block pattern could be drawn
+/// within the attempt budget.  Carries the attempt count so callers can
+/// distinguish "unlucky" from "infeasible request".
+class FaultPatternError : public std::runtime_error {
+ public:
+  FaultPatternError(const std::string& what, int attempts)
+      : std::runtime_error(what), attempts_(attempts) {}
+
+  [[nodiscard]] int attempts() const noexcept { return attempts_; }
+
+ private:
+  int attempts_;
+};
 
 enum class NodeStatus : std::uint8_t {
   Healthy = 0,      ///< operational, generates and accepts traffic
@@ -79,6 +100,10 @@ class FaultMap {
 
   /// All active node coordinates, row-major order.
   [[nodiscard]] std::vector<topology::Coord> active_nodes() const;
+
+  /// All Faulty (not Deactivated) node coordinates, row-major order.  The
+  /// reconfigurator edits this set and rebuilds a map from it.
+  [[nodiscard]] std::vector<topology::Coord> faulty_nodes() const;
 
   /// True when every healthy node can reach every other healthy node
   /// through healthy nodes only.

@@ -113,14 +113,45 @@ std::optional<int> FRing::steps_between(Coord from, Coord to,
 FRingSet::FRingSet(const FaultMap& map)
     : mesh_(&map.mesh()),
       membership_(static_cast<std::size_t>(map.mesh().node_count()), 0) {
+  rebuild(map);
+}
+
+FRingSet::RebuildStats FRingSet::rebuild(const FaultMap& map) {
+  assert(&map.mesh() == mesh_ && "rebuild must keep the mesh");
+  RebuildStats stats;
+  std::vector<FRing> old = std::move(rings_);
+  std::vector<char> used(old.size(), 0);
+  rings_.clear();
   rings_.reserve(map.regions().size());
   for (const auto& region : map.regions()) {
-    rings_.emplace_back(map.mesh(), region);
-    for (const auto c : rings_.back().nodes()) {
+    // A ring's geometry is a function of (mesh, box) only, so an unchanged
+    // box means the old ring is exact; only its id may have shifted under
+    // the fresh coalescing pass.
+    std::size_t found = old.size();
+    for (std::size_t i = 0; i < old.size(); ++i) {
+      if (!used[i] && old[i].region_box() == region.box) {
+        found = i;
+        break;
+      }
+    }
+    if (found < old.size()) {
+      used[found] = 1;
+      old[found].retag(region.id);
+      rings_.push_back(std::move(old[found]));
+      ++stats.reused;
+    } else {
+      rings_.emplace_back(map.mesh(), region);
+      ++stats.rebuilt;
+    }
+  }
+  std::fill(membership_.begin(), membership_.end(), 0);
+  for (const auto& ring : rings_) {
+    for (const auto c : ring.nodes()) {
       assert(!map.blocked(c) && "f-ring nodes must be healthy by construction");
       membership_[static_cast<std::size_t>(mesh_->id_of(c))] = 1;
     }
   }
+  return stats;
 }
 
 }  // namespace ftmesh::fault

@@ -55,6 +55,11 @@ class FRing {
                                                  topology::Coord to,
                                                  Orientation o) const noexcept;
 
+  /// Re-labels this ring with a new region id.  Used by the incremental
+  /// FRingSet rebuild: a region whose box survives a reconfiguration keeps
+  /// its ring object but may be renumbered by the fresh coalescing pass.
+  void retag(int region_id) noexcept { region_id_ = region_id; }
+
  private:
   const topology::Mesh* mesh_;
   int region_id_;
@@ -79,6 +84,21 @@ class FRingSet {
   }
 
   [[nodiscard]] std::size_t ring_count() const noexcept { return rings_.size(); }
+
+  /// Breakdown of one incremental rebuild: rings carried over unchanged vs
+  /// constructed from scratch.
+  struct RebuildStats {
+    int reused = 0;
+    int rebuilt = 0;
+  };
+
+  /// Re-derives the ring set from `map` (which must wrap the same mesh)
+  /// after an online fault/repair event.  Incremental: a region whose
+  /// bounding box is unchanged keeps its existing FRing object (retagged
+  /// with the region's fresh id); only rings of regions the event created,
+  /// merged, shrank or grew are rebuilt.  The result is always identical to
+  /// constructing FRingSet(map) from scratch.
+  RebuildStats rebuild(const FaultMap& map);
 
  private:
   const topology::Mesh* mesh_;

@@ -1,0 +1,26 @@
+#pragma once
+// A runtime fault event: one node fails or is repaired at a scheduled cycle.
+//
+// Events are the unit of the dynamic fault model (inject/): a FaultSchedule
+// orders them in time, the Reconfigurator applies them to the live FaultMap
+// (re-coalescing blocks and rebuilding the affected f-rings), and the
+// FaultInjector runs the message-recovery protocol over the network
+// afterwards.
+
+#include <cstdint>
+
+#include "ftmesh/topology/coordinates.hpp"
+
+namespace ftmesh::inject {
+
+enum class FaultEventKind : std::uint8_t {
+  Fail = 0,    ///< the node becomes faulty
+  Repair = 1,  ///< a previously faulty node returns to service
+};
+
+struct FaultEvent {
+  FaultEventKind kind = FaultEventKind::Fail;
+  topology::Coord node{};
+};
+
+}  // namespace ftmesh::inject

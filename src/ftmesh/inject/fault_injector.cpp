@@ -1,0 +1,91 @@
+#include "ftmesh/inject/fault_injector.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ftmesh::inject {
+
+using router::MessageId;
+
+bool FaultInjector::tick(router::Network& net) {
+  const double now = static_cast<double>(net.cycle());
+
+  // 1. Due retransmissions re-enter their source queue.  A message whose
+  //    endpoint died while it waited out its backoff is aborted here (the
+  //    recovery pass only sees messages holding network resources).
+  while (retransmits_.due(now)) {
+    const MessageId id = retransmits_.pop().payload;
+    auto& m = net.message_mut(id);
+    if (m.done || m.aborted) continue;
+    if (!net.faults().active(m.src) || !net.faults().active(m.dst)) {
+      m.aborted = true;
+      ++log_.aborts;
+      continue;
+    }
+    net.requeue_message(id);
+  }
+
+  // 2. Due fault events reconfigure the live fault map.
+  bool changed = false;
+  while (schedule_.due(now)) {
+    const FaultEvent ev = schedule_.pop();
+    const ReconfigOutcome out = reconfig_.apply(ev);
+    if (!out.applied) {
+      ++log_.events_rejected;
+      continue;
+    }
+    ++log_.events_applied;
+    log_.rings_reused += out.rings_reused;
+    log_.rings_rebuilt += out.rings_rebuilt;
+    if (ev.kind == FaultEventKind::Fail) {
+      ++log_.node_failures;
+    } else {
+      ++log_.node_repairs;
+    }
+    log_.last_event_cycle = net.cycle();
+    changed = true;
+  }
+  if (changed) recover(net);
+  return changed;
+}
+
+void FaultInjector::recover(router::Network& net) {
+  const double now = static_cast<double>(net.cycle());
+
+  // Victims holding network resources the new map invalidates...
+  std::vector<MessageId> victims = net.collect_fault_victims();
+  log_.messages_flushed += victims.size();
+
+  // ...plus undelivered messages whose endpoints died: they may hold
+  // nothing (still queued at a dead source) but can never complete.
+  for (const auto& m : net.messages()) {
+    if (m.done || m.aborted) continue;
+    if (!net.faults().active(m.src) || !net.faults().active(m.dst)) {
+      victims.push_back(m.id);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+
+  net.purge_messages(victims);
+
+  for (const MessageId id : victims) {
+    auto& m = net.message_mut(id);
+    if (m.done || m.aborted) continue;
+    const bool endpoint_dead =
+        !net.faults().active(m.src) || !net.faults().active(m.dst);
+    if (endpoint_dead || m.retries >= config_.max_retries) {
+      m.aborted = true;
+      ++log_.aborts;
+      continue;
+    }
+    ++m.retries;
+    ++log_.retransmissions;
+    const double delay =
+        static_cast<double>(config_.retry_backoff)
+        * static_cast<double>(1ULL << (m.retries - 1));
+    retransmits_.schedule(now + delay, id);
+  }
+}
+
+}  // namespace ftmesh::inject

@@ -1,0 +1,166 @@
+#include "ftmesh/inject/fault_schedule.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace ftmesh::inject {
+
+using topology::Coord;
+using topology::Mesh;
+
+namespace {
+
+[[noreturn]] void bad(const std::string& item, const std::string& why) {
+  throw std::invalid_argument("fault schedule item '" + item + "': " + why);
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+double parse_number(const std::string& item, const std::string& text) {
+  const std::string t = strip(text);
+  if (t.empty()) bad(item, "empty number");
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) bad(item, "bad number '" + t + "'");
+  return v;
+}
+
+Coord parse_coord(const std::string& item, const std::string& text,
+                  const Mesh& mesh) {
+  const auto parts = split(text, ',');
+  if (parts.size() != 2) bad(item, "expected coordinates 'x,y'");
+  const Coord c{static_cast<int>(parse_number(item, parts[0])),
+                static_cast<int>(parse_number(item, parts[1]))};
+  if (!mesh.contains(c)) bad(item, "node off the mesh");
+  return c;
+}
+
+struct RandomSpec {
+  int count = 1;
+  double rate = 0.0;
+  double start = 0.0;
+  double end = 0.0;
+  double repair_after = 0.0;
+};
+
+RandomSpec parse_random(const std::string& item, const std::string& body) {
+  RandomSpec rs;
+  bool have_end = false;
+  for (const auto& kv : split(body, ',')) {
+    const std::string entry = strip(kv);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) bad(item, "expected key=value, got '" + entry + "'");
+    const std::string key = strip(entry.substr(0, eq));
+    const double val = parse_number(item, entry.substr(eq + 1));
+    if (key == "count") {
+      rs.count = static_cast<int>(val);
+    } else if (key == "rate") {
+      rs.rate = val;
+    } else if (key == "start") {
+      rs.start = val;
+    } else if (key == "end") {
+      rs.end = val;
+      have_end = true;
+    } else if (key == "repair_after") {
+      rs.repair_after = val;
+    } else {
+      bad(item, "unknown key '" + key + "'");
+    }
+  }
+  if (rs.count < 1) bad(item, "count must be >= 1");
+  if (rs.rate < 0.0) bad(item, "rate must be >= 0");
+  if (rs.start < 0.0) bad(item, "start must be >= 0");
+  if (rs.repair_after < 0.0) bad(item, "repair_after must be >= 0");
+  if (rs.rate == 0.0) {
+    if (!have_end) bad(item, "need rate=R or an end=B window");
+    if (rs.end < rs.start) bad(item, "empty window: end < start");
+  }
+  return rs;
+}
+
+void build(const std::string& spec, const Mesh& mesh, sim::Rng& rng,
+           FaultSchedule* out) {
+  for (const auto& raw : split(spec, ';')) {
+    const std::string item = strip(raw);
+    if (item.empty()) continue;
+    if (item.rfind("random:", 0) == 0) {
+      const RandomSpec rs = parse_random(item, item.substr(7));
+      double t = rs.start;
+      for (int i = 0; i < rs.count; ++i) {
+        if (rs.rate > 0.0) {
+          t += rng.exponential(rs.rate);
+        } else {
+          t = rs.start + rng.next_double() * (rs.end - rs.start);
+        }
+        const Coord node{
+            static_cast<int>(rng.next_below(static_cast<std::uint64_t>(mesh.width()))),
+            static_cast<int>(rng.next_below(static_cast<std::uint64_t>(mesh.height())))};
+        if (out != nullptr) {
+          out->add(t, FaultEvent{FaultEventKind::Fail, node});
+          if (rs.repair_after > 0.0) {
+            out->add(t + rs.repair_after, FaultEvent{FaultEventKind::Repair, node});
+          }
+        }
+      }
+      continue;
+    }
+    const std::size_t at = item.find('@');
+    if (at == std::string::npos) {
+      bad(item, "expected fail@CYCLE:x,y, repair@CYCLE:x,y or random:...");
+    }
+    const std::string kind = strip(item.substr(0, at));
+    FaultEventKind k{};
+    if (kind == "fail") {
+      k = FaultEventKind::Fail;
+    } else if (kind == "repair") {
+      k = FaultEventKind::Repair;
+    } else {
+      bad(item, "unknown event kind '" + kind + "'");
+    }
+    const std::size_t colon = item.find(':', at);
+    if (colon == std::string::npos) bad(item, "missing ':x,y'");
+    const double cycle = parse_number(item, item.substr(at + 1, colon - at - 1));
+    if (cycle < 0.0) bad(item, "cycle must be >= 0");
+    const Coord node = parse_coord(item, item.substr(colon + 1), mesh);
+    if (out != nullptr) out->add(cycle, FaultEvent{k, node});
+  }
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::from_spec(const std::string& spec,
+                                       const Mesh& mesh, sim::Rng rng) {
+  FaultSchedule sched;
+  build(spec, mesh, rng, &sched);
+  return sched;
+}
+
+void FaultSchedule::validate_spec(const std::string& spec, const Mesh& mesh) {
+  sim::Rng rng(0);
+  build(spec, mesh, rng, nullptr);
+}
+
+}  // namespace ftmesh::inject

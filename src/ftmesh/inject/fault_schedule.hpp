@@ -1,0 +1,74 @@
+#pragma once
+// Time-ordered runtime fault events, built from a compact spec string.
+//
+// Spec grammar (`;`-separated items, whitespace ignored):
+//
+//   fail@CYCLE:x,y        one node fails at the given cycle
+//   repair@CYCLE:x,y      a faulty node returns to service at the cycle
+//   random:KEY=VAL,...    a seeded random arrival process with keys
+//       count=N           number of failure events to draw (default 1)
+//       rate=R            failures per cycle; exponential inter-arrival
+//                         times starting at `start` (default 0 = off)
+//       start=A           first cycle events may occur (default 0)
+//       end=B             with rate=0, failure times are uniform in [A, B]
+//       repair_after=D    each random failure is repaired D cycles later
+//                         (default 0 = never repaired)
+//
+// Example: "fail@2000:4,4; random:count=3,rate=0.001,start=1000".
+//
+// Random events pick nodes uniformly over the mesh, so a drawn event may
+// turn out inadmissible at apply time (already faulty, disconnecting);
+// the Reconfigurator rejects those and the run continues — matching a field
+// failure process, which does not consult the routing algorithm either.
+
+#include <string>
+
+#include "ftmesh/inject/fault_event.hpp"
+#include "ftmesh/sim/event_queue.hpp"
+#include "ftmesh/sim/rng.hpp"
+#include "ftmesh/topology/mesh.hpp"
+
+namespace ftmesh::inject {
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Parses `spec` against `mesh`, drawing random-process times and nodes
+  /// from `rng`.  Throws std::invalid_argument on malformed specs
+  /// (unknown item kind, bad numbers, coordinates off the mesh, empty
+  /// random window).  An empty/blank spec yields an empty schedule.
+  static FaultSchedule from_spec(const std::string& spec,
+                                 const topology::Mesh& mesh, sim::Rng rng);
+
+  /// Parse-only validation; throws like from_spec, draws nothing visible.
+  static void validate_spec(const std::string& spec,
+                            const topology::Mesh& mesh);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t total_events() const noexcept { return total_; }
+
+  /// True when an event is due at or before `now`.
+  [[nodiscard]] bool due(double now) const noexcept { return queue_.due(now); }
+
+  /// Removes and returns the earliest event.
+  FaultEvent pop() { return queue_.pop().payload; }
+
+  /// Time of the latest scheduled event (0 when the schedule is empty).
+  [[nodiscard]] double horizon() const noexcept { return horizon_; }
+
+  /// Enqueues one event (parser backend for from_spec; also handy in tests).
+  void add(double time, FaultEvent ev) {
+    queue_.schedule(time, ev);
+    horizon_ = time > horizon_ ? time : horizon_;
+    ++total_;
+  }
+
+ private:
+  sim::EventQueue<FaultEvent> queue_;
+  double horizon_ = 0.0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ftmesh::inject

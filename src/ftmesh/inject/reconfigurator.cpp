@@ -1,0 +1,50 @@
+#include "ftmesh/inject/reconfigurator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ftmesh::inject {
+
+using fault::FaultMap;
+using fault::NodeStatus;
+
+ReconfigOutcome Reconfigurator::apply(const FaultEvent& ev) {
+  ReconfigOutcome out;
+  const auto& mesh = map_->mesh();
+  if (!mesh.contains(ev.node)) {
+    out.reason = "node off the mesh";
+    return out;
+  }
+  auto faulty = map_->faulty_nodes();
+  const auto it = std::find(faulty.begin(), faulty.end(), ev.node);
+  if (ev.kind == FaultEventKind::Fail) {
+    if (it != faulty.end()) {
+      out.reason = "node already faulty";
+      return out;
+    }
+    faulty.push_back(ev.node);
+  } else {
+    if (it == faulty.end()) {
+      out.reason = "repair of a node that is not faulty";
+      return out;
+    }
+    faulty.erase(it);
+  }
+  try {
+    // from_faulty_nodes re-coalesces blocks and enforces the admissibility
+    // condition (healthy nodes stay connected, at least one survives).
+    FaultMap trial = FaultMap::from_faulty_nodes(mesh, faulty);
+    *map_ = std::move(trial);  // in-place commit: observer pointers stay valid
+  } catch (const std::invalid_argument& e) {
+    out.reason = e.what();
+    return out;
+  }
+  const auto stats = rings_->rebuild(*map_);
+  out.applied = true;
+  out.rings_reused = stats.reused;
+  out.rings_rebuilt = stats.rebuilt;
+  return out;
+}
+
+}  // namespace ftmesh::inject

@@ -1,0 +1,45 @@
+#pragma once
+// Applies runtime fault events to the live fault model.
+//
+// The Reconfigurator owns the mutation protocol for a running simulation's
+// FaultMap + FRingSet pair: it re-derives block coalescing from the updated
+// faulty-node set, validates that the surviving healthy nodes stay
+// connected (events that would disconnect the network are rejected, the
+// paper's standing admissibility condition), and commits by assigning into
+// the *same* FaultMap object — every observer holding a `const FaultMap*`
+// (network, routing algorithms, traffic patterns) sees the new state with
+// no pointer churn.  The f-ring set is then rebuilt incrementally: only
+// rings whose region box changed are reconstructed (see FRingSet::rebuild).
+
+#include <string>
+
+#include "ftmesh/fault/fault_model.hpp"
+#include "ftmesh/fault/fring.hpp"
+#include "ftmesh/inject/fault_event.hpp"
+
+namespace ftmesh::inject {
+
+/// Result of applying one event.
+struct ReconfigOutcome {
+  bool applied = false;
+  std::string reason;    ///< why the event was rejected (empty if applied)
+  int rings_reused = 0;  ///< rings carried over by the incremental rebuild
+  int rings_rebuilt = 0; ///< rings constructed from scratch
+};
+
+class Reconfigurator {
+ public:
+  Reconfigurator(fault::FaultMap& map, fault::FRingSet& rings)
+      : map_(&map), rings_(&rings) {}
+
+  /// Validates and applies `ev`.  Rejected events (off-mesh node, failing
+  /// an already-faulty node, repairing a healthy one, or a failure that
+  /// would disconnect the active nodes) leave the map and rings untouched.
+  ReconfigOutcome apply(const FaultEvent& ev);
+
+ private:
+  fault::FaultMap* map_;
+  fault::FRingSet* rings_;
+};
+
+}  // namespace ftmesh::inject

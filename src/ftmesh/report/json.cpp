@@ -122,6 +122,11 @@ void write_result_json(std::ostream& os, const core::SimConfig& cfg,
   w.key("seed").value(cfg.seed);
   w.key("total_cycles").value(cfg.total_cycles);
   w.key("warmup_cycles").value(cfg.warmup_cycles);
+  if (!cfg.fault_schedule.empty()) {
+    w.key("fault_schedule").value(cfg.fault_schedule);
+    w.key("fault_max_retries").value(cfg.fault_max_retries);
+    w.key("fault_retry_backoff").value(cfg.fault_retry_backoff);
+  }
   w.end_object();
 
   w.key("latency").begin_object();
@@ -155,6 +160,29 @@ void write_result_json(std::ostream& os, const core::SimConfig& cfg,
     w.key("vc_usage_percent").begin_array();
     for (const double p : r.vc_usage.percent) w.value(p);
     w.end_array();
+  }
+
+  if (r.reliability.enabled) {
+    const auto& rel = r.reliability;
+    w.key("reliability").begin_object();
+    w.key("generated").value(rel.generated);
+    w.key("delivered").value(rel.delivered);
+    w.key("aborted").value(rel.aborted);
+    w.key("in_flight_end").value(rel.in_flight_end);
+    w.key("retransmissions").value(rel.retransmissions);
+    w.key("messages_flushed").value(rel.messages_flushed);
+    w.key("fault_events_applied").value(rel.fault_events_applied);
+    w.key("fault_events_rejected").value(rel.fault_events_rejected);
+    w.key("node_failures").value(rel.node_failures);
+    w.key("node_repairs").value(rel.node_repairs);
+    w.key("rings_reused").value(rel.rings_reused);
+    w.key("rings_rebuilt").value(rel.rings_rebuilt);
+    w.key("recovered_messages").value(rel.recovered_messages);
+    w.key("recovery_latency_mean").value(rel.recovery_latency_mean);
+    w.key("recovery_latency_p95").value(rel.recovery_latency_p95);
+    w.key("recovery_latency_max").value(rel.recovery_latency_max);
+    w.key("post_fault_throughput").value(rel.post_fault_throughput);
+    w.end_object();
   }
 
   w.key("deadlock").value(r.deadlock);

@@ -71,6 +71,14 @@ struct Message {
   std::uint64_t delivered = 0;  ///< cycle the tail was ejected at dst
   bool done = false;
 
+  // Dynamic-fault recovery bookkeeping (inject/).  A message flushed by a
+  // runtime fault event is retransmitted from its source with bounded
+  // retries; `aborted` marks messages given up on (endpoint lost, or the
+  // retry budget exhausted).  `created` is never rewritten, so the latency
+  // of a recovered message includes every aborted attempt.
+  std::uint16_t retries = 0;  ///< retransmissions performed so far
+  bool aborted = false;       ///< permanently given up (never delivered)
+
   RouteState rs;
 };
 

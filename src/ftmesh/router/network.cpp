@@ -319,6 +319,229 @@ void Network::phase_switching() {
   }
 }
 
+bool Network::drained() const noexcept {
+  if (buffered_flits_ != 0) return false;
+  for (const auto& q : queues_) {
+    if (!q.empty()) return false;
+  }
+  for (const auto& s : supplies_) {
+    if (s.current != kInvalidMessage) return false;
+  }
+  return true;
+}
+
+std::vector<MessageId> Network::collect_fault_victims() const {
+  std::vector<MessageId> out;
+  const int vcs = algorithm_->layout().total();
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const Coord c = mesh_->coord_of(id);
+    const Router& rt = routers_[static_cast<std::size_t>(id)];
+    const bool dead = faults_->blocked(c);
+    if (dead) {
+      // Flits stranded inside the dead router, reservations at it (worms
+      // passing through hold its output VCs), and messages mid-injection
+      // from it (their remaining flits can never be supplied).
+      for (int port = 0; port < kPortCount; ++port) {
+        for (int vc = 0; vc < vcs; ++vc) {
+          for (const Flit& f : rt.input(port, vc).buf) out.push_back(f.msg);
+          const OutputVc& ovc = rt.output(port, vc);
+          if (ovc.allocated) out.push_back(ovc.owner);
+        }
+      }
+      for (int iv = 0; iv < config_.injection_vcs; ++iv) {
+        const Supply& s =
+            supplies_[static_cast<std::size_t>(id) *
+                          static_cast<std::size_t>(config_.injection_vcs) +
+                      static_cast<std::size_t>(iv)];
+        if (s.current != kInvalidMessage) out.push_back(s.current);
+      }
+    }
+    for (int d = 0; d < kMeshDirections; ++d) {
+      const auto dir = static_cast<Direction>(d);
+      const auto nb = mesh_->neighbour(c, dir);
+      if (!nb) continue;
+      const bool nb_dead = faults_->blocked(*nb);
+      if (!dead && !nb_dead) continue;
+      // Flits in flight on a link incident to a dead node.
+      const LinkReg& reg =
+          links_[static_cast<std::size_t>(id) * kMeshDirections +
+                 static_cast<std::size_t>(d)];
+      if (reg.full) out.push_back(reg.flit.msg);
+      if (!dead && nb_dead) {
+        // A healthy router's reservation pointing into the dead neighbour:
+        // the owner's path crosses the fault even if no flit is there yet.
+        for (int vc = 0; vc < vcs; ++vc) {
+          const OutputVc& ovc = rt.output(port_index(dir), vc);
+          if (ovc.allocated) out.push_back(ovc.owner);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void Network::purge_messages(const std::vector<MessageId>& ids) {
+  if (ids.empty()) return;
+  std::vector<char> purge(messages_.size(), 0);
+  for (const MessageId id : ids) {
+    purge[static_cast<std::size_t>(id)] = 1;
+  }
+  const int vcs = algorithm_->layout().total();
+  const auto local = port_index(Direction::Local);
+
+  // 1. Link registers.  The sender consumed a credit when it launched the
+  //    flit; the downstream slot will now never be filled, so the credit
+  //    goes straight back to the sender's output VC.
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    for (int d = 0; d < kMeshDirections; ++d) {
+      LinkReg& reg = link(id, d);
+      if (!reg.full || !purge[static_cast<std::size_t>(reg.flit.msg)]) continue;
+      routers_[static_cast<std::size_t>(id)].output(d, reg.vc).credits++;
+      reg.full = false;
+      --buffered_flits_;
+    }
+  }
+
+  // 2. Input buffers.  Each removed flit frees a slot, so its credit is
+  //    restored on the upstream router's matching output VC (a dead
+  //    upstream router's state is simply never read again).  The VC is
+  //    released when it empties or when the purged message was at its
+  //    front; a surviving header exposed at the front re-enters routing
+  //    from the Idle stage next cycle.
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const Coord c = mesh_->coord_of(id);
+    Router& rt = routers_[static_cast<std::size_t>(id)];
+    for (int port = 0; port < kPortCount; ++port) {
+      for (int vc = 0; vc < vcs; ++vc) {
+        InputVc& ivc = rt.input(port, vc);
+        if (ivc.buf.empty()) {
+          // A worm holds its input-VC claim even while the buffer is
+          // momentarily empty (flits streamed ahead of the tail).  The
+          // claimant is identified through its reserved output VC; a stale
+          // claim must be released here or the next header arriving on this
+          // VC would be forwarded as body flits of the purged worm.
+          if (ivc.stage == IvcStage::Active && ivc.out_vc >= 0) {
+            const OutputVc& ovc =
+                rt.output(port_index(ivc.out_dir), ivc.out_vc);
+            if (ovc.allocated && purge[static_cast<std::size_t>(ovc.owner)]) {
+              ivc.release();
+            }
+          }
+          continue;
+        }
+        const bool front_purged =
+            purge[static_cast<std::size_t>(ivc.buf.front().msg)] != 0;
+        std::size_t removed = 0;
+        for (auto it = ivc.buf.begin(); it != ivc.buf.end();) {
+          if (purge[static_cast<std::size_t>(it->msg)]) {
+            it = ivc.buf.erase(it);
+            ++removed;
+          } else {
+            ++it;
+          }
+        }
+        if (removed == 0) continue;
+        buffered_flits_ -= removed;
+        if (port != local) {
+          const auto updir = static_cast<Direction>(port);
+          const auto up = mesh_->neighbour(c, updir);
+          assert(up && "flit buffered on a port with no upstream link");
+          router_mut(*up).output(port_index(opposite(updir)), vc).credits +=
+              static_cast<int>(removed);
+        }
+        if (ivc.buf.empty() || front_purged) ivc.release();
+      }
+    }
+  }
+
+  // 3. Channel reservations held by purged messages.
+  for (auto& rt : routers_) {
+    for (int port = 0; port < kPortCount; ++port) {
+      for (int vc = 0; vc < vcs; ++vc) {
+        OutputVc& ovc = rt.output(port, vc);
+        if (ovc.allocated && purge[static_cast<std::size_t>(ovc.owner)]) {
+          ovc.release();
+        }
+      }
+    }
+  }
+
+  // 4. Injection supplies mid-message.
+  for (auto& s : supplies_) {
+    if (s.current != kInvalidMessage &&
+        purge[static_cast<std::size_t>(s.current)]) {
+      s.current = kInvalidMessage;
+      s.next_seq = 0;
+    }
+  }
+
+  // 5. Source queues (messages not yet injected).
+  for (auto& q : queues_) {
+    q.erase(std::remove_if(
+                q.begin(), q.end(),
+                [&](MessageId m) { return purge[static_cast<std::size_t>(m)] != 0; }),
+            q.end());
+  }
+}
+
+void Network::requeue_message(MessageId id) {
+  Message& m = messages_.at(id);
+  assert(!m.done && !m.aborted);
+  assert(faults_->active(m.src) && faults_->active(m.dst));
+  m.rs = RouteState{};
+  algorithm_->on_inject(m);
+  queues_[static_cast<std::size_t>(mesh_->id_of(m.src))].push_back(id);
+}
+
+void Network::revalidate_ring_state(const fault::FRingSet& rings) {
+  const int vcs = algorithm_->layout().total();
+  const auto check = [&](MessageId id, Coord pos) {
+    Message& m = messages_[static_cast<std::size_t>(id)];
+    auto& r = m.rs.ring;
+    if (!r.active) return;
+    if (r.region >= 0 && r.region < static_cast<int>(rings.ring_count()) &&
+        rings.ring(r.region).contains(pos)) {
+      return;  // recorded region still names a ring through the head
+    }
+    // The rebuild renumbered or reshaped the ring this head was traversing.
+    // If the head still sits on some ring of the new set, remap the region
+    // id and keep the orientation/reversal/exit bookkeeping: the planner
+    // resumes on the new ring (reversing at a chain end if needed).
+    // Clearing here instead would let the head wander off on escape
+    // channels and later re-enter a ring at a node whose ring channel its
+    // own strung-out body still holds — a permanent self-wait the VC
+    // allocator can never resolve.
+    for (int i = 0; i < static_cast<int>(rings.ring_count()); ++i) {
+      if (rings.ring(i).contains(pos)) {
+        r.region = i;
+        return;
+      }
+    }
+    r = RingState{};  // genuinely off every ring: degrade to a fresh entry
+  };
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const Coord c = mesh_->coord_of(id);
+    const Router& rt = routers_[static_cast<std::size_t>(id)];
+    for (int port = 0; port < kPortCount; ++port) {
+      for (int vc = 0; vc < vcs; ++vc) {
+        for (const Flit& f : rt.input(port, vc).buf) {
+          if (is_head(f.type)) check(f.msg, c);
+        }
+      }
+    }
+    for (int d = 0; d < kMeshDirections; ++d) {
+      const LinkReg& reg =
+          links_[static_cast<std::size_t>(id) * kMeshDirections +
+                 static_cast<std::size_t>(d)];
+      if (!reg.full || !is_head(reg.flit.type)) continue;
+      const auto nb = mesh_->neighbour(c, static_cast<Direction>(d));
+      if (nb) check(reg.flit.msg, *nb);
+    }
+  }
+}
+
 std::string Network::debug_stuck_report(std::size_t max_lines) const {
   std::ostringstream os;
   const int vcs = algorithm_->layout().total();

@@ -79,10 +79,52 @@ class Network {
     return queues_[static_cast<std::size_t>(mesh_->id_of(c))].size();
   }
 
+  /// True when no flit is buffered anywhere and every source queue and
+  /// injection supply is idle — the network has fully drained.
+  [[nodiscard]] bool drained() const noexcept;
+
   [[nodiscard]] std::uint64_t flits_in_network() const noexcept {
     return buffered_flits_;
   }
   [[nodiscard]] const sim::Watchdog& watchdog() const noexcept { return watchdog_; }
+
+  /// Forgives the current idle streak (and a tripped state).  Called by the
+  /// fault injector after every reconfiguration so a transient flush /
+  /// ring-rebuild stall is not misreported as a deadlock.
+  void reset_watchdog() noexcept { watchdog_.reset(); }
+
+  // ---- dynamic-fault recovery (inject/) --------------------------------
+  //
+  // The fault map the network references is mutated in place by the
+  // reconfigurator between cycles; these methods implement the
+  // Boppana-Chalasani dynamic-fault recovery protocol on top of it: flush
+  // every worm the event severed, then retransmit from the source.
+
+  /// Messages that the *current* fault map invalidates: any message with a
+  /// flit buffered in (or a channel reserved at / into) a blocked node.
+  /// Sorted, duplicate-free.  Cheap when nothing changed: long-blocked
+  /// nodes hold no flits.
+  [[nodiscard]] std::vector<MessageId> collect_fault_victims() const;
+
+  /// Removes every flit of the given messages from input buffers and link
+  /// registers, releases their channel reservations and injection supplies,
+  /// drops them from source queues, and restores the freed credits.  The
+  /// messages themselves stay in the table (for retransmission/abort
+  /// accounting); surviving traffic is untouched.
+  void purge_messages(const std::vector<MessageId>& ids);
+
+  /// Re-enqueues a previously purged message at its source with fresh
+  /// routing state.  Both endpoints must be active again.
+  void requeue_message(MessageId id);
+
+  /// Clears ring-mode routing state that a ring rebuild invalidated: any
+  /// in-flight header whose recorded region no longer exists or whose ring
+  /// no longer passes through the header's position re-enters ring mode
+  /// from scratch on its next routing decision.
+  void revalidate_ring_state(const fault::FRingSet& rings);
+
+  /// Mutable access for recovery bookkeeping (retries / aborted flags).
+  [[nodiscard]] Message& message_mut(MessageId id) { return messages_.at(id); }
 
   // Measurement-window counters (active after begin_measurement()).
   [[nodiscard]] std::uint64_t measured_cycles() const noexcept { return measured_cycles_; }

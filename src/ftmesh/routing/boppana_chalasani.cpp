@@ -50,7 +50,17 @@ std::optional<int> BoppanaChalasani::blocking_region(Coord at, Coord dst) const 
 std::optional<BoppanaChalasani::RingMove> BoppanaChalasani::plan_ring_move(
     Coord at, const router::Message& msg) const {
   RingMove move;
-  if (msg.rs.ring.active) {
+  // A runtime reconfiguration (inject/) can leave recorded ring state
+  // pointing at a region the rebuild renumbered away, or at a ring that no
+  // longer passes through `at`.  Network::revalidate_ring_state remaps (or,
+  // when the head is off every ring, clears) such state for every in-flight
+  // header, but this guard keeps the planner total: stale state degrades to
+  // a fresh ring entry instead of indexing a vanished ring.
+  const bool resume =
+      msg.rs.ring.active && msg.rs.ring.region >= 0 &&
+      msg.rs.ring.region < static_cast<int>(rings_->ring_count()) &&
+      rings_->ring(msg.rs.ring.region).contains(at);
+  if (resume) {
     move.region = msg.rs.ring.region;
     move.type = msg.rs.ring.vc_type;
     move.orientation = msg.rs.ring.orientation;
@@ -153,7 +163,10 @@ void BoppanaChalasani::on_hop(Coord at, Direction dir, int vc,
     const auto move = plan_ring_move(at, msg);
     auto& ring = msg.rs.ring;
     if (move) {
-      if (!ring.active) {
+      // A region change while nominally active means stale post-
+      // reconfiguration state degraded to a fresh entry — restart the
+      // exit-distance and reversal bookkeeping for the new ring.
+      if (!ring.active || move->region != ring.region) {
         ring.reversals = 0;
         ring.entry_distance =
             static_cast<std::uint16_t>(topology::manhattan(at, msg.dst));

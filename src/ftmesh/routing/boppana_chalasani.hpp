@@ -41,6 +41,7 @@ class BoppanaChalasani : public RoutingAlgorithm {
   void on_inject(router::Message& msg) const override { base_->on_inject(msg); }
   void on_hop(topology::Coord at, topology::Direction dir, int vc,
               router::Message& msg) const override;
+  void on_fault_change() override { base_->on_fault_change(); }
 
   /// The fortification adds ring channels but does not change which CDG the
   /// base algorithm's argument needs.

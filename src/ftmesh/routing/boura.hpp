@@ -51,6 +51,12 @@ class Boura : public RoutingAlgorithm {
            unsafe_[static_cast<std::size_t>(mesh().id_of(c))] != 0;
   }
 
+  /// The unsafe labels are a fixpoint over the fault map; recompute them
+  /// after a runtime fault/repair event.
+  void on_fault_change() override {
+    if (variant_ == Variant::FaultTolerant) label_unsafe_nodes();
+  }
+
  private:
   void label_unsafe_nodes();
 

@@ -117,6 +117,14 @@ class RoutingAlgorithm {
   virtual void on_hop(topology::Coord at, topology::Direction dir, int vc,
                       router::Message& msg) const;
 
+  /// Notification that the fault map this algorithm references was mutated
+  /// in place by a runtime reconfiguration event (inject/).  Algorithms
+  /// that precompute per-node state from the fault map (e.g. Boura-FT's
+  /// unsafe labels) recompute it here; the default is a no-op because
+  /// `candidates` otherwise reads the map directly.  Called between cycles,
+  /// never concurrently with routing.
+  virtual void on_fault_change() {}
+
   // ---- static-verification hooks (verify::) ---------------------------
 
   /// Which CDG check proves this algorithm deadlock-free.

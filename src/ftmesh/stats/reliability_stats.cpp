@@ -1,0 +1,64 @@
+#include "ftmesh/stats/reliability_stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ftmesh::stats {
+
+ReliabilitySummary summarize_reliability(const router::Network& net,
+                                         const inject::InjectLog& log) {
+  ReliabilitySummary out;
+  out.enabled = true;
+  out.retransmissions = log.retransmissions;
+  out.messages_flushed = log.messages_flushed;
+  out.fault_events_applied = log.events_applied;
+  out.fault_events_rejected = log.events_rejected;
+  out.node_failures = log.node_failures;
+  out.node_repairs = log.node_repairs;
+  out.rings_reused = log.rings_reused;
+  out.rings_rebuilt = log.rings_rebuilt;
+
+  std::vector<double> recovery;
+  std::uint64_t post_fault_flits = 0;
+  for (const auto& m : net.messages()) {
+    ++out.generated;
+    if (m.done) {
+      ++out.delivered;
+      if (m.retries > 0) {
+        ++out.recovered_messages;
+        recovery.push_back(static_cast<double>(m.delivered - m.created));
+      }
+      if (log.events_applied > 0 && m.delivered >= log.last_event_cycle) {
+        post_fault_flits += m.length;
+      }
+    } else if (m.aborted) {
+      ++out.aborted;
+    } else {
+      ++out.in_flight_end;
+    }
+  }
+
+  if (!recovery.empty()) {
+    std::sort(recovery.begin(), recovery.end());
+    double sum = 0.0;
+    for (const double v : recovery) sum += v;
+    out.recovery_latency_mean = sum / static_cast<double>(recovery.size());
+    const auto idx = static_cast<std::size_t>(
+        0.95 * static_cast<double>(recovery.size() - 1));
+    out.recovery_latency_p95 = recovery[idx];
+    out.recovery_latency_max = recovery.back();
+  }
+
+  if (log.events_applied > 0 && net.cycle() > log.last_event_cycle) {
+    const auto window =
+        static_cast<double>(net.cycle() - log.last_event_cycle);
+    const int active = net.faults().active_count();
+    if (active > 0) {
+      out.post_fault_throughput = static_cast<double>(post_fault_flits) /
+                                  (window * static_cast<double>(active));
+    }
+  }
+  return out;
+}
+
+}  // namespace ftmesh::stats

@@ -1,0 +1,55 @@
+#pragma once
+// Reliability reductions for runs with dynamic fault injection (inject/).
+//
+// Every message ends a run in exactly one of three states — delivered,
+// aborted (endpoint lost or retry budget exhausted) or still in flight —
+// so `generated == delivered + aborted + in_flight_end` is the accounting
+// identity the drain check enforces.  Recovery latency is measured over
+// delivered messages that needed at least one retransmission, from the
+// original creation cycle to final tail ejection: it charges the fault the
+// full cost of every flushed attempt plus backoff.  Post-fault throughput
+// is the accepted rate restricted to deliveries after the last applied
+// event, i.e. the steady state the network settles into on the final
+// topology.
+
+#include <cstdint>
+
+#include "ftmesh/inject/fault_injector.hpp"
+#include "ftmesh/router/network.hpp"
+
+namespace ftmesh::stats {
+
+struct ReliabilitySummary {
+  bool enabled = false;  ///< a fault schedule was configured
+
+  // Message accounting (whole run, not just the measurement window).
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t in_flight_end = 0;
+
+  // Engine activity.
+  std::uint64_t retransmissions = 0;
+  std::uint64_t messages_flushed = 0;
+  int fault_events_applied = 0;
+  int fault_events_rejected = 0;
+  int node_failures = 0;
+  int node_repairs = 0;
+  int rings_reused = 0;   ///< f-rings carried over by incremental rebuilds
+  int rings_rebuilt = 0;  ///< f-rings reconstructed from scratch
+
+  // Recovery latency (delivered messages with retries > 0).
+  std::uint64_t recovered_messages = 0;
+  double recovery_latency_mean = 0.0;
+  double recovery_latency_p95 = 0.0;
+  double recovery_latency_max = 0.0;
+
+  /// Accepted flits per active node per cycle over the post-event window
+  /// [last applied event, end of run]; 0 when no event applied.
+  double post_fault_throughput = 0.0;
+};
+
+ReliabilitySummary summarize_reliability(const router::Network& net,
+                                         const inject::InjectLog& log);
+
+}  // namespace ftmesh::stats

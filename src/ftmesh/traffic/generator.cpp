@@ -18,6 +18,15 @@ Generator::Generator(const fault::FaultMap& faults,
   }
 }
 
+void Generator::refresh(double now) {
+  sources_ = faults_->active_nodes();
+  if (saturated()) return;
+  arrivals_.clear();
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    arrivals_.schedule(now + rng_.exponential(rate_), i);
+  }
+}
+
 void Generator::tick(router::Network& net) {
   if (saturated()) {
     // Keep one message queued per source: it re-offers as soon as the

@@ -21,6 +21,12 @@ class Generator {
   /// before Network::step()).
   void tick(router::Network& net);
 
+  /// Called after a runtime fault event mutated the fault map in place
+  /// (inject/): re-derives the source set and, in Poisson mode, reschedules
+  /// every source's next arrival from `now` — dead sources stop offering
+  /// traffic, repaired ones start.
+  void refresh(double now);
+
   [[nodiscard]] bool saturated() const noexcept { return rate_ <= 0.0; }
   [[nodiscard]] double rate() const noexcept { return rate_; }
   [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }

@@ -14,6 +14,9 @@ UniformTraffic::UniformTraffic(const fault::FaultMap& faults)
 }
 
 std::optional<Coord> UniformTraffic::pick(Coord src, sim::Rng& rng) const {
+  // Runtime fault events can (pathologically) shrink the refreshed active
+  // set below two nodes; no destination exists then.
+  if (active_.size() < 2) return std::nullopt;
   // Rejection-sample the source itself; at most a few iterations since the
   // active set has >= 2 nodes.
   for (;;) {
@@ -48,7 +51,11 @@ HotspotTraffic::HotspotTraffic(const fault::FaultMap& faults,
 }
 
 std::optional<Coord> HotspotTraffic::pick(Coord src, sim::Rng& rng) const {
-  if (!(hotspot_ == src) && rng.chance(fraction_)) return hotspot_;
+  // The hotspot itself may die at runtime; fall back to uniform until (if
+  // ever) it is repaired.
+  if (faults_->active(hotspot_) && !(hotspot_ == src) && rng.chance(fraction_)) {
+    return hotspot_;
+  }
   return uniform_.pick(src, rng);
 }
 

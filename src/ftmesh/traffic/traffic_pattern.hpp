@@ -24,6 +24,11 @@ class TrafficPattern {
   /// the generator then skips the message.
   [[nodiscard]] virtual std::optional<topology::Coord> pick(
       topology::Coord src, sim::Rng& rng) const = 0;
+
+  /// Called after a runtime fault event mutated the fault map in place
+  /// (inject/): patterns caching the active-node set recompute it here;
+  /// patterns that consult the map per pick need nothing.
+  virtual void refresh() {}
 };
 
 /// Uniform over active nodes != src (the paper's workload).
@@ -33,6 +38,7 @@ class UniformTraffic : public TrafficPattern {
   [[nodiscard]] std::string_view name() const noexcept override { return "uniform"; }
   [[nodiscard]] std::optional<topology::Coord> pick(topology::Coord src,
                                                     sim::Rng& rng) const override;
+  void refresh() override { active_ = faults_->active_nodes(); }
 
  private:
   const fault::FaultMap* faults_;
@@ -71,6 +77,7 @@ class HotspotTraffic : public TrafficPattern {
   [[nodiscard]] std::string_view name() const noexcept override { return "hotspot"; }
   [[nodiscard]] std::optional<topology::Coord> pick(topology::Coord src,
                                                     sim::Rng& rng) const override;
+  void refresh() override { uniform_.refresh(); }
 
  private:
   UniformTraffic uniform_;

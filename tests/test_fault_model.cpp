@@ -176,6 +176,41 @@ TEST(FaultMap, RandomRejectsAbsurdCounts) {
   EXPECT_THROW(FaultMap::random(m, 16, rng), std::invalid_argument);
 }
 
+TEST(FaultMap, RandomExhaustionThrowsTypedError) {
+  // 8 faults on a 3x3 mesh leave one healthy node but the block hull almost
+  // always disconnects or swallows it; with a tiny attempt budget the draw
+  // must give up with the typed error carrying the attempt count.
+  const Mesh m(3, 3);
+  Rng rng(2);
+  try {
+    const auto map = FaultMap::random(m, 8, rng, /*max_attempts=*/5);
+    FAIL() << "expected FaultPatternError";
+  } catch (const ftmesh::fault::FaultPatternError& e) {
+    EXPECT_EQ(e.attempts(), 5);
+    EXPECT_NE(std::string(e.what()).find("attempt"), std::string::npos);
+  }
+}
+
+TEST(FaultMap, FaultPatternErrorIsARuntimeError) {
+  // Callers that only catch std::runtime_error still see the failure
+  // (std::invalid_argument from bad arguments stays distinct).
+  const Mesh m(3, 3);
+  Rng rng(2);
+  EXPECT_THROW(FaultMap::random(m, 8, rng, 3), std::runtime_error);
+}
+
+TEST(FaultMap, FaultyNodesRoundTripsThroughFromFaultyNodes) {
+  const Mesh m(10, 10);
+  Rng rng(41);
+  const auto map = FaultMap::random(m, 7, rng);
+  const auto rebuilt = FaultMap::from_faulty_nodes(m, map.faulty_nodes());
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 10; ++x) {
+      EXPECT_EQ(map.status({x, y}), rebuilt.status({x, y})) << x << "," << y;
+    }
+  }
+}
+
 TEST(FaultMap, ManyRandomPatternsStayConnected) {
   const Mesh m(10, 10);
   Rng rng(77);

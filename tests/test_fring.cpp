@@ -187,6 +187,95 @@ TEST(FRingSet, NearbyRegionsShareRingNodes) {
   EXPECT_TRUE(rings.ring(1).contains({3, 2}));
 }
 
+void expect_equals_scratch(const Mesh& m, const FRingSet& got,
+                           const FaultMap& map) {
+  const FRingSet fresh(map);
+  ASSERT_EQ(got.ring_count(), fresh.ring_count());
+  for (std::size_t i = 0; i < fresh.ring_count(); ++i) {
+    const auto& a = got.ring(static_cast<int>(i));
+    const auto& b = fresh.ring(static_cast<int>(i));
+    EXPECT_EQ(a.region_id(), b.region_id());
+    EXPECT_EQ(a.region_box(), b.region_box());
+    EXPECT_EQ(a.closed(), b.closed());
+    EXPECT_EQ(a.nodes(), b.nodes());
+  }
+  for (int y = 0; y < m.height(); ++y) {
+    for (int x = 0; x < m.width(); ++x) {
+      EXPECT_EQ(got.on_any_ring({x, y}), fresh.on_any_ring({x, y}))
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(FRingSetRebuild, UnchangedRegionsAreReused) {
+  const Mesh m(12, 12);
+  auto map = FaultMap::from_faulty_nodes(m, {{2, 2}, {9, 9}});
+  FRingSet rings(map);
+  // Add a third, distant fault: both existing boxes survive untouched.
+  map = FaultMap::from_faulty_nodes(m, {{2, 2}, {9, 9}, {6, 2}});
+  const auto stats = rings.rebuild(map);
+  EXPECT_EQ(stats.reused, 2);
+  EXPECT_EQ(stats.rebuilt, 1);
+  expect_equals_scratch(m, rings, map);
+}
+
+TEST(FRingSetRebuild, GrowingARegionRebuildsItsRing) {
+  const Mesh m(10, 10);
+  auto map = FaultMap::from_faulty_nodes(m, {{4, 4}});
+  FRingSet rings(map);
+  // New fault on the old ring: box grows, ring must be reconstructed.
+  map = FaultMap::from_faulty_nodes(m, {{4, 4}, {5, 4}});
+  const auto stats = rings.rebuild(map);
+  EXPECT_EQ(stats.reused, 0);
+  EXPECT_EQ(stats.rebuilt, 1);
+  EXPECT_FALSE(rings.ring(0).contains({5, 4}));
+  expect_equals_scratch(m, rings, map);
+}
+
+TEST(FRingSetRebuild, MergeAndSplitSequencesMatchScratch) {
+  const Mesh m(10, 10);
+  FaultMap map(m);
+  FRingSet rings(map);
+  // Merge: two singletons bridged into one hull...
+  for (const auto& faulty : std::vector<std::vector<Coord>>{
+           {{2, 2}, {4, 4}},
+           {{2, 2}, {4, 4}, {3, 3}},       // bridged -> single hull
+           {{2, 2}, {4, 4}},               // ...then the bridge repaired
+           {{2, 2}},                       // split survivor removed
+           {}}) {
+    map = faulty.empty() ? FaultMap(m) : FaultMap::from_faulty_nodes(m, faulty);
+    rings.rebuild(map);
+    expect_equals_scratch(m, rings, map);
+  }
+  EXPECT_EQ(rings.ring_count(), 0u);
+}
+
+TEST(FRingSetRebuild, RandomHistoriesMatchScratch) {
+  const Mesh m(10, 10);
+  Rng rng(17);
+  FaultMap map(m);
+  FRingSet rings(map);
+  std::set<std::pair<int, int>> faulty;
+  for (int step = 0; step < 40; ++step) {
+    const std::pair<int, int> c{static_cast<int>(rng.next_below(10)),
+                                static_cast<int>(rng.next_below(10))};
+    auto next = faulty;
+    if (!next.erase(c)) next.insert(c);  // toggle fail/repair
+    std::vector<Coord> nodes;
+    for (const auto& [x, y] : next) nodes.push_back({x, y});
+    FaultMap trial(m);
+    try {
+      trial = nodes.empty() ? FaultMap(m) : FaultMap::from_faulty_nodes(m, nodes);
+    } catch (const std::invalid_argument&) {
+      continue;  // disconnecting toggle: skip, like the reconfigurator
+    }
+    faulty = next;
+    map = std::move(trial);
+    rings.rebuild(map);
+    expect_equals_scratch(m, rings, map);
+  }
+}
+
 TEST(FRingSet, RandomPatternsAlwaysYieldTraversableStructures) {
   const Mesh m(10, 10);
   Rng rng(3);

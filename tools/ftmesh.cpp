@@ -3,6 +3,8 @@
 //
 //   ftmesh run        [--config f] [--algorithm A] [--rate R] [--faults N]
 //                     [--cycles N] [--seed S] [--json] [--save-config f]
+//                     [--fault-schedule SPEC] [--max-retries N]
+//                     [--backoff N] [--patience N] [--drain]
 //   ftmesh sweep      [--algorithm A] [--from R0] [--to R1] [--steps N] ...
 //   ftmesh saturation [--algorithm A] [--threshold T] ...
 //   ftmesh faults     [--faults N] [--seed S]
@@ -56,6 +58,13 @@ SimConfig config_from_cli(const Cli& cli) {
       cli.get_int("warmup", static_cast<std::int64_t>(cfg.total_cycles / 3)));
   cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", static_cast<std::int64_t>(cfg.seed)));
   cfg.buffer_depth = static_cast<int>(cli.get_int("buffer-depth", cfg.buffer_depth));
+  cfg.watchdog_patience = static_cast<std::uint64_t>(
+      cli.get_int("patience", static_cast<std::int64_t>(cfg.watchdog_patience)));
+  cfg.fault_schedule = cli.get("fault-schedule", cfg.fault_schedule);
+  cfg.fault_max_retries =
+      static_cast<int>(cli.get_int("max-retries", cfg.fault_max_retries));
+  cfg.fault_retry_backoff = static_cast<std::uint64_t>(cli.get_int(
+      "backoff", static_cast<std::int64_t>(cfg.fault_retry_backoff)));
   return cfg;
 }
 
@@ -66,10 +75,21 @@ int cmd_run(const Cli& cli) {
     std::cerr << "wrote " << path << "\n";
   }
   ftmesh::core::Simulator sim(cfg);
-  const auto r = sim.run();
+  auto r = sim.run();
+  // --drain: stop generation after the schedule and keep the clock running
+  // until every message delivers or aborts; with a fault schedule this makes
+  // the accounting identity (generated == delivered + aborted) checkable,
+  // and the exit code reflects it.
+  std::uint64_t drained_cycles = 0;
+  if (cli.flag("drain") && !r.deadlock) {
+    drained_cycles = sim.drain();
+    r = sim.snapshot();
+  }
+  const bool leak =
+      cli.flag("drain") && r.reliability.enabled && r.reliability.in_flight_end != 0;
   if (cli.flag("json")) {
     ftmesh::report::write_result_json(std::cout, cfg, r);
-    return r.deadlock ? 1 : 0;
+    return (r.deadlock || leak) ? 1 : 0;
   }
   ftmesh::report::Table table({"metric", "value"});
   const auto row = [&](const std::string& k, const std::string& v) {
@@ -90,8 +110,30 @@ int cmd_run(const Cli& cli) {
       ftmesh::report::format_double(r.throughput.accepted_fraction, 3));
   row("mean hops", ftmesh::report::format_double(r.latency.mean_hops, 2));
   row("deadlock", r.deadlock ? "YES" : "no");
+  if (r.reliability.enabled) {
+    const auto& rel = r.reliability;
+    row("fault events", std::to_string(rel.fault_events_applied) + " applied, " +
+                            std::to_string(rel.fault_events_rejected) + " rejected");
+    row("node failures/repairs", std::to_string(rel.node_failures) + " / " +
+                                     std::to_string(rel.node_repairs));
+    row("f-rings reused/rebuilt", std::to_string(rel.rings_reused) + " / " +
+                                      std::to_string(rel.rings_rebuilt));
+    row("messages", std::to_string(rel.generated) + " generated = " +
+                        std::to_string(rel.delivered) + " delivered + " +
+                        std::to_string(rel.aborted) + " aborted + " +
+                        std::to_string(rel.in_flight_end) + " in flight");
+    row("flushed / retransmitted", std::to_string(rel.messages_flushed) + " / " +
+                                       std::to_string(rel.retransmissions));
+    row("recovered messages", std::to_string(rel.recovered_messages));
+    row("recovery latency mean/p95",
+        ftmesh::report::format_double(rel.recovery_latency_mean, 1) + " / " +
+            ftmesh::report::format_double(rel.recovery_latency_p95, 1));
+    row("post-fault throughput",
+        ftmesh::report::format_double(rel.post_fault_throughput, 4));
+    if (drained_cycles > 0) row("drain cycles", std::to_string(drained_cycles));
+  }
   table.print(std::cout);
-  return r.deadlock ? 1 : 0;
+  return (r.deadlock || leak) ? 1 : 0;
 }
 
 int cmd_sweep(const Cli& cli) {
