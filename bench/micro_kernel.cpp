@@ -25,9 +25,10 @@ SimConfig kernel_config(double rate, int faults) {
 }
 
 void BM_NetworkStepIdle(benchmark::State& state) {
-  // Near-zero rate: an (almost) empty network, measuring the fixed
-  // per-cycle scan cost.  (rate <= 0 would mean saturated sources.)
-  Simulator sim(kernel_config(1e-9, 0));
+  // rate == 0: an idle network (no sources ever fire), measuring the
+  // fixed per-cycle cost.  With active-set scanning this is the
+  // everything-empty fast path.
+  Simulator sim(kernel_config(0.0, 0));
   for (auto _ : state) sim.step();
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
 }
@@ -40,6 +41,30 @@ void BM_NetworkStepModerateLoad(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
 }
 BENCHMARK(BM_NetworkStepModerateLoad);
+
+void BM_NetworkStepModerateLoadFullScan(benchmark::State& state) {
+  // Reference path: exhaustive per-node scans (--scan-mode=full).  The
+  // gap to BM_NetworkStepModerateLoad is what the active sets buy.
+  auto cfg = kernel_config(0.001, 0);
+  cfg.scan_mode = "full";
+  Simulator sim(cfg);
+  for (int i = 0; i < 2000; ++i) sim.step();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_NetworkStepModerateLoadFullScan);
+
+void BM_NetworkStepSaturatedNoCache(benchmark::State& state) {
+  // Saturated load with the route-candidate cache disabled: isolates
+  // the memoization win at the load level where it matters most.
+  auto cfg = kernel_config(-1.0, 0);
+  cfg.route_cache = false;
+  Simulator sim(cfg);
+  for (int i = 0; i < 2000; ++i) sim.step();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_NetworkStepSaturatedNoCache);
 
 void BM_NetworkStepSaturated(benchmark::State& state) {
   Simulator sim(kernel_config(-1.0, 0));

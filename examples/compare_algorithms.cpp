@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const int patterns = static_cast<int>(cli.get_int("patterns", 3));
 
   std::cout << "Comparing all algorithms: "
-            << (base.injection_rate <= 0
+            << (base.injection_rate < 0
                     ? std::string("saturated sources")
                     : std::to_string(base.injection_rate) + " msg/node/cycle")
             << ", " << base.fault_count << " faulty nodes, " << patterns

@@ -1,5 +1,6 @@
 #include "ftmesh/core/config.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "ftmesh/inject/fault_schedule.hpp"
@@ -23,6 +24,12 @@ void SimConfig::validate() const {
     throw std::invalid_argument("injection_vcs out of range");
   }
   if (message_length < 1) throw std::invalid_argument("message_length must be >= 1");
+  if (std::isnan(injection_rate)) {
+    throw std::invalid_argument("injection_rate must not be NaN");
+  }
+  if (scan_mode != "active" && scan_mode != "full") {
+    throw std::invalid_argument("scan_mode must be 'active' or 'full'");
+  }
   if (fault_count < 0 || fault_count >= width * height) {
     throw std::invalid_argument("fault_count out of range");
   }

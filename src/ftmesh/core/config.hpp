@@ -31,7 +31,11 @@ struct SimConfig {
 
   // workload
   std::string traffic = "uniform";
-  double injection_rate = 0.01;  ///< messages/node/cycle; <= 0 -> saturated
+  /// Messages/node/cycle.  Negative -> saturated sources (a fresh message
+  /// the moment the previous one finished injecting); exactly 0 -> no
+  /// offered traffic (idle network, useful for drain tests and the idle
+  /// micro benchmark); positive -> Poisson arrivals at this rate.
+  double injection_rate = 0.01;
   std::uint32_t message_length = 100;
 
   // faults: explicit blocks win over a random fault count
@@ -51,9 +55,16 @@ struct SimConfig {
   std::uint64_t seed = 1;
   std::uint64_t watchdog_patience = 2000;
 
+  // cycle-kernel scheduling (router/network.hpp): "active" iterates only
+  // occupied state, "full" is the exhaustive cross-checked reference scan.
+  // Both are bit-identical; full exists for A/B validation and debugging.
+  std::string scan_mode = "active";
+  bool route_cache = true;  ///< memoize candidate sets per routing state
+
   // optional statistics
   bool collect_vc_usage = false;
   bool collect_traffic_map = false;
+  bool collect_kernel_stats = false;  ///< cache hit rate + active-set sizes
 
   /// Throws std::invalid_argument on inconsistent settings.
   void validate() const;

@@ -33,8 +33,12 @@ Simulator::Simulator(SimConfig cfg)
   ncfg.buffer_depth = cfg_.buffer_depth;
   ncfg.injection_vcs = cfg_.injection_vcs;
   ncfg.selection = cfg_.selection;
+  ncfg.scan_mode = cfg_.scan_mode == "full" ? router::ScanMode::Full
+                                            : router::ScanMode::Active;
+  ncfg.route_cache = cfg_.route_cache;
   ncfg.collect_vc_usage = cfg_.collect_vc_usage;
   ncfg.collect_traffic_map = cfg_.collect_traffic_map;
+  ncfg.collect_kernel_stats = cfg_.collect_kernel_stats;
   ncfg.watchdog_patience = cfg_.watchdog_patience;
   network_ = std::make_unique<router::Network>(mesh_, *faults_, *algorithm_,
                                                ncfg, root.derive(0x17));
@@ -57,6 +61,7 @@ Simulator::Simulator(SimConfig cfg)
 void Simulator::post_reconfigure() {
   network_->revalidate_ring_state(*rings_);
   network_->reset_watchdog();
+  network_->on_fault_change();  // drop memoized candidate sets
   algorithm_->on_fault_change();
   pattern_->refresh();
   generator_->refresh(static_cast<double>(network_->cycle()));
@@ -107,6 +112,9 @@ SimResult Simulator::snapshot() const {
   }
   if (injector_) {
     r.reliability = stats::summarize_reliability(*network_, injector_->log());
+  }
+  if (cfg_.collect_kernel_stats) {
+    r.kernel = stats::summarize_kernel(*network_);
   }
   r.deadlock = network_->watchdog().tripped();
   r.cycles_run = network_->cycle();

@@ -10,6 +10,7 @@
 #include "ftmesh/inject/fault_injector.hpp"
 #include "ftmesh/router/network.hpp"
 #include "ftmesh/routing/registry.hpp"
+#include "ftmesh/stats/kernel_stats.hpp"
 #include "ftmesh/stats/latency_stats.hpp"
 #include "ftmesh/stats/reliability_stats.hpp"
 #include "ftmesh/stats/traffic_map.hpp"
@@ -34,6 +35,7 @@ struct SimResult {
   stats::VcUsage vc_usage;          ///< filled when collect_vc_usage
   stats::TrafficSplit traffic_split; ///< filled when collect_traffic_map
   stats::ReliabilitySummary reliability;  ///< filled when a fault schedule ran
+  stats::KernelSummary kernel;      ///< filled when collect_kernel_stats
   bool deadlock = false;            ///< watchdog tripped (run aborted early)
   std::uint64_t cycles_run = 0;
   int fault_regions = 0;

@@ -185,6 +185,25 @@ void write_result_json(std::ostream& os, const core::SimConfig& cfg,
     w.end_object();
   }
 
+  if (r.kernel.enabled) {
+    // Cycle-kernel counters (collect_kernel_stats).  Note scan_mode is
+    // deliberately absent from the report: the counters are maintained
+    // identically in both modes, and the golden determinism corpus relies
+    // on full-vs-active reports being byte-identical.
+    const auto& k = r.kernel;
+    w.key("kernel").begin_object();
+    w.key("cache_lookups").value(k.cache_lookups);
+    w.key("cache_hits").value(k.cache_hits);
+    w.key("cache_hit_rate").value(k.cache_hit_rate);
+    w.key("cache_invalidations").value(k.cache_invalidations);
+    w.key("samples").value(k.samples);
+    w.key("mean_route_nodes").value(k.mean_route_nodes);
+    w.key("mean_switch_nodes").value(k.mean_switch_nodes);
+    w.key("mean_inject_nodes").value(k.mean_inject_nodes);
+    w.key("mean_link_regs").value(k.mean_link_regs);
+    w.end_object();
+  }
+
   w.key("deadlock").value(r.deadlock);
   w.key("cycles_run").value(r.cycles_run);
   w.end_object();

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <functional>
 #include <map>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,6 +17,42 @@ using topology::Direction;
 using topology::kMeshDirections;
 using topology::kPortCount;
 using topology::NodeId;
+
+namespace {
+
+/// Drops worklist entries whose pending counter fell back to zero (their
+/// in-list flag is cleared so they can re-enter) and sorts the survivors.
+/// Ascending node order is what makes the Active scan consume the shared
+/// RNG stream in exactly the Full scan's order.
+template <typename Count>
+void compact_worklist(std::vector<NodeId>& list, std::vector<char>& flag,
+                      const std::vector<Count>& count) {
+  std::size_t k = 0;
+  for (const NodeId n : list) {
+    if (count[static_cast<std::size_t>(n)] > 0) {
+      list[k++] = n;
+    } else {
+      flag[static_cast<std::size_t>(n)] = 0;
+    }
+  }
+  list.resize(k);
+  std::sort(list.begin(), list.end());
+}
+
+/// Worklist entries whose counter is still positive (the list may carry
+/// stale zero-count entries between compactions; counting through the
+/// counter keeps the metric exact and scan-mode independent).
+template <typename Count>
+std::uint64_t live_entries(const std::vector<NodeId>& list,
+                           const std::vector<Count>& count) {
+  std::uint64_t n = 0;
+  for (const NodeId id : list) {
+    if (count[static_cast<std::size_t>(id)] > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace
 
 Network::Network(const topology::Mesh& mesh, const fault::FaultMap& faults,
                  const routing::RoutingAlgorithm& algorithm,
@@ -40,7 +77,159 @@ Network::Network(const topology::Mesh& mesh, const fault::FaultMap& faults,
   supplies_.resize(n * static_cast<std::size_t>(config_.injection_vcs));
   vc_busy_counts_.assign(static_cast<std::size_t>(vcs), 0);
   node_traffic_.assign(n, 0);
+  route_pending_.assign(n, 0);
+  switch_pending_.assign(n, 0);
+  inject_pending_.assign(n, 0);
+  in_route_.assign(n, 0);
+  in_switch_.assign(n, 0);
+  in_inject_.assign(n, 0);
+  in_link_.assign(n * kMeshDirections, 0);
+  link_vc_allocated_.assign(static_cast<std::size_t>(vcs), 0);
+  if (config_.route_cache) route_cache_.resize(kRouteCacheSize);
+  // The arbitration seed comes off a derived stream (not the shared one),
+  // so it is a pure function of the network seed.
+  arb_seed_ = rng_.derive(0xa7b17ULL)();
 }
+
+// ---- occupancy bookkeeping -----------------------------------------------
+
+void Network::bump_route(NodeId node, int delta) {
+  auto& p = route_pending_[static_cast<std::size_t>(node)];
+  assert(delta >= 0 || p >= static_cast<std::uint16_t>(-delta));
+  const bool was_zero = p == 0;
+  p = static_cast<std::uint16_t>(static_cast<int>(p) + delta);
+  if (was_zero && p > 0 && !in_route_[static_cast<std::size_t>(node)]) {
+    in_route_[static_cast<std::size_t>(node)] = 1;
+    route_nodes_.push_back(node);
+  }
+}
+
+void Network::bump_switch(NodeId node, int delta) {
+  auto& p = switch_pending_[static_cast<std::size_t>(node)];
+  assert(delta >= 0 || p >= static_cast<std::uint16_t>(-delta));
+  const bool was_zero = p == 0;
+  p = static_cast<std::uint16_t>(static_cast<int>(p) + delta);
+  if (was_zero && p > 0 && !in_switch_[static_cast<std::size_t>(node)]) {
+    in_switch_[static_cast<std::size_t>(node)] = 1;
+    switch_nodes_.push_back(node);
+  }
+}
+
+void Network::bump_inject(NodeId node, int delta) {
+  auto& p = inject_pending_[static_cast<std::size_t>(node)];
+  assert(delta >= 0 || p >= static_cast<std::uint32_t>(-delta));
+  const bool was_zero = p == 0;
+  p = static_cast<std::uint32_t>(static_cast<int>(p) + delta);
+  if (was_zero && p > 0 && !in_inject_[static_cast<std::size_t>(node)]) {
+    in_inject_[static_cast<std::size_t>(node)] = 1;
+    inject_nodes_.push_back(node);
+  }
+}
+
+void Network::note_link_full(std::size_t link_idx) {
+  if (!in_link_[link_idx]) {
+    in_link_[link_idx] = 1;
+    link_list_.push_back(link_idx);
+  }
+}
+
+void Network::note_buffer_push(NodeId node, const InputVc& ivc, const Flit& f,
+                               bool was_empty) {
+  if (ivc.stage == IvcStage::Active) {
+    // A worm owns the VC; a new flit is sendable iff the buffer was dry.
+    if (was_empty) bump_switch(node, +1);
+    return;
+  }
+  // Not Active and the buffer was empty: wormhole ordering guarantees the
+  // arriving flit is the next worm's header (RouteWait implies non-empty).
+  assert(ivc.stage == IvcStage::Idle || !was_empty);
+  if (was_empty) {
+    assert(is_head(f.type) && "body flit arrived into an idle empty VC");
+    bump_route(node, +1);
+  }
+  (void)f;
+}
+
+void Network::rebuild_active_sets() {
+  const int vcs = algorithm_->layout().total();
+  route_nodes_.clear();
+  switch_nodes_.clear();
+  inject_nodes_.clear();
+  link_list_.clear();
+  std::fill(in_route_.begin(), in_route_.end(), 0);
+  std::fill(in_switch_.begin(), in_switch_.end(), 0);
+  std::fill(in_inject_.begin(), in_inject_.end(), 0);
+  std::fill(in_link_.begin(), in_link_.end(), 0);
+  std::fill(link_vc_allocated_.begin(), link_vc_allocated_.end(), 0);
+  queued_messages_ = 0;
+  busy_supplies_ = 0;
+  std::uint64_t flits = 0;
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const auto sid = static_cast<std::size_t>(id);
+    const Router& rt = routers_[sid];
+    std::uint16_t routable = 0;
+    std::uint16_t sendable = 0;
+    for (int port = 0; port < kPortCount; ++port) {
+      for (int vc = 0; vc < vcs; ++vc) {
+        const InputVc& ivc = rt.input(port, vc);
+        flits += ivc.buf.size();
+        if (ivc.buf.empty()) continue;
+        if (ivc.stage == IvcStage::Active) {
+          ++sendable;
+        } else if (is_head(ivc.buf.front().type)) {
+          ++routable;
+        }
+      }
+    }
+    for (int port = 0; port < kMeshDirections; ++port) {
+      for (int vc = 0; vc < vcs; ++vc) {
+        if (rt.output(port, vc).allocated) {
+          ++link_vc_allocated_[static_cast<std::size_t>(vc)];
+        }
+      }
+    }
+    route_pending_[sid] = routable;
+    switch_pending_[sid] = sendable;
+    if (routable > 0) {
+      in_route_[sid] = 1;
+      route_nodes_.push_back(id);
+    }
+    if (sendable > 0) {
+      in_switch_[sid] = 1;
+      switch_nodes_.push_back(id);
+    }
+    std::uint32_t busy = 0;
+    for (int iv = 0; iv < config_.injection_vcs; ++iv) {
+      if (supply(id, iv).current != kInvalidMessage) ++busy;
+    }
+    busy_supplies_ += busy;
+    queued_messages_ += queues_[sid].size();
+    inject_pending_[sid] = static_cast<std::uint32_t>(queues_[sid].size()) + busy;
+    if (inject_pending_[sid] > 0) {
+      in_inject_[sid] = 1;
+      inject_nodes_.push_back(id);
+    }
+  }
+  for (std::size_t idx = 0; idx < links_.size(); ++idx) {
+    if (links_[idx].full) {
+      in_link_[idx] = 1;
+      link_list_.push_back(idx);
+      ++flits;
+    }
+  }
+  assert(flits == buffered_flits_ && "incremental flit count drifted");
+  buffered_flits_ = flits;
+}
+
+void Network::on_fault_change() {
+  if (!route_cache_.empty()) {
+    for (auto& e : route_cache_) e.valid = false;
+    ++route_cache_invalidations_;
+  }
+  rebuild_active_sets();
+}
+
+// ---- message lifecycle ---------------------------------------------------
 
 MessageId Network::create_message(Coord src, Coord dst, std::uint32_t length) {
   assert(faults_->active(src) && faults_->active(dst));
@@ -53,7 +242,10 @@ MessageId Network::create_message(Coord src, Coord dst, std::uint32_t length) {
   m.created = cycle_;
   algorithm_->on_inject(m);
   messages_.push_back(m);
-  queues_[static_cast<std::size_t>(mesh_->id_of(src))].push_back(m.id);
+  const NodeId src_id = mesh_->id_of(src);
+  queues_[static_cast<std::size_t>(src_id)].push_back(m.id);
+  ++queued_messages_;
+  bump_inject(src_id, +1);
   if (measuring_) measured_flits_generated_ += length;
   return m.id;
 }
@@ -70,6 +262,13 @@ void Network::begin_measurement() {
   measured_route_decisions_ = 0;
   measured_candidates_offered_ = 0;
   measured_candidates_free_ = 0;
+  route_cache_lookups_ = 0;
+  route_cache_hits_ = 0;
+  kernel_samples_ = 0;
+  kernel_route_nodes_sum_ = 0;
+  kernel_switch_nodes_sum_ = 0;
+  kernel_inject_nodes_sum_ = 0;
+  kernel_link_regs_sum_ = 0;
 }
 
 void Network::step() {
@@ -83,68 +282,116 @@ void Network::step() {
   if (measuring_) ++measured_cycles_;
 }
 
+// ---- phase 1: arrivals ---------------------------------------------------
+
+void Network::arrive_link(std::size_t link_idx) {
+  LinkReg& reg = links_[link_idx];
+  assert(reg.full);
+  const auto id = static_cast<NodeId>(link_idx / kMeshDirections);
+  const int d = static_cast<int>(link_idx % kMeshDirections);
+  const Coord c = mesh_->coord_of(id);
+  const auto dir = static_cast<Direction>(d);
+  const auto nb = mesh_->neighbour(c, dir);
+  assert(nb && "flit sent off-mesh");
+  const NodeId down_id = mesh_->id_of(*nb);
+  Router& down = routers_[static_cast<std::size_t>(down_id)];
+  InputVc& ivc = down.input(port_index(opposite(dir)), reg.vc);
+  assert(static_cast<int>(ivc.buf.size()) < config_.buffer_depth &&
+         "credit protocol violated");
+  const bool was_empty = ivc.buf.empty();
+  ivc.buf.push_back(reg.flit);
+  note_buffer_push(down_id, ivc, reg.flit, was_empty);
+  reg.full = false;
+}
+
 void Network::phase_arrivals() {
-  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
-    const Coord c = mesh_->coord_of(id);
-    for (int d = 0; d < kMeshDirections; ++d) {
-      LinkReg& reg = link(id, d);
-      if (!reg.full) continue;
-      const auto dir = static_cast<Direction>(d);
-      const auto nb = mesh_->neighbour(c, dir);
-      assert(nb && "flit sent off-mesh");
-      Router& down = router_mut(*nb);
-      InputVc& ivc = down.input(port_index(opposite(dir)), reg.vc);
-      assert(static_cast<int>(ivc.buf.size()) < config_.buffer_depth &&
-             "credit protocol violated");
-      ivc.buf.push_back(reg.flit);
-      reg.full = false;
+  // Every full register drains each cycle, so the worklist is consumed
+  // whole; ordering is irrelevant (registers target disjoint input VCs).
+  if (config_.scan_mode == ScanMode::Active) {
+    for (const std::size_t idx : link_list_) {
+      in_link_[idx] = 0;
+      arrive_link(idx);
+    }
+    link_list_.clear();
+    return;
+  }
+  for (std::size_t idx = 0; idx < links_.size(); ++idx) {
+    if (!links_[idx].full) continue;
+    assert(in_link_[idx] && "full link register missing from worklist");
+    arrive_link(idx);
+  }
+  for (const std::size_t idx : link_list_) in_link_[idx] = 0;
+  link_list_.clear();
+}
+
+// ---- phase 2: injection --------------------------------------------------
+
+void Network::inject_node(NodeId id) {
+  if (inject_pending_[static_cast<std::size_t>(id)] == 0) return;
+  const Coord c = mesh_->coord_of(id);
+  if (!faults_->active(c)) return;
+  const auto local = port_index(Direction::Local);
+  auto& queue = queues_[static_cast<std::size_t>(id)];
+  for (int iv = 0; iv < config_.injection_vcs; ++iv) {
+    Supply& sup = supply(id, iv);
+    if (sup.current == kInvalidMessage) {
+      if (queue.empty()) continue;
+      sup.current = queue.front();
+      queue.pop_front();
+      sup.next_seq = 0;
+      --queued_messages_;
+      ++busy_supplies_;  // inject_pending_ is unchanged: queue -1, busy +1
+    }
+    InputVc& ivc = router_mut(c).input(local, iv);
+    if (static_cast<int>(ivc.buf.size()) >= config_.buffer_depth) continue;
+    Message& m = messages_[sup.current];
+    Flit flit;
+    flit.msg = sup.current;
+    flit.seq = sup.next_seq;
+    if (m.length == 1) {
+      flit.type = FlitType::HeadTail;
+    } else if (sup.next_seq == 0) {
+      flit.type = FlitType::Head;
+    } else if (sup.next_seq + 1 == m.length) {
+      flit.type = FlitType::Tail;
+    } else {
+      flit.type = FlitType::Body;
+    }
+    if (sup.next_seq == 0) m.injected = cycle_;
+    const bool was_empty = ivc.buf.empty();
+    ivc.buf.push_back(flit);
+    ++buffered_flits_;
+    note_buffer_push(id, ivc, flit, was_empty);
+    ++sup.next_seq;
+    if (sup.next_seq == m.length) {
+      sup.current = kInvalidMessage;
+      sup.next_seq = 0;
+      --busy_supplies_;
+      bump_inject(id, -1);
     }
   }
 }
 
 void Network::phase_injection() {
-  const auto local = port_index(Direction::Local);
+  if (config_.scan_mode == ScanMode::Active) {
+    compact_worklist(inject_nodes_, in_inject_, inject_pending_);
+    for (const NodeId id : inject_nodes_) inject_node(id);
+    return;
+  }
   for (NodeId id = 0; id < mesh_->node_count(); ++id) {
-    const Coord c = mesh_->coord_of(id);
-    if (!faults_->active(c)) continue;
-    auto& queue = queues_[static_cast<std::size_t>(id)];
+#ifndef NDEBUG
+    std::uint32_t busy = 0;
     for (int iv = 0; iv < config_.injection_vcs; ++iv) {
-      Supply& supply =
-          supplies_[static_cast<std::size_t>(id) *
-                        static_cast<std::size_t>(config_.injection_vcs) +
-                    static_cast<std::size_t>(iv)];
-      if (supply.current == kInvalidMessage) {
-        if (queue.empty()) continue;
-        supply.current = queue.front();
-        queue.pop_front();
-        supply.next_seq = 0;
-      }
-      InputVc& ivc = router_mut(c).input(local, iv);
-      if (static_cast<int>(ivc.buf.size()) >= config_.buffer_depth) continue;
-      Message& m = messages_[supply.current];
-      Flit flit;
-      flit.msg = supply.current;
-      flit.seq = supply.next_seq;
-      if (m.length == 1) {
-        flit.type = FlitType::HeadTail;
-      } else if (supply.next_seq == 0) {
-        flit.type = FlitType::Head;
-      } else if (supply.next_seq + 1 == m.length) {
-        flit.type = FlitType::Tail;
-      } else {
-        flit.type = FlitType::Body;
-      }
-      if (supply.next_seq == 0) m.injected = cycle_;
-      ivc.buf.push_back(flit);
-      ++buffered_flits_;
-      ++supply.next_seq;
-      if (supply.next_seq == m.length) {
-        supply.current = kInvalidMessage;
-        supply.next_seq = 0;
-      }
+      if (supply(id, iv).current != kInvalidMessage) ++busy;
     }
+    assert(inject_pending_[static_cast<std::size_t>(id)] ==
+           queues_[static_cast<std::size_t>(id)].size() + busy);
+#endif
+    inject_node(id);
   }
 }
+
+// ---- phase 3: routing ----------------------------------------------------
 
 void Network::set_debug_channel_order(std::vector<std::int32_t> ranks) {
   const auto expected = static_cast<std::size_t>(
@@ -155,180 +402,304 @@ void Network::set_debug_channel_order(std::vector<std::int32_t> ranks) {
   debug_channel_order_ = std::move(ranks);
 }
 
-void Network::phase_routing() {
+const routing::CandidateList& Network::route_candidates(NodeId id,
+                                                        const Message& m) {
+  if (route_cache_.empty()) {
+    cand_.clear();
+    algorithm_->candidates(mesh_->coord_of(id), m, cand_);
+    return cand_;
+  }
+  if (measuring_) ++route_cache_lookups_;
+  const std::uint64_t key = algorithm_->route_state_key(m);
+  const NodeId dst = mesh_->id_of(m.dst);
+  const std::size_t slot =
+      static_cast<std::size_t>(
+          sim::counter_hash(key, static_cast<std::uint64_t>(id),
+                            static_cast<std::uint64_t>(dst))) &
+      (kRouteCacheSize - 1);
+  RouteCacheEntry& e = route_cache_[slot];
+  if (e.valid && e.node == id && e.dst == dst && e.key == key) {
+    if (measuring_) ++route_cache_hits_;
+    return e.cands;
+  }
+  e.valid = true;
+  e.node = id;
+  e.dst = dst;
+  e.key = key;
+  e.cands.clear();
+  algorithm_->candidates(mesh_->coord_of(id), m, e.cands);
+  return e.cands;
+}
+
+void Network::route_node(NodeId id, bool exhaustive) {
+  const int pending = route_pending_[static_cast<std::size_t>(id)];
+  if (!exhaustive && pending == 0) return;
   const int vcs = algorithm_->layout().total();
   const int nivc = kPortCount * vcs;
+  const Coord c = mesh_->coord_of(id);
+  Router& rt = routers_[static_cast<std::size_t>(id)];
+  int remaining = pending;
+#ifndef NDEBUG
+  int found = 0;
+#endif
+  // Random rotation keeps allocation fair without a full shuffle.  The
+  // offset is a counter-based hash — a pure function of (seed, cycle,
+  // node) — so skipping idle routers cannot shift anyone's draw, which is
+  // what keeps the Full and Active scan modes bit-identical.
+  const int offset = static_cast<int>(
+      sim::counter_below(arb_seed_, cycle_, static_cast<std::uint64_t>(id),
+                         static_cast<std::uint64_t>(nivc)));
+  for (int k = 0; k < nivc; ++k) {
+    if (!exhaustive && remaining == 0) break;
+    const int idx = (k + offset) % nivc;
+    const int port = idx / vcs;
+    const int vc = idx % vcs;
+    InputVc& ivc = rt.input(port, vc);
+    if (ivc.buf.empty()) continue;
+    const Flit& front = ivc.buf.front();
+    if (!is_head(front.type) || ivc.stage == IvcStage::Active) continue;
+    --remaining;
+#ifndef NDEBUG
+    ++found;
+#endif
+    ivc.stage = IvcStage::RouteWait;
+    Message& m = messages_[front.msg];
+    if (c == m.dst) {
+      ivc.out_dir = Direction::Local;
+      ivc.out_vc = vc;
+      ivc.stage = IvcStage::Active;
+      bump_route(id, -1);
+      bump_switch(id, +1);
+      continue;
+    }
+    const routing::CandidateList& cand = route_candidates(id, m);
+    if (measuring_) {
+      ++measured_route_decisions_;
+      measured_candidates_offered_ += cand.size();
+      for (std::size_t i = 0; i < cand.size(); ++i) {
+        const auto& cv = cand[i];
+        if (!rt.output(port_index(cv.dir), cv.vc).allocated) {
+          ++measured_candidates_free_;
+        }
+      }
+    }
+    for (std::size_t t = 0; t < cand.tier_count(); ++t) {
+      const auto [begin, end] = cand.tier_range(t);
+      free_cands_.clear();
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto& cv = cand[i];
+        assert(cv.dir != Direction::Local);
+        assert(mesh_->neighbour(c, cv.dir).has_value());
+        if (!rt.output(port_index(cv.dir), cv.vc).allocated) {
+          free_cands_.push_back(cv);
+        }
+      }
+      if (free_cands_.empty()) continue;
+      const auto pick = routing::select_candidate(
+          config_.selection,
+          std::span<const routing::CandidateVc>(free_cands_.data(),
+                                                free_cands_.size()),
+          [&](std::size_t i) {
+            const auto& cv = free_cands_[i];
+            return rt.output(port_index(cv.dir), cv.vc).credits;
+          },
+          rng_);
+      const auto& chosen = free_cands_[pick];
+#ifndef NDEBUG
+      if (!debug_channel_order_.empty() && port != port_index(Direction::Local)) {
+        // The held channel is the upstream router's output feeding this
+        // input port (see channel_id.hpp).  On ranked -> ranked moves the
+        // verified dependency order must strictly increase.
+        const auto in_dir = static_cast<Direction>(port);
+        const NodeId up = mesh_->id_of(c.step(in_dir));
+        const auto held = static_cast<std::size_t>(
+            channel_id(up, opposite(in_dir), vc, vcs));
+        const auto next = static_cast<std::size_t>(
+            channel_id(id, chosen.dir, chosen.vc, vcs));
+        assert(debug_channel_order_[held] < 0 ||
+               debug_channel_order_[next] < 0 ||
+               debug_channel_order_[held] < debug_channel_order_[next]);
+      }
+#endif
+      rt.output(port_index(chosen.dir), chosen.vc).allocate(m.id);
+      ++link_vc_allocated_[static_cast<std::size_t>(chosen.vc)];
+      ivc.out_dir = chosen.dir;
+      ivc.out_vc = chosen.vc;
+      ivc.stage = IvcStage::Active;
+      bump_route(id, -1);
+      bump_switch(id, +1);
+      algorithm_->on_hop(c, chosen.dir, chosen.vc, m);
+      break;
+    }
+  }
+#ifndef NDEBUG
+  if (exhaustive) {
+    assert(found == pending && "route_pending_ counter is not exact");
+  }
+#endif
+}
+
+void Network::phase_routing() {
+  if (config_.scan_mode == ScanMode::Active) {
+    compact_worklist(route_nodes_, in_route_, route_pending_);
+    for (const NodeId id : route_nodes_) route_node(id, /*exhaustive=*/false);
+    return;
+  }
   for (NodeId id = 0; id < mesh_->node_count(); ++id) {
-    const Coord c = mesh_->coord_of(id);
-    Router& rt = routers_[static_cast<std::size_t>(id)];
-    // Random rotation keeps allocation fair without a full shuffle.
-    const int offset = static_cast<int>(rng_.next_below(static_cast<std::uint64_t>(nivc)));
-    for (int k = 0; k < nivc; ++k) {
-      const int idx = (k + offset) % nivc;
-      const int port = idx / vcs;
-      const int vc = idx % vcs;
+    route_node(id, /*exhaustive=*/true);
+  }
+}
+
+// ---- phase 4: switching --------------------------------------------------
+
+void Network::switch_node(NodeId id) {
+  const int sendable = switch_pending_[static_cast<std::size_t>(id)];
+  const bool exhaustive = config_.scan_mode == ScanMode::Full;
+  if (!exhaustive && sendable == 0) return;
+  const int vcs = algorithm_->layout().total();
+  const auto local = port_index(Direction::Local);
+  const Coord c = mesh_->coord_of(id);
+  Router& rt = routers_[static_cast<std::size_t>(id)];
+
+  // Collect requests in the fixed port-major order (the shuffle below
+  // depends on the initial order, so both scan modes must build the same
+  // sequence); stop early once every sendable flit has been seen.
+  requests_.clear();
+  int seen = 0;
+  for (int port = 0; port < kPortCount; ++port) {
+    if (!exhaustive && seen == sendable) break;
+    for (int vc = 0; vc < vcs; ++vc) {
+      if (!exhaustive && seen == sendable) break;
       InputVc& ivc = rt.input(port, vc);
-      if (ivc.buf.empty()) continue;
-      const Flit& front = ivc.buf.front();
-      if (!is_head(front.type) || ivc.stage == IvcStage::Active) continue;
-      ivc.stage = IvcStage::RouteWait;
-      Message& m = messages_[front.msg];
-      if (c == m.dst) {
-        ivc.out_dir = Direction::Local;
-        ivc.out_vc = vc;
-        ivc.stage = IvcStage::Active;
+      if (ivc.stage != IvcStage::Active || ivc.buf.empty()) continue;
+      ++seen;
+      if (ivc.out_dir != Direction::Local &&
+          rt.output(port_index(ivc.out_dir), ivc.out_vc).credits <= 0) {
         continue;
       }
-      cand_.clear();
-      algorithm_->candidates(c, m, cand_);
-      if (measuring_) {
-        ++measured_route_decisions_;
-        measured_candidates_offered_ += cand_.size();
-        for (std::size_t i = 0; i < cand_.size(); ++i) {
-          const auto& cv = cand_[i];
-          if (!rt.output(port_index(cv.dir), cv.vc).allocated) {
-            ++measured_candidates_free_;
-          }
+      requests_.push_back({static_cast<std::int16_t>(port),
+                           static_cast<std::int16_t>(vc)});
+    }
+  }
+  assert(!exhaustive ||
+         (seen == sendable && "switch_pending_ counter is not exact"));
+  if (requests_.empty()) return;
+
+  // Random conflict resolution (paper): shuffle, then greedy matching
+  // under the one-flit-per-input-port / per-output-port crossbar limits.
+  for (std::size_t i = requests_.size(); i > 1; --i) {
+    const auto j = rng_.next_below(i);
+    std::swap(requests_[i - 1], requests_[j]);
+  }
+  bool used_in[kPortCount] = {};
+  bool used_out[kPortCount] = {};
+  for (const auto& req : requests_) {
+    InputVc& ivc = rt.input(req.port, req.vc);
+    const int out_port = port_index(ivc.out_dir);
+    if (used_in[req.port] || used_out[out_port]) continue;
+    used_in[req.port] = true;
+    used_out[out_port] = true;
+
+    const Flit flit = ivc.buf.front();
+    ivc.buf.pop_front();
+    --buffered_flits_;
+    ++flits_moved_this_cycle_;
+    if (measuring_ && config_.collect_traffic_map) {
+      ++node_traffic_[static_cast<std::size_t>(id)];
+    }
+    const bool tail = is_tail(flit.type);
+
+    if (ivc.out_dir == Direction::Local) {
+      if (eject_hook_) eject_hook_(flit, c);
+      if (tail) {
+        Message& m = messages_[flit.msg];
+        m.delivered = cycle_;
+        m.done = true;
+        if (measuring_) {
+          measured_flits_delivered_ += m.length;
+          ++measured_messages_delivered_;
         }
       }
-      for (std::size_t t = 0; t < cand_.tier_count(); ++t) {
-        const auto [begin, end] = cand_.tier_range(t);
-        free_cands_.clear();
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto& cv = cand_[i];
-          assert(cv.dir != Direction::Local);
-          assert(mesh_->neighbour(c, cv.dir).has_value());
-          if (!rt.output(port_index(cv.dir), cv.vc).allocated) {
-            free_cands_.push_back(cv);
-          }
-        }
-        if (free_cands_.empty()) continue;
-        const auto pick = routing::select_candidate(
-            config_.selection, free_cands_,
-            [&](std::size_t i) {
-              const auto& cv = free_cands_[i];
-              return rt.output(port_index(cv.dir), cv.vc).credits;
-            },
-            rng_);
-        const auto& chosen = free_cands_[pick];
-#ifndef NDEBUG
-        if (!debug_channel_order_.empty() && port != port_index(Direction::Local)) {
-          // The held channel is the upstream router's output feeding this
-          // input port (see channel_id.hpp).  On ranked -> ranked moves the
-          // verified dependency order must strictly increase.
-          const auto in_dir = static_cast<Direction>(port);
-          const NodeId up = mesh_->id_of(c.step(in_dir));
-          const auto held = static_cast<std::size_t>(
-              channel_id(up, opposite(in_dir), vc, vcs));
-          const auto next = static_cast<std::size_t>(
-              channel_id(id, chosen.dir, chosen.vc, vcs));
-          assert(debug_channel_order_[held] < 0 ||
-                 debug_channel_order_[next] < 0 ||
-                 debug_channel_order_[held] < debug_channel_order_[next]);
-        }
-#endif
-        rt.output(port_index(chosen.dir), chosen.vc).allocate(m.id);
-        ivc.out_dir = chosen.dir;
-        ivc.out_vc = chosen.vc;
-        ivc.stage = IvcStage::Active;
-        algorithm_->on_hop(c, chosen.dir, chosen.vc, m);
-        break;
+    } else {
+      OutputVc& ovc = rt.output(out_port, ivc.out_vc);
+      --ovc.credits;
+      LinkReg& reg = link(id, out_port);
+      assert(!reg.full && "one flit per link per cycle");
+      reg.flit = flit;
+      reg.vc = ivc.out_vc;
+      reg.full = true;
+      ++buffered_flits_;
+      note_link_full(static_cast<std::size_t>(id) * kMeshDirections +
+                     static_cast<std::size_t>(out_port));
+      if (tail) {
+        ovc.release();
+        --link_vc_allocated_[static_cast<std::size_t>(ivc.out_vc)];
       }
+    }
+
+    // Credit return to the upstream router for the vacated buffer slot.
+    if (req.port != local) {
+      const auto updir = static_cast<Direction>(req.port);
+      const auto up = mesh_->neighbour(c, updir);
+      assert(up);
+      router_mut(*up).output(port_index(opposite(updir)), req.vc).credits++;
+    }
+
+    if (tail) {
+      ivc.release();
+      bump_switch(id, -1);
+      if (!ivc.buf.empty()) {
+        // The flit behind a tail is always the next worm's header.
+        assert(is_head(ivc.buf.front().type));
+        bump_route(id, +1);
+      }
+    } else if (ivc.buf.empty()) {
+      bump_switch(id, -1);  // worm still owns the VC but has nothing to send
     }
   }
 }
 
 void Network::phase_switching() {
-  const int vcs = algorithm_->layout().total();
-  const auto local = port_index(Direction::Local);
-  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
-    const Coord c = mesh_->coord_of(id);
-    Router& rt = routers_[static_cast<std::size_t>(id)];
+  if (config_.scan_mode == ScanMode::Active) {
+    compact_worklist(switch_nodes_, in_switch_, switch_pending_);
+    for (const NodeId id : switch_nodes_) switch_node(id);
+    return;
+  }
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) switch_node(id);
+}
 
-    requests_.clear();
-    for (int port = 0; port < kPortCount; ++port) {
-      for (int vc = 0; vc < vcs; ++vc) {
-        InputVc& ivc = rt.input(port, vc);
-        if (ivc.stage != IvcStage::Active || ivc.buf.empty()) continue;
-        if (ivc.out_dir != Direction::Local &&
-            rt.output(port_index(ivc.out_dir), ivc.out_vc).credits <= 0) {
-          continue;
-        }
-        requests_.push_back({static_cast<std::int16_t>(port),
-                             static_cast<std::int16_t>(vc)});
+// ---- phase 5: sampling ---------------------------------------------------
+
+void Network::phase_sampling() {
+  watchdog_.observe(flits_moved_this_cycle_, buffered_flits_);
+  if (!measuring_) return;
+  if (config_.collect_vc_usage) {
+#ifndef NDEBUG
+    if (config_.scan_mode == ScanMode::Full) {
+      // Reference-path cross-check: the incremental per-VC allocation
+      // counters must agree with a fresh scan of the routers.
+      std::vector<std::uint64_t> check(vc_busy_counts_.size(), 0);
+      for (const auto& rt : routers_) rt.count_allocated_link_vcs(check);
+      for (std::size_t v = 0; v < check.size(); ++v) {
+        assert(check[v] == link_vc_allocated_[v]);
       }
     }
-    // Random conflict resolution (paper): shuffle, then greedy matching
-    // under the one-flit-per-input-port / per-output-port crossbar limits.
-    for (std::size_t i = requests_.size(); i > 1; --i) {
-      const auto j = rng_.next_below(i);
-      std::swap(requests_[i - 1], requests_[j]);
+#endif
+    for (std::size_t v = 0; v < vc_busy_counts_.size(); ++v) {
+      vc_busy_counts_[v] += link_vc_allocated_[v];
     }
-    bool used_in[kPortCount] = {};
-    bool used_out[kPortCount] = {};
-    for (const auto& req : requests_) {
-      InputVc& ivc = rt.input(req.port, req.vc);
-      const int out_port = port_index(ivc.out_dir);
-      if (used_in[req.port] || used_out[out_port]) continue;
-      used_in[req.port] = true;
-      used_out[out_port] = true;
-
-      const Flit flit = ivc.buf.front();
-      ivc.buf.pop_front();
-      --buffered_flits_;
-      ++flits_moved_this_cycle_;
-      if (measuring_ && config_.collect_traffic_map) {
-        ++node_traffic_[static_cast<std::size_t>(id)];
-      }
-
-      if (ivc.out_dir == Direction::Local) {
-        if (eject_hook_) eject_hook_(flit, c);
-        if (is_tail(flit.type)) {
-          Message& m = messages_[flit.msg];
-          m.delivered = cycle_;
-          m.done = true;
-          if (measuring_) {
-            measured_flits_delivered_ += m.length;
-            ++measured_messages_delivered_;
-          }
-        }
-      } else {
-        OutputVc& ovc = rt.output(out_port, ivc.out_vc);
-        --ovc.credits;
-        LinkReg& reg = link(id, out_port);
-        assert(!reg.full && "one flit per link per cycle");
-        reg.flit = flit;
-        reg.vc = ivc.out_vc;
-        reg.full = true;
-        ++buffered_flits_;
-        if (is_tail(flit.type)) ovc.release();
-      }
-
-      // Credit return to the upstream router for the vacated buffer slot.
-      if (req.port != local) {
-        const auto updir = static_cast<Direction>(req.port);
-        const auto up = mesh_->neighbour(c, updir);
-        assert(up);
-        router_mut(*up)
-            .output(port_index(opposite(updir)), req.vc)
-            .credits++;
-      }
-
-      if (is_tail(flit.type)) ivc.release();
-    }
+    ++vc_usage_samples_;
+  }
+  if (config_.collect_kernel_stats) {
+    kernel_route_nodes_sum_ += live_entries(route_nodes_, route_pending_);
+    kernel_switch_nodes_sum_ += live_entries(switch_nodes_, switch_pending_);
+    kernel_inject_nodes_sum_ += live_entries(inject_nodes_, inject_pending_);
+    kernel_link_regs_sum_ += link_list_.size();
+    ++kernel_samples_;
   }
 }
 
-bool Network::drained() const noexcept {
-  if (buffered_flits_ != 0) return false;
-  for (const auto& q : queues_) {
-    if (!q.empty()) return false;
-  }
-  for (const auto& s : supplies_) {
-    if (s.current != kInvalidMessage) return false;
-  }
-  return true;
-}
+// ---- dynamic-fault recovery ----------------------------------------------
 
 std::vector<MessageId> Network::collect_fault_victims() const {
   std::vector<MessageId> out;
@@ -433,15 +804,9 @@ void Network::purge_messages(const std::vector<MessageId>& ids) {
         }
         const bool front_purged =
             purge[static_cast<std::size_t>(ivc.buf.front().msg)] != 0;
-        std::size_t removed = 0;
-        for (auto it = ivc.buf.begin(); it != ivc.buf.end();) {
-          if (purge[static_cast<std::size_t>(it->msg)]) {
-            it = ivc.buf.erase(it);
-            ++removed;
-          } else {
-            ++it;
-          }
-        }
+        const std::size_t removed = ivc.buf.remove_if([&](const Flit& f) {
+          return purge[static_cast<std::size_t>(f.msg)] != 0;
+        });
         if (removed == 0) continue;
         buffered_flits_ -= removed;
         if (port != local) {
@@ -484,6 +849,10 @@ void Network::purge_messages(const std::vector<MessageId>& ids) {
                 [&](MessageId m) { return purge[static_cast<std::size_t>(m)] != 0; }),
             q.end());
   }
+
+  // The purge touched occupancy all over the network; recompute the active
+  // sets and derived totals wholesale rather than tracking every removal.
+  rebuild_active_sets();
 }
 
 void Network::requeue_message(MessageId id) {
@@ -492,7 +861,10 @@ void Network::requeue_message(MessageId id) {
   assert(faults_->active(m.src) && faults_->active(m.dst));
   m.rs = RouteState{};
   algorithm_->on_inject(m);
-  queues_[static_cast<std::size_t>(mesh_->id_of(m.src))].push_back(id);
+  const NodeId src_id = mesh_->id_of(m.src);
+  queues_[static_cast<std::size_t>(src_id)].push_back(id);
+  ++queued_messages_;
+  bump_inject(src_id, +1);
 }
 
 void Network::revalidate_ring_state(const fault::FRingSet& rings) {
@@ -541,6 +913,8 @@ void Network::revalidate_ring_state(const fault::FRingSet& rings) {
     }
   }
 }
+
+// ---- diagnostics ---------------------------------------------------------
 
 std::string Network::debug_stuck_report(std::size_t max_lines) const {
   std::ostringstream os;
@@ -647,16 +1021,6 @@ std::vector<MessageId> Network::find_deadlock_cycle() const {
     if ((state.count(msg) ? state[msg] : 0) == 0 && dfs(msg)) return cycle;
   }
   return {};
-}
-
-void Network::phase_sampling() {
-  watchdog_.observe(flits_moved_this_cycle_, buffered_flits_);
-  if (measuring_ && config_.collect_vc_usage) {
-    for (const auto& rt : routers_) {
-      rt.count_allocated_link_vcs(vc_busy_counts_);
-    }
-    ++vc_usage_samples_;
-  }
 }
 
 }  // namespace ftmesh::router

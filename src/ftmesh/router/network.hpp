@@ -12,8 +12,19 @@
 //
 // Timing model: one flit per link per cycle; single-cycle routers; random
 // resolution of all conflicts (per the paper).
+//
+// Scheduling: the per-cycle phases are occupancy-driven.  The network keeps
+// exact per-node counters of routable headers, sendable (switch-ready)
+// flits and pending injection work, plus the set of full link registers,
+// updated at every occupancy-changing point (arrival, injection, route
+// allocation, switch traversal, tail release, purge).  ScanMode::Active
+// iterates only nodes whose counter is non-zero; ScanMode::Full is the
+// exhaustive reference scan that additionally cross-checks the counters in
+// debug builds.  Both modes produce bit-identical results — see
+// docs/performance.md for the invariants and the determinism argument.
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -24,16 +35,29 @@
 #include "ftmesh/routing/routing_algorithm.hpp"
 #include "ftmesh/routing/selection.hpp"
 #include "ftmesh/sim/rng.hpp"
+#include "ftmesh/sim/small_vec.hpp"
 #include "ftmesh/sim/watchdog.hpp"
 
 namespace ftmesh::router {
+
+/// How the per-cycle phases find work.  Full visits every node/port/VC slot
+/// each cycle (the pre-optimisation behaviour, kept as a cross-checked
+/// reference); Active visits only occupied state via the incremental
+/// worklists.  The two modes are bit-identical by construction.
+enum class ScanMode : std::uint8_t {
+  Full = 0,
+  Active = 1,
+};
 
 struct NetworkConfig {
   int buffer_depth = 2;       ///< flit slots per input VC
   int injection_vcs = 1;      ///< concurrent injection channels per node
   routing::SelectionPolicy selection = routing::SelectionPolicy::Random;
+  ScanMode scan_mode = ScanMode::Active;
+  bool route_cache = true;    ///< memoize candidate sets per routing state
   bool collect_vc_usage = false;
   bool collect_traffic_map = false;
+  bool collect_kernel_stats = false;  ///< cache hit rate + active-set sizes
   std::uint64_t watchdog_patience = 2000;
 };
 
@@ -80,8 +104,12 @@ class Network {
   }
 
   /// True when no flit is buffered anywhere and every source queue and
-  /// injection supply is idle — the network has fully drained.
-  [[nodiscard]] bool drained() const noexcept;
+  /// injection supply is idle — the network has fully drained.  O(1): the
+  /// three occupancy totals are maintained incrementally.
+  [[nodiscard]] bool drained() const noexcept {
+    return buffered_flits_ == 0 && queued_messages_ == 0 &&
+           busy_supplies_ == 0;
+  }
 
   [[nodiscard]] std::uint64_t flits_in_network() const noexcept {
     return buffered_flits_;
@@ -110,7 +138,9 @@ class Network {
   /// registers, releases their channel reservations and injection supplies,
   /// drops them from source queues, and restores the freed credits.  The
   /// messages themselves stay in the table (for retransmission/abort
-  /// accounting); surviving traffic is untouched.
+  /// accounting); surviving traffic is untouched.  Rebuilds the active sets
+  /// from scratch afterwards (rare event; a full rescan is simpler than
+  /// tracking every removal).
   void purge_messages(const std::vector<MessageId>& ids);
 
   /// Re-enqueues a previously purged message at its source with fresh
@@ -122,6 +152,12 @@ class Network {
   /// no longer passes through the header's position re-enters ring mode
   /// from scratch on its next routing decision.
   void revalidate_ring_state(const fault::FRingSet& rings);
+
+  /// Invalidates state derived from the fault map: drops every memoized
+  /// route-candidate set (their enumeration read the old map / rings) and
+  /// rebuilds the active sets.  Must be called after any in-place fault-map
+  /// mutation, alongside the algorithm's own on_fault_change().
+  void on_fault_change();
 
   /// Mutable access for recovery bookkeeping (retries / aborted flags).
   [[nodiscard]] Message& message_mut(MessageId id) { return messages_.at(id); }
@@ -165,6 +201,38 @@ class Network {
     return measured_candidates_free_;
   }
 
+  // Kernel counters (see stats/kernel_stats.hpp for the derived summary).
+  // Cache lookups/hits cover the measurement window (one lookup per routing
+  // decision when the cache is enabled); invalidations count fault-change
+  // events over the whole run.  The active-set sums accumulate the exact
+  // per-cycle set sizes while `collect_kernel_stats` is on — the counters
+  // are maintained identically in both scan modes, so the report does not
+  // depend on the mode.
+  [[nodiscard]] std::uint64_t route_cache_lookups() const noexcept {
+    return route_cache_lookups_;
+  }
+  [[nodiscard]] std::uint64_t route_cache_hits() const noexcept {
+    return route_cache_hits_;
+  }
+  [[nodiscard]] std::uint64_t route_cache_invalidations() const noexcept {
+    return route_cache_invalidations_;
+  }
+  [[nodiscard]] std::uint64_t kernel_samples() const noexcept {
+    return kernel_samples_;
+  }
+  [[nodiscard]] std::uint64_t kernel_route_nodes_sum() const noexcept {
+    return kernel_route_nodes_sum_;
+  }
+  [[nodiscard]] std::uint64_t kernel_switch_nodes_sum() const noexcept {
+    return kernel_switch_nodes_sum_;
+  }
+  [[nodiscard]] std::uint64_t kernel_inject_nodes_sum() const noexcept {
+    return kernel_inject_nodes_sum_;
+  }
+  [[nodiscard]] std::uint64_t kernel_link_regs_sum() const noexcept {
+    return kernel_link_regs_sum_;
+  }
+
   /// Human-readable dump of every non-empty input VC — the wait-for state.
   /// Debugging aid for watchdog trips; one line per VC.
   [[nodiscard]] std::string debug_stuck_report(std::size_t max_lines = 200) const;
@@ -205,12 +273,62 @@ class Network {
     std::int16_t port;
     std::int16_t vc;
   };
+  /// One direct-mapped memoization slot: the candidate set the algorithm
+  /// enumerated for (node, dst, route_state_key).  Sound by the key
+  /// contract (routing_algorithm.hpp): equal key + dst + position imply an
+  /// identical candidate set; anything else candidates() reads (fault map,
+  /// rings) only changes on reconfiguration, which invalidates the cache.
+  struct RouteCacheEntry {
+    std::uint64_t key = 0;
+    topology::NodeId node = -1;
+    topology::NodeId dst = -1;
+    bool valid = false;
+    routing::CandidateList cands;
+  };
+  static constexpr std::size_t kRouteCacheSize = 4096;  // power of two
 
   void phase_arrivals();
   void phase_injection();
   void phase_routing();
   void phase_switching();
   void phase_sampling();
+
+  // Per-node bodies shared by both scan modes: identical work per visited
+  // node, so Active (which skips nodes with a zero pending counter) and
+  // Full (which visits everyone) cannot diverge.
+  void arrive_link(std::size_t link_idx);
+  void inject_node(topology::NodeId id);
+  void route_node(topology::NodeId id, bool exhaustive);
+  void switch_node(topology::NodeId id);
+
+  /// Candidate set for `m`'s header at node `id` — memoized when the route
+  /// cache is enabled, enumerated into scratch otherwise.
+  const routing::CandidateList& route_candidates(topology::NodeId id,
+                                                 const Message& m);
+
+  /// Recomputes every occupancy counter, worklist and derived total from
+  /// the authoritative router/queue/supply state.  Used after rare bulk
+  /// mutations (purge, reconfiguration) instead of per-item bookkeeping.
+  void rebuild_active_sets();
+
+  // Occupancy bookkeeping.  The counters are exact:
+  //   route_pending_[n]  = #input VCs at n with a header flit at the front
+  //                        and stage != Active (a routable header)
+  //   switch_pending_[n] = #input VCs at n with stage == Active and a
+  //                        non-empty buffer (a sendable flit; credits are
+  //                        checked at switching time)
+  //   inject_pending_[n] = source-queue length + busy injection supplies
+  // A node enters its worklist when the counter leaves zero and is lazily
+  // dropped (and the in-list flag cleared) by the compaction at the start
+  // of the consuming phase.
+  void bump_route(topology::NodeId node, int delta);
+  void bump_switch(topology::NodeId node, int delta);
+  void bump_inject(topology::NodeId node, int delta);
+  /// Called exactly when a flit lands on an empty link register.
+  void note_link_full(std::size_t link_idx);
+  /// Applies the occupancy effect of pushing `f` into `ivc` at `node`.
+  void note_buffer_push(topology::NodeId node, const InputVc& ivc,
+                        const Flit& f, bool was_empty);
 
   Router& router_mut(topology::Coord c) {
     return routers_[static_cast<std::size_t>(mesh_->id_of(c))];
@@ -219,12 +337,18 @@ class Network {
     return links_[static_cast<std::size_t>(node) * topology::kMeshDirections +
                   static_cast<std::size_t>(dir)];
   }
+  Supply& supply(topology::NodeId node, int iv) {
+    return supplies_[static_cast<std::size_t>(node) *
+                         static_cast<std::size_t>(config_.injection_vcs) +
+                     static_cast<std::size_t>(iv)];
+  }
 
   const topology::Mesh* mesh_;
   const fault::FaultMap* faults_;
   const routing::RoutingAlgorithm* algorithm_;
   NetworkConfig config_;
   sim::Rng rng_;
+  std::uint64_t arb_seed_ = 0;  ///< counter-based arbitration hash seed
 
   std::vector<Router> routers_;
   std::vector<LinkReg> links_;  // [node][direction]
@@ -234,8 +358,27 @@ class Network {
 
   std::uint64_t cycle_ = 0;
   std::uint64_t buffered_flits_ = 0;  // input buffers + link registers
+  std::uint64_t queued_messages_ = 0; // source-queue entries, all nodes
+  std::uint64_t busy_supplies_ = 0;   // injection supplies mid-message
   std::uint64_t flits_moved_this_cycle_ = 0;
   sim::Watchdog watchdog_;
+
+  // Active-set state (maintained in both scan modes; see bump_* above).
+  std::vector<std::uint16_t> route_pending_;
+  std::vector<std::uint16_t> switch_pending_;
+  std::vector<std::uint32_t> inject_pending_;
+  std::vector<topology::NodeId> route_nodes_;
+  std::vector<topology::NodeId> switch_nodes_;
+  std::vector<topology::NodeId> inject_nodes_;
+  std::vector<std::size_t> link_list_;  // full link registers, [node*4+dir]
+  std::vector<char> in_route_;
+  std::vector<char> in_switch_;
+  std::vector<char> in_inject_;
+  std::vector<char> in_link_;
+  std::vector<std::uint32_t> link_vc_allocated_;  // per VC index, link ports
+
+  // Route-candidate memoization (empty vector when disabled).
+  std::vector<RouteCacheEntry> route_cache_;
 
   bool measuring_ = false;
   std::uint64_t measured_cycles_ = 0;
@@ -248,13 +391,21 @@ class Network {
   std::uint64_t measured_route_decisions_ = 0;
   std::uint64_t measured_candidates_offered_ = 0;
   std::uint64_t measured_candidates_free_ = 0;
+  std::uint64_t route_cache_lookups_ = 0;
+  std::uint64_t route_cache_hits_ = 0;
+  std::uint64_t route_cache_invalidations_ = 0;  // whole-run event count
+  std::uint64_t kernel_samples_ = 0;
+  std::uint64_t kernel_route_nodes_sum_ = 0;
+  std::uint64_t kernel_switch_nodes_sum_ = 0;
+  std::uint64_t kernel_inject_nodes_sum_ = 0;
+  std::uint64_t kernel_link_regs_sum_ = 0;
 
   EjectHook eject_hook_;
   std::vector<std::int32_t> debug_channel_order_;  // empty = check disabled
 
   // per-cycle scratch (kept across calls to avoid reallocation)
   routing::CandidateList cand_;
-  std::vector<routing::CandidateVc> free_cands_;
+  sim::SmallVec<routing::CandidateVc, 16> free_cands_;
   std::vector<Request> requests_;
 };
 

@@ -8,6 +8,7 @@ Router::Router(topology::Coord where, int vcs, int buffer_depth)
       inputs_(static_cast<std::size_t>(topology::kPortCount * vcs)),
       outputs_(static_cast<std::size_t>(topology::kPortCount * vcs)) {
   for (auto& out : outputs_) out.credits = buffer_depth;
+  for (auto& in : inputs_) in.buf.reset_capacity(buffer_depth);
 }
 
 std::uint64_t Router::buffered_flits() const noexcept {

@@ -6,9 +6,9 @@
 // until tail) and credit-based flow control.
 
 #include <cstdint>
-#include <deque>
 
 #include "ftmesh/router/flit.hpp"
+#include "ftmesh/router/flit_ring.hpp"
 #include "ftmesh/topology/coordinates.hpp"
 
 namespace ftmesh::router {
@@ -21,7 +21,7 @@ enum class IvcStage : std::uint8_t {
 };
 
 struct InputVc {
-  std::deque<Flit> buf;
+  FlitRing buf;
   IvcStage stage = IvcStage::Idle;
   topology::Direction out_dir = topology::Direction::Local;
   int out_vc = -1;

@@ -24,6 +24,7 @@
 #include "ftmesh/fault/fring.hpp"
 #include "ftmesh/router/message.hpp"
 #include "ftmesh/routing/vc_layout.hpp"
+#include "ftmesh/sim/small_vec.hpp"
 #include "ftmesh/topology/mesh.hpp"
 
 namespace ftmesh::routing {
@@ -51,7 +52,9 @@ class CandidateList {
   /// Closes the current tier; subsequent adds go to the next tier.  An
   /// empty tier is kept (as an empty range) so tier priorities are stable
   /// regardless of which tiers happened to produce candidates.
-  void next_tier() { tiers_.push_back(items_.size()); }
+  void next_tier() {
+    tiers_.push_back(static_cast<std::uint32_t>(items_.size()));
+  }
 
   [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
@@ -76,9 +79,20 @@ class CandidateList {
     return {begin, end};
   }
 
+  /// True when the inline small-buffer storage is still in use (the common
+  /// case: the widest candidate set an algorithm emits on a 2-D mesh is
+  /// well under the inline capacities).  Exposed for tests.
+  [[nodiscard]] bool inline_storage() const noexcept {
+    return items_.inline_storage() && tiers_.inline_storage();
+  }
+
+  friend bool operator==(const CandidateList& a, const CandidateList& b) {
+    return a.items_ == b.items_ && a.tiers_ == b.tiers_;
+  }
+
  private:
-  std::vector<CandidateVc> items_;
-  std::vector<std::size_t> tiers_;
+  sim::SmallVec<CandidateVc, 16> items_;
+  sim::SmallVec<std::uint32_t, 8> tiers_;
 };
 
 /// Which channel-dependency graph the static verifier (verify::) must prove

@@ -17,6 +17,19 @@ namespace ftmesh::sim {
 /// SplitMix64 step: used for seeding and for deriving sub-streams.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Stateless counter-based hash of (seed, a, b): two chained SplitMix64
+/// finalisations.  Unlike a shared-stream draw, the value for one counter
+/// pair is independent of how many other pairs were evaluated, so a
+/// scheduler that skips idle work cannot perturb anybody else's randomness
+/// (the "counter-based RNG" idiom from parallel simulation).
+std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t a,
+                           std::uint64_t b) noexcept;
+
+/// counter_hash reduced to [0, bound) by the multiply-shift map.
+/// bound must be > 0.
+std::uint64_t counter_below(std::uint64_t seed, std::uint64_t a,
+                            std::uint64_t b, std::uint64_t bound) noexcept;
+
 /// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
 class Rng {
  public:

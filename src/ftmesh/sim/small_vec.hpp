@@ -1,0 +1,117 @@
+#pragma once
+// A vector with inline small-buffer storage for trivially copyable element
+// types.  The first N elements live inside the object; growing past N moves
+// the contents to the heap once and keeps that capacity across clear(), so
+// per-cycle scratch containers (candidate lists, request queues) stop
+// generating steady-state heap traffic.
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+namespace ftmesh::sim {
+
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec is restricted to trivially copyable types");
+  static_assert(N >= 1, "inline capacity must be positive");
+
+ public:
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { assign(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) assign(other);
+    return *this;
+  }
+  SmallVec(SmallVec&& other) noexcept
+      : heap_(std::move(other.heap_)), size_(other.size_), cap_(other.cap_) {
+    std::memcpy(inline_, other.inline_, sizeof inline_);
+    other.size_ = 0;
+    other.cap_ = N;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) return *this;
+    heap_ = std::move(other.heap_);
+    size_ = other.size_;
+    cap_ = other.cap_;
+    std::memcpy(inline_, other.inline_, sizeof inline_);
+    other.size_ = 0;
+    other.cap_ = N;
+    return *this;
+  }
+  ~SmallVec() = default;
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow();
+    data()[size_++] = v;
+  }
+
+  /// Drops all elements; heap capacity (if any) is retained for reuse.
+  void clear() noexcept { size_ = 0; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  /// True while the elements still live inside the object.
+  [[nodiscard]] bool inline_storage() const noexcept { return !heap_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data()[i];
+  }
+  [[nodiscard]] T& back() noexcept {
+    assert(size_ > 0);
+    return data()[size_ - 1];
+  }
+
+  [[nodiscard]] T* data() noexcept { return heap_ ? heap_.get() : inline_; }
+  [[nodiscard]] const T* data() const noexcept {
+    return heap_ ? heap_.get() : inline_;
+  }
+
+  [[nodiscard]] T* begin() noexcept { return data(); }
+  [[nodiscard]] T* end() noexcept { return data() + size_; }
+  [[nodiscard]] const T* begin() const noexcept { return data(); }
+  [[nodiscard]] const T* end() const noexcept { return data() + size_; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data()[i] == b.data()[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void assign(const SmallVec& other) {
+    size_ = 0;
+    if (other.size_ > cap_) grow_to(other.size_);
+    std::memcpy(data(), other.data(), other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void grow() { grow_to(cap_ * 2); }
+
+  void grow_to(std::size_t new_cap) {
+    if (new_cap <= cap_) return;
+    auto bigger = std::make_unique<T[]>(new_cap);
+    std::memcpy(bigger.get(), data(), size_ * sizeof(T));
+    heap_ = std::move(bigger);
+    cap_ = new_cap;
+  }
+
+  T inline_[N] = {};
+  std::unique_ptr<T[]> heap_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace ftmesh::sim

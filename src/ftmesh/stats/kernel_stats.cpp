@@ -1,0 +1,28 @@
+#include "ftmesh/stats/kernel_stats.hpp"
+
+#include "ftmesh/router/network.hpp"
+
+namespace ftmesh::stats {
+
+KernelSummary summarize_kernel(const router::Network& net) {
+  KernelSummary s;
+  s.enabled = net.config().collect_kernel_stats;
+  s.cache_lookups = net.route_cache_lookups();
+  s.cache_hits = net.route_cache_hits();
+  s.cache_invalidations = net.route_cache_invalidations();
+  if (s.cache_lookups > 0) {
+    s.cache_hit_rate = static_cast<double>(s.cache_hits) /
+                       static_cast<double>(s.cache_lookups);
+  }
+  s.samples = net.kernel_samples();
+  if (s.samples > 0) {
+    const auto n = static_cast<double>(s.samples);
+    s.mean_route_nodes = static_cast<double>(net.kernel_route_nodes_sum()) / n;
+    s.mean_switch_nodes = static_cast<double>(net.kernel_switch_nodes_sum()) / n;
+    s.mean_inject_nodes = static_cast<double>(net.kernel_inject_nodes_sum()) / n;
+    s.mean_link_regs = static_cast<double>(net.kernel_link_regs_sum()) / n;
+  }
+  return s;
+}
+
+}  // namespace ftmesh::stats

@@ -11,7 +11,7 @@ Generator::Generator(const fault::FaultMap& faults,
       length_(message_length),
       rng_(rng),
       sources_(faults.active_nodes()) {
-  if (!saturated()) {
+  if (rate_ > 0.0) {
     for (std::size_t i = 0; i < sources_.size(); ++i) {
       arrivals_.schedule(rng_.exponential(rate_), i);
     }
@@ -20,7 +20,7 @@ Generator::Generator(const fault::FaultMap& faults,
 
 void Generator::refresh(double now) {
   sources_ = faults_->active_nodes();
-  if (saturated()) return;
+  if (rate_ <= 0.0) return;
   arrivals_.clear();
   for (std::size_t i = 0; i < sources_.size(); ++i) {
     arrivals_.schedule(now + rng_.exponential(rate_), i);
@@ -28,6 +28,7 @@ void Generator::refresh(double now) {
 }
 
 void Generator::tick(router::Network& net) {
+  if (idle()) return;
   if (saturated()) {
     // Keep one message queued per source: it re-offers as soon as the
     // injection channel accepts the previous message.

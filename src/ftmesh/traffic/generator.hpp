@@ -1,7 +1,9 @@
 #pragma once
 // Message generation: per-node Poisson processes (exponential inter-arrival
-// times, per the paper) or saturated sources ("100% traffic load": a node
-// always has a message waiting).
+// times, per the paper), saturated sources ("100% traffic load": a node
+// always has a message waiting), or — at rate exactly 0 — no offered
+// traffic at all (an idle network; used by drain tests and the idle
+// micro benchmark).
 
 #include <memory>
 
@@ -13,7 +15,8 @@ namespace ftmesh::traffic {
 
 class Generator {
  public:
-  /// `rate` in messages/node/cycle; rate <= 0 selects saturated sources.
+  /// `rate` in messages/node/cycle; negative selects saturated sources,
+  /// exactly 0 generates nothing, positive drives Poisson arrivals.
   Generator(const fault::FaultMap& faults, const TrafficPattern& pattern,
             double rate, std::uint32_t message_length, sim::Rng rng);
 
@@ -27,7 +30,8 @@ class Generator {
   /// traffic, repaired ones start.
   void refresh(double now);
 
-  [[nodiscard]] bool saturated() const noexcept { return rate_ <= 0.0; }
+  [[nodiscard]] bool saturated() const noexcept { return rate_ < 0.0; }
+  [[nodiscard]] bool idle() const noexcept { return rate_ == 0.0; }
   [[nodiscard]] double rate() const noexcept { return rate_; }
   [[nodiscard]] std::uint64_t generated() const noexcept { return generated_; }
 

@@ -1,0 +1,130 @@
+// Golden determinism corpus.
+//
+// The active-set scheduler (router/network.hpp, ScanMode::Active) must be
+// bit-exact against the exhaustive reference scan (ScanMode::Full): the
+// counter-based arbitration hash makes the shared RNG stream independent of
+// which idle routers are skipped, so the full JSON report — every latency
+// percentile, throughput figure and reliability counter — is byte-identical.
+// The same holds for the route-candidate cache (pure memoization, sound by
+// the route_state_key contract) and across repeated runs (determinism in
+// (config, seed)).
+//
+// The matrix deliberately includes a dynamic fault schedule so the
+// cache-invalidation and active-set-rebuild paths are exercised, not just
+// the steady state.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "ftmesh/core/config.hpp"
+#include "ftmesh/core/simulator.hpp"
+#include "ftmesh/report/json.hpp"
+
+namespace {
+
+using ftmesh::core::SimConfig;
+using ftmesh::core::Simulator;
+
+SimConfig base_config(const std::string& algorithm) {
+  SimConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.width = 8;
+  cfg.height = 8;
+  cfg.injection_rate = 0.008;
+  cfg.message_length = 16;
+  cfg.warmup_cycles = 400;
+  cfg.total_cycles = 2200;
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::string report_for(SimConfig cfg) {
+  cfg.validate();
+  Simulator sim(cfg);
+  const auto result = sim.run();
+  std::ostringstream os;
+  ftmesh::report::write_result_json(os, cfg, result);
+  return os.str();
+}
+
+struct Scenario {
+  const char* name;
+  void (*apply)(SimConfig&);
+};
+
+const Scenario kScenarios[] = {
+    {"no-fault", [](SimConfig&) {}},
+    {"static-faults", [](SimConfig& cfg) { cfg.fault_count = 3; }},
+    {"dynamic-schedule",
+     [](SimConfig& cfg) {
+       // A failure and a repair while traffic is in flight: exercises the
+       // recovery purge, the f-ring rebuild, route-cache invalidation and
+       // the post-event active-set rebuild.
+       cfg.fault_schedule = "fail@700:3,3; fail@1100:5,2; repair@1600:3,3";
+     }},
+};
+
+const char* const kAlgorithms[] = {"Duato", "Boura-FT", "NHop"};
+
+class GoldenDeterminism
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  SimConfig config() const {
+    auto cfg = base_config(kAlgorithms[std::get<0>(GetParam())]);
+    kScenarios[std::get<1>(GetParam())].apply(cfg);
+    return cfg;
+  }
+};
+
+TEST_P(GoldenDeterminism, FullAndActiveScansAreByteIdentical) {
+  auto cfg = config();
+  cfg.scan_mode = "active";
+  const std::string active = report_for(cfg);
+  cfg.scan_mode = "full";
+  const std::string full = report_for(cfg);
+  ASSERT_EQ(active, full);
+}
+
+TEST_P(GoldenDeterminism, RepeatedRunsAreByteIdentical) {
+  const auto cfg = config();
+  ASSERT_EQ(report_for(cfg), report_for(cfg));
+}
+
+TEST_P(GoldenDeterminism, RouteCacheDoesNotChangeTheReport) {
+  auto cfg = config();
+  cfg.route_cache = true;
+  const std::string cached = report_for(cfg);
+  cfg.route_cache = false;
+  const std::string uncached = report_for(cfg);
+  ASSERT_EQ(cached, uncached);
+}
+
+TEST_P(GoldenDeterminism, FullScanWithoutCacheMatchesActiveWithCache) {
+  // The two extreme corners of the configuration square.
+  auto cfg = config();
+  cfg.scan_mode = "active";
+  cfg.route_cache = true;
+  const std::string fast = report_for(cfg);
+  cfg.scan_mode = "full";
+  cfg.route_cache = false;
+  const std::string reference = report_for(cfg);
+  ASSERT_EQ(fast, reference);
+}
+
+std::string param_name(const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+  std::string s = std::string(kAlgorithms[std::get<0>(info.param)]) + "_" +
+                  kScenarios[std::get<1>(info.param)].name;
+  for (char& c : s) {
+    if (c == '-') c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenDeterminism,
+                         ::testing::Combine(::testing::Range(0, 3),
+                                            ::testing::Range(0, 3)),
+                         param_name);
+
+}  // namespace

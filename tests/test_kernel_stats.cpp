@@ -1,0 +1,150 @@
+// Cycle-kernel statistics: the accounting identities tying the route-cache
+// and active-set counters (router/network.hpp) to the rest of the
+// measurement machinery, and the guarantee that collecting them — or
+// turning the cache off — never changes simulation results.
+
+#include <gtest/gtest.h>
+
+#include "ftmesh/core/config.hpp"
+#include "ftmesh/core/simulator.hpp"
+
+namespace {
+
+using ftmesh::core::SimConfig;
+using ftmesh::core::Simulator;
+
+SimConfig kernel_config() {
+  SimConfig cfg;
+  cfg.algorithm = "Duato";
+  cfg.width = 8;
+  cfg.height = 8;
+  cfg.injection_rate = 0.01;
+  cfg.message_length = 16;
+  cfg.warmup_cycles = 500;
+  cfg.total_cycles = 2500;
+  cfg.seed = 3;
+  cfg.collect_kernel_stats = true;
+  return cfg;
+}
+
+TEST(KernelStats, DisabledByDefault) {
+  auto cfg = kernel_config();
+  cfg.collect_kernel_stats = false;
+  Simulator sim(cfg);
+  const auto r = sim.run();
+  EXPECT_FALSE(r.kernel.enabled);
+}
+
+TEST(KernelStats, CacheLookupAccountingIdentities) {
+  const auto cfg = kernel_config();
+  Simulator sim(cfg);
+  const auto r = sim.run();
+  ASSERT_TRUE(r.kernel.enabled);
+  ASSERT_FALSE(r.deadlock);
+
+  // With the cache enabled there is exactly one lookup per measured routing
+  // decision (headers already at their destination never consult the
+  // algorithm), so the cache and adaptivity counters must agree.
+  EXPECT_EQ(r.kernel.cache_lookups, r.adaptivity.decisions);
+  EXPECT_GT(r.kernel.cache_lookups, 0u);
+
+  // hits <= lookups, and the rate is their exact quotient.
+  EXPECT_LE(r.kernel.cache_hits, r.kernel.cache_lookups);
+  EXPECT_DOUBLE_EQ(r.kernel.cache_hit_rate,
+                   static_cast<double>(r.kernel.cache_hits) /
+                       static_cast<double>(r.kernel.cache_lookups));
+
+  // Uniform traffic revisits (node, dst, state) triples constantly; a
+  // cold cache would point at a wiring bug.
+  EXPECT_GT(r.kernel.cache_hits, 0u);
+
+  // No faults ever happened, so nothing may have invalidated the cache.
+  EXPECT_EQ(r.kernel.cache_invalidations, 0u);
+}
+
+TEST(KernelStats, ActiveSetMeansAreSampledAndBounded) {
+  const auto cfg = kernel_config();
+  Simulator sim(cfg);
+  const auto r = sim.run();
+  ASSERT_TRUE(r.kernel.enabled);
+  ASSERT_FALSE(r.deadlock);
+
+  // One sample per measured cycle.
+  EXPECT_EQ(r.kernel.samples, cfg.total_cycles - cfg.warmup_cycles);
+
+  // Mean set sizes are bounded by what they index: nodes for the three
+  // node worklists, 4 * nodes for link registers.
+  const double nodes = static_cast<double>(cfg.width * cfg.height);
+  EXPECT_GE(r.kernel.mean_route_nodes, 0.0);
+  EXPECT_LE(r.kernel.mean_route_nodes, nodes);
+  EXPECT_GE(r.kernel.mean_switch_nodes, 0.0);
+  EXPECT_LE(r.kernel.mean_switch_nodes, nodes);
+  EXPECT_GE(r.kernel.mean_inject_nodes, 0.0);
+  EXPECT_LE(r.kernel.mean_inject_nodes, nodes);
+  EXPECT_GE(r.kernel.mean_link_regs, 0.0);
+  EXPECT_LE(r.kernel.mean_link_regs, 4.0 * nodes);
+
+  // Traffic is flowing, so the sets cannot all have been empty.
+  EXPECT_GT(r.kernel.mean_switch_nodes, 0.0);
+  EXPECT_GT(r.kernel.mean_link_regs, 0.0);
+}
+
+TEST(KernelStats, CacheOffZeroesTheCacheCountersOnly) {
+  auto cfg = kernel_config();
+  cfg.route_cache = false;
+  Simulator sim(cfg);
+  const auto r = sim.run();
+  ASSERT_TRUE(r.kernel.enabled);
+  EXPECT_EQ(r.kernel.cache_lookups, 0u);
+  EXPECT_EQ(r.kernel.cache_hits, 0u);
+  EXPECT_DOUBLE_EQ(r.kernel.cache_hit_rate, 0.0);
+  // The active-set counters are independent of the cache.
+  EXPECT_EQ(r.kernel.samples, cfg.total_cycles - cfg.warmup_cycles);
+  EXPECT_GT(r.kernel.mean_switch_nodes, 0.0);
+}
+
+TEST(KernelStats, FaultEventsInvalidateTheCache) {
+  auto cfg = kernel_config();
+  cfg.fault_schedule = "fail@800:3,3; repair@1500:3,3";
+  Simulator sim(cfg);
+  const auto r = sim.run();
+  ASSERT_TRUE(r.kernel.enabled);
+  // Both events reconfigure the fault map, and every reconfiguration must
+  // flush the cache — serving a pre-fault candidate set after the map
+  // changed would be unsound.
+  EXPECT_EQ(r.kernel.cache_invalidations, 2u);
+}
+
+TEST(KernelStats, CollectingStatsDoesNotPerturbResults) {
+  auto cfg = kernel_config();
+  cfg.collect_kernel_stats = false;
+  Simulator plain(cfg);
+  const auto a = plain.run();
+  cfg.collect_kernel_stats = true;
+  Simulator collected(cfg);
+  const auto b = collected.run();
+  EXPECT_EQ(a.latency.mean, b.latency.mean);
+  EXPECT_EQ(a.throughput.accepted_flits_per_node_cycle,
+            b.throughput.accepted_flits_per_node_cycle);
+  EXPECT_EQ(a.adaptivity.decisions, b.adaptivity.decisions);
+}
+
+TEST(KernelStats, FullScanReportsTheSameKernelNumbers) {
+  // The counters are a property of the workload, not the scheduler: the
+  // exhaustive reference scan maintains them identically.
+  auto cfg = kernel_config();
+  Simulator active(cfg);
+  const auto a = active.run();
+  cfg.scan_mode = "full";
+  Simulator full(cfg);
+  const auto b = full.run();
+  EXPECT_EQ(a.kernel.cache_lookups, b.kernel.cache_lookups);
+  EXPECT_EQ(a.kernel.cache_hits, b.kernel.cache_hits);
+  EXPECT_EQ(a.kernel.samples, b.kernel.samples);
+  EXPECT_DOUBLE_EQ(a.kernel.mean_route_nodes, b.kernel.mean_route_nodes);
+  EXPECT_DOUBLE_EQ(a.kernel.mean_switch_nodes, b.kernel.mean_switch_nodes);
+  EXPECT_DOUBLE_EQ(a.kernel.mean_inject_nodes, b.kernel.mean_inject_nodes);
+  EXPECT_DOUBLE_EQ(a.kernel.mean_link_regs, b.kernel.mean_link_regs);
+}
+
+}  // namespace

@@ -139,6 +139,23 @@ TEST(Generator, SaturatedKeepsSourcesBusy) {
   EXPECT_GT(gen.generated(), 36u * 2u);
 }
 
+TEST(Generator, RateZeroMeansIdleNotSaturated) {
+  GenFixture f;
+  traffic::Generator gen(f.faults, f.pattern, 0.0, 4, Rng(19));
+  EXPECT_TRUE(gen.idle());
+  EXPECT_FALSE(gen.saturated());
+  for (int c = 0; c < 500; ++c) {
+    gen.tick(f.net);
+    f.net.step();
+  }
+  EXPECT_EQ(gen.generated(), 0u);
+  // refresh() (post-fault-event source rescan) must not wake idle sources.
+  gen.refresh(500.0);
+  for (int c = 0; c < 100; ++c) gen.tick(f.net);
+  EXPECT_EQ(gen.generated(), 0u);
+  EXPECT_TRUE(f.net.drained());
+}
+
 TEST(Generator, OnlyActiveSourcesGenerate) {
   const Mesh mesh(6, 6);
   const auto faults = FaultMap::from_blocks(mesh, {Rect{2, 2, 3, 3}});

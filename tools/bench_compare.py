@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare a Google Benchmark JSON run against a checked-in baseline.
+
+Used by the CI perf-smoke job to keep the cycle kernel honest: the
+micro benchmarks (bench/micro_kernel.cpp) are run with
+--benchmark_format=json and compared against tools/bench_baseline.json.
+A watched benchmark whose real_time regresses by more than the allowed
+fraction fails the job.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json \
+        [--max-regression 0.25] [--bench NAME ...]
+
+Without --bench, the default watch list is the two acceptance-gate
+kernels: BM_NetworkStepIdle and BM_NetworkStepModerateLoad.  Benchmarks
+present in the baseline but absent from the current run (or vice versa)
+are an error only when watched.
+
+Exit status: 0 = within budget, 1 = regression or missing benchmark,
+2 = bad invocation / unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_WATCHED = [
+    "BM_NetworkStepIdle",
+    "BM_NetworkStepModerateLoad",
+]
+
+
+def load_times(path):
+    """Returns {benchmark name: real_time} from a benchmark JSON file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used;
+        # plain rows have no aggregate_name.
+        if b.get("aggregate_name"):
+            continue
+        times[b["name"]] = float(b["real_time"])
+    if not times:
+        print(f"bench_compare: no benchmarks in {path}", file=sys.stderr)
+        sys.exit(2)
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="checked-in reference JSON")
+    ap.add_argument("current", help="freshly measured JSON")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="allowed fractional slowdown per watched benchmark "
+        "(default: 0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="benchmark to gate on (repeatable; default: the step kernels)",
+    )
+    args = ap.parse_args()
+    watched = args.bench if args.bench else DEFAULT_WATCHED
+
+    base = load_times(args.baseline)
+    cur = load_times(args.current)
+
+    failed = False
+    width = max(len(n) for n in sorted(set(base) | set(cur)))
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>7}  gate")
+    for name in sorted(set(base) | set(cur)):
+        gate = name in watched
+        b, c = base.get(name), cur.get(name)
+        if b is None or c is None:
+            status = "MISSING from " + ("current" if c is None else "baseline")
+            if gate:
+                failed = True
+                status += "  ** FAIL **"
+            print(f"{name:<{width}}  {'-':>12}  {'-':>12}  {'-':>7}  {status}")
+            continue
+        ratio = c / b if b > 0 else float("inf")
+        status = "watched" if gate else "-"
+        if gate and ratio > 1.0 + args.max_regression:
+            failed = True
+            status = (f"** FAIL: {100.0 * (ratio - 1.0):.1f}% slower "
+                      f"(budget {100.0 * args.max_regression:.0f}%) **")
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {ratio:>6.2f}x  "
+              f"{status}")
+
+    if failed:
+        print("\nbench_compare: performance regression detected",
+              file=sys.stderr)
+        return 1
+    print("\nbench_compare: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,10 @@ SimConfig config_from_cli(const Cli& cli) {
       static_cast<int>(cli.get_int("max-retries", cfg.fault_max_retries));
   cfg.fault_retry_backoff = static_cast<std::uint64_t>(cli.get_int(
       "backoff", static_cast<std::int64_t>(cfg.fault_retry_backoff)));
+  cfg.scan_mode = cli.get("scan-mode", cfg.scan_mode);
+  cfg.route_cache =
+      cli.get_int("route-cache", cfg.route_cache ? 1 : 0) != 0;
+  if (cli.flag("kernel-stats")) cfg.collect_kernel_stats = true;
   return cfg;
 }
 
@@ -110,6 +114,20 @@ int cmd_run(const Cli& cli) {
       ftmesh::report::format_double(r.throughput.accepted_fraction, 3));
   row("mean hops", ftmesh::report::format_double(r.latency.mean_hops, 2));
   row("deadlock", r.deadlock ? "YES" : "no");
+  if (r.kernel.enabled) {
+    const auto& k = r.kernel;
+    row("route-cache hit rate",
+        ftmesh::report::format_double(100.0 * k.cache_hit_rate, 1) + "% (" +
+            std::to_string(k.cache_hits) + "/" +
+            std::to_string(k.cache_lookups) + ", " +
+            std::to_string(k.cache_invalidations) + " invalidations)");
+    row("active nodes route/switch",
+        ftmesh::report::format_double(k.mean_route_nodes, 1) + " / " +
+            ftmesh::report::format_double(k.mean_switch_nodes, 1));
+    row("active inject/link-regs",
+        ftmesh::report::format_double(k.mean_inject_nodes, 1) + " / " +
+            ftmesh::report::format_double(k.mean_link_regs, 1));
+  }
   if (r.reliability.enabled) {
     const auto& rel = r.reliability;
     row("fault events", std::to_string(rel.fault_events_applied) + " applied, " +
