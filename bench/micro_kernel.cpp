@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "ftmesh/core/simulator.hpp"
+#include "ftmesh/trace/trace_sink.hpp"
 
 namespace {
 
@@ -53,6 +54,22 @@ void BM_NetworkStepModerateLoadFullScan(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
 }
 BENCHMARK(BM_NetworkStepModerateLoadFullScan);
+
+void BM_NetworkStepModerateLoadTraceDiscard(benchmark::State& state) {
+  // Same load with a discarding trace sink attached: prices the event
+  // emission hooks themselves (no serialisation).  The CI gate holds the
+  // ratio to BM_NetworkStepModerateLoad (tools/bench_compare.py --pair);
+  // tracing *disabled* is a null-pointer branch per emission point and is
+  // covered by the absolute gates on the untraced benchmarks.
+  Simulator sim(kernel_config(0.001, 0));
+  ftmesh::trace::CountingSink sink;
+  sim.set_trace_sink(&sink);
+  for (int i = 0; i < 2000; ++i) sim.step();
+  for (auto _ : state) sim.step();
+  benchmark::DoNotOptimize(sink.total());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_NetworkStepModerateLoadTraceDiscard);
 
 void BM_NetworkStepSaturatedNoCache(benchmark::State& state) {
   // Saturated load with the route-candidate cache disabled: isolates

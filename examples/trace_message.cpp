@@ -1,19 +1,26 @@
-// Traces a single header around a fault region, showing the
-// Boppana-Chalasani ring mechanics hop by hop: the channel class used,
-// ring entry/exit, and the path on an ASCII map.
+// Traces a single message around a fault region through the REAL router
+// pipeline (not a dry routing-table walk): the message is created on an
+// otherwise idle network, the flit-event trace subsystem records every VC
+// allocation, ring entry/exit and block/unblock, and the hops are printed
+// with their channel class plus the path on an ASCII map.
 //
 //   ./trace_message [--algorithm Nbc] [--sx 1 --sy 4 --dx 8 --dy 4]
+//                   [--trace out.jsonl] [--trace-format jsonl|chrome]
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
-#include "ftmesh/fault/fring.hpp"
+#include "ftmesh/core/simulator.hpp"
 #include "ftmesh/report/cli.hpp"
-#include "ftmesh/routing/registry.hpp"
+#include "ftmesh/trace/trace_sink.hpp"
 
 namespace {
 
 using ftmesh::topology::Coord;
+using ftmesh::trace::Event;
+using ftmesh::trace::EventKind;
 
 std::string channel_label(const ftmesh::routing::VcLayout& layout, int vc) {
   using ftmesh::routing::VcRole;
@@ -36,74 +43,142 @@ std::string channel_label(const ftmesh::routing::VcLayout& layout, int vc) {
 
 int main(int argc, char** argv) {
   const ftmesh::report::Cli cli(argc, argv);
-  const auto name = cli.get("algorithm", "Nbc");
   const Coord src{static_cast<int>(cli.get_int("sx", 1)),
                   static_cast<int>(cli.get_int("sy", 4))};
   const Coord dst{static_cast<int>(cli.get_int("dx", 8)),
                   static_cast<int>(cli.get_int("dy", 4))};
 
-  const ftmesh::topology::Mesh mesh(10, 10);
+  ftmesh::core::SimConfig cfg;
+  cfg.algorithm = cli.get("algorithm", "Nbc");
+  cfg.injection_rate = 0.0;  // idle: only our hand-created message moves
   // A 2x3 block sitting right across the row path.
-  const auto faults =
-      ftmesh::fault::FaultMap::from_blocks(mesh, {{4, 3, 5, 5}});
-  const ftmesh::fault::FRingSet rings(faults);
-  const auto algo = ftmesh::routing::make_algorithm(name, mesh, faults, rings);
+  cfg.fault_blocks = {{4, 3, 5, 5}};
+  cfg.warmup_cycles = 1;
+  cfg.total_cycles = 2000;
+  ftmesh::core::Simulator sim(cfg);
 
-  if (faults.blocked(src) || faults.blocked(dst)) {
+  if (sim.faults().blocked(src) || sim.faults().blocked(dst)) {
     std::cerr << "source/destination inside the fault region\n";
     return 1;
   }
 
-  std::cout << "Tracing a " << name << " header " << "(" << src.x << ","
-            << src.y << ") -> (" << dst.x << "," << dst.y
-            << ") around a 2x3 fault block [4..5]x[3..5]\n"
-            << "(uncontended network: the first candidate is always taken)\n\n";
-
-  ftmesh::router::Message msg;
-  msg.src = src;
-  msg.dst = dst;
-  msg.length = 100;
-  algo->on_inject(msg);
-
-  std::vector<Coord> path{src};
-  Coord at = src;
-  ftmesh::routing::CandidateList out;
-  for (int hop = 0; !(at == dst) && hop < 64; ++hop) {
-    out.clear();
-    algo->candidates(at, msg, out);
-    if (out.empty()) {
-      std::cout << "stuck at (" << at.x << "," << at.y << ")\n";
+  // Collect the events in memory for the narration below; optionally tee
+  // them to a file in either serialized format.
+  ftmesh::trace::VectorSink events;
+  std::ofstream trace_os;
+  std::unique_ptr<ftmesh::trace::TraceSink> file_sink;
+  ftmesh::trace::TraceSink* sink = &events;
+  struct TeeSink final : ftmesh::trace::TraceSink {
+    ftmesh::trace::TraceSink* a = nullptr;
+    ftmesh::trace::TraceSink* b = nullptr;
+    void record(const Event& e) override {
+      a->record(e);
+      b->record(e);
+    }
+    void flush() override {
+      a->flush();
+      b->flush();
+    }
+  } tee;
+  if (const auto path = cli.get("trace", ""); !path.empty()) {
+    trace_os.open(path);
+    if (!trace_os) {
+      std::cerr << "cannot write " << path << "\n";
       return 1;
     }
-    const auto& cv = out[0];
-    const bool was_ring = msg.rs.ring.active;
-    algo->on_hop(at, cv.dir, cv.vc, msg);
-    const Coord next = at.step(cv.dir);
-    std::cout << "  hop " << hop + 1 << ": (" << at.x << "," << at.y
-              << ") -" << ftmesh::topology::to_string(cv.dir) << "-> ("
-              << next.x << "," << next.y << ")  vc " << cv.vc << " ("
-              << channel_label(algo->layout(), cv.vc) << ")";
-    if (!was_ring && msg.rs.ring.active) {
-      std::cout << "   << enters f-ring, entry distance "
-                << msg.rs.ring.entry_distance;
-    } else if (was_ring && !msg.rs.ring.active) {
-      std::cout << "   << leaves f-ring";
+    if (cli.get("trace-format", "jsonl") == "chrome") {
+      file_sink =
+          std::make_unique<ftmesh::trace::ChromeTraceSink>(trace_os, cfg.width);
+    } else {
+      file_sink = std::make_unique<ftmesh::trace::JsonlSink>(trace_os);
     }
-    std::cout << "\n";
-    at = next;
-    path.push_back(at);
+    tee.a = &events;
+    tee.b = file_sink.get();
+    sink = &tee;
+  }
+  sim.set_trace_sink(sink);
+
+  const auto id = sim.network().create_message(src, dst, /*length=*/100);
+  while (!sim.network().messages()[id].done &&
+         sim.network().cycle() < cfg.total_cycles) {
+    sim.step();
+  }
+  sink->flush();
+  if (!sim.network().messages()[id].done) {
+    std::cerr << "message did not complete (watchdog "
+              << (sim.network().watchdog().tripped() ? "tripped" : "ok")
+              << ")\n";
+    return 1;
   }
 
-  std::cout << "\n  reached destination in " << msg.rs.hops << " hops ("
-            << msg.rs.misroutes << " non-minimal)\n\nPath map ('*' path, "
-            << "'#' fault, 'x' deactivated, 'S' source, 'D' destination):\n";
-  for (int y = mesh.height() - 1; y >= 0; --y) {
+  std::cout << "Tracing a " << cfg.algorithm << " message (" << src.x << ","
+            << src.y << ") -> (" << dst.x << "," << dst.y
+            << ") around a 2x3 fault block [4..5]x[3..5]\n"
+            << "(idle network: the whole worm pipelines behind the header)\n\n";
+
+  const auto& layout = sim.algorithm().layout();
+  std::vector<Coord> path{src};
+  int hop = 0;
+  for (const Event& e : events.events()) {
+    switch (e.kind) {
+      case EventKind::Create:
+        std::cout << "  cycle " << e.cycle << ": created, " << e.a
+                  << " flits\n";
+        break;
+      case EventKind::Inject:
+        std::cout << "  cycle " << e.cycle << ": header injected at ("
+                  << e.node.x << "," << e.node.y << ")\n";
+        break;
+      case EventKind::VcAlloc: {
+        const Coord next = e.node.step(e.dir);
+        std::cout << "  cycle " << e.cycle << ": hop " << ++hop << " ("
+                  << e.node.x << "," << e.node.y << ") -"
+                  << ftmesh::topology::to_string(e.dir) << "-> (" << next.x
+                  << "," << next.y << ")  vc " << e.vc << " ("
+                  << channel_label(layout, e.vc) << ")\n";
+        path.push_back(next);
+        break;
+      }
+      case EventKind::RingEnter:
+        std::cout << "      << enters f-ring " << e.a << ", entry distance "
+                  << e.b << "\n";
+        break;
+      case EventKind::RingExit:
+        std::cout << "      << leaves f-ring " << e.a << "\n";
+        break;
+      case EventKind::Misroute:
+        std::cout << "      << non-minimal hop (" << e.a << " so far)\n";
+        break;
+      case EventKind::Block:
+        std::cout << "  cycle " << e.cycle << ": blocked at (" << e.node.x
+                  << "," << e.node.y << ")\n";
+        break;
+      case EventKind::Unblock:
+        std::cout << "  cycle " << e.cycle << ": unblocked\n";
+        break;
+      case EventKind::Eject:
+        std::cout << "  cycle " << e.cycle << ": tail ejected at ("
+                  << e.node.x << "," << e.node.y << ") after " << e.a
+                  << " hops (" << e.b << " non-minimal)\n";
+        break;
+      default:
+        break;
+    }
+  }
+
+  const auto& m = sim.network().messages()[id];
+  std::cout << "\n  delivered in " << (m.delivered - m.created)
+            << " cycles end to end\n\nPath map ('*' path, '#' fault, "
+            << "'x' deactivated, 'S' source, 'D' destination):\n";
+  for (int y = sim.mesh().height() - 1; y >= 0; --y) {
     std::cout << "  ";
-    for (int x = 0; x < mesh.width(); ++x) {
+    for (int x = 0; x < sim.mesh().width(); ++x) {
       const Coord c{x, y};
       char glyph = '.';
-      if (faults.status(c) == ftmesh::fault::NodeStatus::Faulty) glyph = '#';
-      if (faults.status(c) == ftmesh::fault::NodeStatus::Deactivated) glyph = 'x';
+      if (sim.faults().status(c) == ftmesh::fault::NodeStatus::Faulty) glyph = '#';
+      if (sim.faults().status(c) == ftmesh::fault::NodeStatus::Deactivated) {
+        glyph = 'x';
+      }
       for (const auto p : path) {
         if (p == c) glyph = '*';
       }

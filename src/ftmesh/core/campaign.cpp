@@ -111,4 +111,29 @@ void write_campaign_csv(std::ostream& os,
   }
 }
 
+void write_campaign_metrics_csv(std::ostream& os,
+                                const std::vector<CampaignCell>& cells) {
+  report::CsvWriter csv(os);
+  csv.row({"algorithm", "rate", "fault_count", "pattern", "cycle",
+           "delivered_messages", "accepted_flits_per_node_cycle",
+           "mean_latency", "cache_hit_rate", "flits_in_flight", "route_nodes",
+           "switch_nodes", "inject_nodes", "link_regs", "ring_vcs_busy"});
+  for (const auto& cell : cells) {
+    for (std::size_t p = 0; p < cell.runs.size(); ++p) {
+      for (const auto& s : cell.runs[p].metrics.samples) {
+        csv.row({cell.algorithm, report::format_double(cell.rate, 6),
+                 std::to_string(cell.fault_count), std::to_string(p),
+                 std::to_string(s.cycle), std::to_string(s.delivered_messages),
+                 report::format_double(s.accepted_flits_per_node_cycle, 6),
+                 report::format_double(s.mean_latency, 3),
+                 report::format_double(s.cache_hit_rate, 4),
+                 std::to_string(s.flits_in_flight),
+                 std::to_string(s.route_nodes), std::to_string(s.switch_nodes),
+                 std::to_string(s.inject_nodes), std::to_string(s.link_regs),
+                 std::to_string(s.ring_vcs_busy)});
+      }
+    }
+  }
+}
+
 }  // namespace ftmesh::core

@@ -39,4 +39,11 @@ std::vector<CampaignCell> run_campaign(const CampaignSpec& spec);
 /// CSV with one row per cell (aggregates only).
 void write_campaign_csv(std::ostream& os, const std::vector<CampaignCell>& cells);
 
+/// CSV of the per-run time series: one row per (cell, pattern, sample).
+/// Empty (header only) unless the campaign's base config set
+/// metrics_interval > 0.  Series are per run, never averaged — see
+/// aggregate() for why.
+void write_campaign_metrics_csv(std::ostream& os,
+                                const std::vector<CampaignCell>& cells);
+
 }  // namespace ftmesh::core

@@ -50,4 +50,15 @@ void SimConfig::validate() const {
   }
 }
 
+std::vector<std::string> SimConfig::warnings() const {
+  std::vector<std::string> out;
+  if (injection_rate == 0.0) {
+    out.push_back(
+        "injection_rate is 0, which now means an idle network (no offered "
+        "traffic); legacy configs used 0 for saturated sources — use a "
+        "negative rate for saturation");
+  }
+  return out;
+}
+
 }  // namespace ftmesh::core

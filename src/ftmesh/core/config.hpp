@@ -65,9 +65,18 @@ struct SimConfig {
   bool collect_vc_usage = false;
   bool collect_traffic_map = false;
   bool collect_kernel_stats = false;  ///< cache hit rate + active-set sizes
+  /// Sample a time-series metrics point every N cycles (trace/
+  /// metrics_recorder.hpp); 0 = recording off.
+  std::uint64_t metrics_interval = 0;
 
   /// Throws std::invalid_argument on inconsistent settings.
   void validate() const;
+
+  /// Non-fatal configuration smells, one human-readable line each.  Today
+  /// this flags injection_rate == 0: before the saturated-source rework
+  /// that value meant "saturated", now it means "idle" — a silently
+  /// different experiment when replaying an old config.
+  [[nodiscard]] std::vector<std::string> warnings() const;
 };
 
 }  // namespace ftmesh::core

@@ -77,7 +77,8 @@ void save_config(std::ostream& os, const SimConfig& cfg) {
      << "route_cache = " << (cfg.route_cache ? 1 : 0) << "\n"
      << "collect_vc_usage = " << (cfg.collect_vc_usage ? 1 : 0) << "\n"
      << "collect_traffic_map = " << (cfg.collect_traffic_map ? 1 : 0) << "\n"
-     << "collect_kernel_stats = " << (cfg.collect_kernel_stats ? 1 : 0) << "\n";
+     << "collect_kernel_stats = " << (cfg.collect_kernel_stats ? 1 : 0) << "\n"
+     << "metrics_interval = " << cfg.metrics_interval << "\n";
 }
 
 void save_config_file(const std::string& path, const SimConfig& cfg) {
@@ -127,6 +128,7 @@ SimConfig load_config(std::istream& is) {
       else if (key == "collect_vc_usage") cfg.collect_vc_usage = std::stoi(value) != 0;
       else if (key == "collect_traffic_map") cfg.collect_traffic_map = std::stoi(value) != 0;
       else if (key == "collect_kernel_stats") cfg.collect_kernel_stats = std::stoi(value) != 0;
+      else if (key == "metrics_interval") cfg.metrics_interval = std::stoull(value);
       else fail(line_no, "unknown key: " + key);
     } catch (const std::invalid_argument&) {
       throw;

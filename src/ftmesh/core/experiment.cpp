@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ftmesh/core/thread_pool.hpp"
+#include "ftmesh/sim/rng.hpp"
 
 namespace ftmesh::core {
 
@@ -23,18 +24,28 @@ std::vector<SimResult> run_batch(const std::vector<SimConfig>& configs,
   return results;
 }
 
+std::uint64_t pattern_seed(std::uint64_t base_seed, int fault_count,
+                           int pattern) {
+  if (pattern == 0) return base_seed;
+  return sim::counter_hash(base_seed, static_cast<std::uint64_t>(fault_count),
+                           static_cast<std::uint64_t>(pattern));
+}
+
 std::vector<SimConfig> fault_pattern_sweep(const SimConfig& base, int count) {
   std::vector<SimConfig> configs;
   configs.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     SimConfig c = base;
-    c.seed = base.seed + static_cast<std::uint64_t>(i);
+    c.seed = pattern_seed(base.seed, base.fault_count, i);
     configs.push_back(std::move(c));
   }
   return configs;
 }
 
 SimResult aggregate(const std::vector<SimResult>& results) {
+  // Time-series metrics are deliberately NOT aggregated: samples from runs
+  // with different fault patterns are not comparable point-by-point.  The
+  // per-run series stay on the individual results (agg.metrics stays empty).
   SimResult agg;
   double n = 0.0;
   for (const auto& r : results) {

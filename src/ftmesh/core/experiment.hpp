@@ -18,7 +18,17 @@ namespace ftmesh::core {
 std::vector<SimResult> run_batch(const std::vector<SimConfig>& configs,
                                  int threads = 0);
 
-/// `count` configs derived from `base` by re-seeding (seed = base.seed + i):
+/// Seed of the i-th fault pattern for a campaign cell: a pure function of
+/// (base seed, fault count, pattern index).  Pattern 0 keeps the base seed
+/// unchanged (a single-pattern sweep is the base run, byte for byte); later
+/// patterns hash the triple, so adjacent-seed cells never alias (the old
+/// `seed + i` scheme made cell A's pattern 1 identical to cell B's pattern
+/// 0 whenever their base seeds were consecutive).  Because the hash ignores
+/// everything but this triple, every (algorithm, rate) cell of a campaign
+/// replays the same fault sets — the paper's controlled comparison.
+std::uint64_t pattern_seed(std::uint64_t base_seed, int fault_count, int pattern);
+
+/// `count` configs derived from `base` by re-seeding with pattern_seed():
 /// the paper's "N random fault sets" protocol.
 std::vector<SimConfig> fault_pattern_sweep(const SimConfig& base, int count);
 

@@ -56,6 +56,11 @@ Simulator::Simulator(SimConfig cfg)
                                          root.derive(0xD1)),
         *faults_, *rings_, icfg);
   }
+
+  if (cfg_.metrics_interval > 0) {
+    metrics_ =
+        std::make_unique<trace::MetricsRecorder>(cfg_.metrics_interval, *network_);
+  }
 }
 
 void Simulator::post_reconfigure() {
@@ -72,6 +77,7 @@ void Simulator::step() {
   if (injector_ && injector_->tick(*network_)) post_reconfigure();
   generator_->tick(*network_);
   network_->step();
+  if (metrics_) metrics_->on_cycle(*network_);
 }
 
 SimResult Simulator::run() {
@@ -89,6 +95,7 @@ std::uint64_t Simulator::drain(std::uint64_t max_extra_cycles) {
     if (network_->drained() && engine_idle) break;
     if (injector_ && injector_->tick(*network_)) post_reconfigure();
     network_->step();
+    if (metrics_) metrics_->on_cycle(*network_);
     ++extra;
   }
   return extra;
@@ -116,6 +123,7 @@ SimResult Simulator::snapshot() const {
   if (cfg_.collect_kernel_stats) {
     r.kernel = stats::summarize_kernel(*network_);
   }
+  if (metrics_) r.metrics = metrics_->series();
   r.deadlock = network_->watchdog().tripped();
   r.cycles_run = network_->cycle();
   r.fault_regions = static_cast<int>(faults_->regions().size());

@@ -15,6 +15,7 @@
 #include "ftmesh/stats/reliability_stats.hpp"
 #include "ftmesh/stats/traffic_map.hpp"
 #include "ftmesh/stats/vc_usage.hpp"
+#include "ftmesh/trace/metrics_recorder.hpp"
 #include "ftmesh/traffic/generator.hpp"
 
 namespace ftmesh::core {
@@ -36,6 +37,7 @@ struct SimResult {
   stats::TrafficSplit traffic_split; ///< filled when collect_traffic_map
   stats::ReliabilitySummary reliability;  ///< filled when a fault schedule ran
   stats::KernelSummary kernel;      ///< filled when collect_kernel_stats
+  trace::MetricsSeries metrics;     ///< filled when metrics_interval > 0
   bool deadlock = false;            ///< watchdog tripped (run aborted early)
   std::uint64_t cycles_run = 0;
   int fault_regions = 0;
@@ -82,6 +84,11 @@ class Simulator {
     return injector_.get();
   }
 
+  /// Attaches (or detaches, with nullptr) a flit-event trace sink on the
+  /// network.  The sink must outlive the simulation; see
+  /// trace/trace_event.hpp for the determinism contract.
+  void set_trace_sink(trace::TraceSink* sink) { network_->set_trace_sink(sink); }
+
   /// Collects the result of whatever has run so far.
   [[nodiscard]] SimResult snapshot() const;
 
@@ -100,6 +107,7 @@ class Simulator {
   std::unique_ptr<router::Network> network_;
   std::unique_ptr<traffic::Generator> generator_;
   std::unique_ptr<inject::FaultInjector> injector_;
+  std::unique_ptr<trace::MetricsRecorder> metrics_;
 };
 
 }  // namespace ftmesh::core

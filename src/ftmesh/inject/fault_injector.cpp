@@ -3,9 +3,26 @@
 #include <algorithm>
 #include <vector>
 
+#include "ftmesh/trace/trace_event.hpp"
+
 namespace ftmesh::inject {
 
 using router::MessageId;
+
+namespace {
+
+void trace_abort(router::Network& net, MessageId id, topology::Coord src) {
+  if (auto* sink = net.trace_sink()) {
+    trace::Event e;
+    e.cycle = net.cycle();
+    e.kind = trace::EventKind::Abort;
+    e.msg = id;
+    e.node = src;
+    sink->record(e);
+  }
+}
+
+}  // namespace
 
 bool FaultInjector::tick(router::Network& net) {
   const double now = static_cast<double>(net.cycle());
@@ -20,6 +37,7 @@ bool FaultInjector::tick(router::Network& net) {
     if (!net.faults().active(m.src) || !net.faults().active(m.dst)) {
       m.aborted = true;
       ++log_.aborts;
+      trace_abort(net, id, m.src);
       continue;
     }
     net.requeue_message(id);
@@ -77,6 +95,7 @@ void FaultInjector::recover(router::Network& net) {
     if (endpoint_dead || m.retries >= config_.max_retries) {
       m.aborted = true;
       ++log_.aborts;
+      trace_abort(net, id, m.src);
       continue;
     }
     ++m.retries;

@@ -1,6 +1,7 @@
 #include "ftmesh/report/csv.hpp"
 
 #include <ostream>
+#include <stdexcept>
 
 namespace ftmesh::report {
 
@@ -21,6 +22,68 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
     *os_ << escape(cells[i]);
   }
   *os_ << '\n';
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_row = false;  // something consumed since the last row break
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+    in_row = false;
+  };
+  while (i < n) {
+    const char ch = text[i];
+    if (ch == '"') {
+      // Quoted cell: runs to the closing quote; "" is a literal quote.
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '"') {
+          if (i + 1 < n && text[i + 1] == '"') {
+            cell += '"';
+            i += 2;
+          } else {
+            ++i;
+            closed = true;
+            break;
+          }
+        } else {
+          cell += text[i++];
+        }
+      }
+      if (!closed) throw std::invalid_argument("csv: unterminated quote");
+      in_row = true;
+      continue;
+    }
+    if (ch == ',') {
+      end_cell();
+      in_row = true;
+      ++i;
+      continue;
+    }
+    if (ch == '\n' || ch == '\r') {
+      if (ch == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+      ++i;
+      end_row();
+      continue;
+    }
+    cell += ch;
+    in_row = true;
+    ++i;
+  }
+  // Final row without a trailing newline.
+  if (in_row || !cell.empty() || !row.empty()) end_row();
+  return rows;
 }
 
 }  // namespace ftmesh::report

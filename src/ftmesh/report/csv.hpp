@@ -20,4 +20,10 @@ class CsvWriter {
   std::ostream* os_;
 };
 
+/// RFC 4180 reader, the inverse of CsvWriter: rows of unescaped cells.
+/// Quoted cells may contain commas, doubled quotes and newlines (a quoted
+/// newline does NOT end the row); \r\n line ends are accepted.  Throws
+/// std::invalid_argument on an unterminated quoted cell.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
 }  // namespace ftmesh::report

@@ -204,6 +204,29 @@ void write_result_json(std::ostream& os, const core::SimConfig& cfg,
     w.end_object();
   }
 
+  if (!r.metrics.samples.empty()) {
+    w.key("metrics").begin_object();
+    w.key("interval").value(r.metrics.interval);
+    w.key("samples").begin_array();
+    for (const auto& s : r.metrics.samples) {
+      w.begin_object();
+      w.key("cycle").value(s.cycle);
+      w.key("delivered_messages").value(s.delivered_messages);
+      w.key("accepted").value(s.accepted_flits_per_node_cycle);
+      w.key("mean_latency").value(s.mean_latency);
+      w.key("cache_hit_rate").value(s.cache_hit_rate);
+      w.key("in_flight").value(s.flits_in_flight);
+      w.key("route_nodes").value(s.route_nodes);
+      w.key("switch_nodes").value(s.switch_nodes);
+      w.key("inject_nodes").value(s.inject_nodes);
+      w.key("link_regs").value(s.link_regs);
+      w.key("ring_vcs_busy").value(s.ring_vcs_busy);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   w.key("deadlock").value(r.deadlock);
   w.key("cycles_run").value(r.cycles_run);
   w.end_object();

@@ -221,12 +221,78 @@ void Network::rebuild_active_sets() {
   buffered_flits_ = flits;
 }
 
+std::uint64_t Network::active_route_nodes() const {
+  return live_entries(route_nodes_, route_pending_);
+}
+
+std::uint64_t Network::active_switch_nodes() const {
+  return live_entries(switch_nodes_, switch_pending_);
+}
+
+std::uint64_t Network::active_inject_nodes() const {
+  return live_entries(inject_nodes_, inject_pending_);
+}
+
 void Network::on_fault_change() {
   if (!route_cache_.empty()) {
     for (auto& e : route_cache_) e.valid = false;
     ++route_cache_invalidations_;
   }
   rebuild_active_sets();
+}
+
+// ---- trace emission ------------------------------------------------------
+
+void Network::set_trace_sink(trace::TraceSink* sink) {
+  trace_ = sink;
+  trace_blocked_.assign(messages_.size(), 0);
+}
+
+void Network::emit(trace::EventKind kind, MessageId msg, Coord node,
+                   std::uint32_t a, std::uint32_t b) {
+  trace::Event e;
+  e.cycle = cycle_;
+  e.kind = kind;
+  e.msg = msg;
+  e.node = node;
+  e.a = a;
+  e.b = b;
+  trace_->record(e);
+}
+
+void Network::trace_alloc(Coord c, Message& m, Direction dir, int vc) {
+  const bool ring_was = m.rs.ring.active;
+  const std::uint16_t mis_was = m.rs.misroutes;
+  algorithm_->on_hop(c, dir, vc, m);
+  if (trace_blocked_[static_cast<std::size_t>(m.id)]) {
+    trace_blocked_[static_cast<std::size_t>(m.id)] = 0;
+    emit(trace::EventKind::Unblock, m.id, c);
+  }
+  trace::Event e;
+  e.cycle = cycle_;
+  e.kind = trace::EventKind::VcAlloc;
+  e.msg = m.id;
+  e.node = c;
+  e.dir = dir;
+  e.vc = static_cast<std::int16_t>(vc);
+  trace_->record(e);
+  if (!ring_was && m.rs.ring.active) {
+    emit(trace::EventKind::RingEnter, m.id, c,
+         static_cast<std::uint32_t>(m.rs.ring.region), m.rs.ring.entry_distance);
+  } else if (ring_was && !m.rs.ring.active) {
+    emit(trace::EventKind::RingExit, m.id, c,
+         static_cast<std::uint32_t>(m.rs.ring.region));
+  }
+  if (m.rs.misroutes > mis_was) {
+    emit(trace::EventKind::Misroute, m.id, c, m.rs.misroutes);
+  }
+}
+
+void Network::trace_block(const Message& m, Coord c) {
+  if (!trace_blocked_[static_cast<std::size_t>(m.id)]) {
+    trace_blocked_[static_cast<std::size_t>(m.id)] = 1;
+    emit(trace::EventKind::Block, m.id, c);
+  }
 }
 
 // ---- message lifecycle ---------------------------------------------------
@@ -246,7 +312,12 @@ MessageId Network::create_message(Coord src, Coord dst, std::uint32_t length) {
   queues_[static_cast<std::size_t>(src_id)].push_back(m.id);
   ++queued_messages_;
   bump_inject(src_id, +1);
+  total_flits_generated_ += length;
   if (measuring_) measured_flits_generated_ += length;
+  if (trace_ != nullptr) {
+    trace_blocked_.push_back(0);
+    emit(trace::EventKind::Create, m.id, src, length);
+  }
   return m.id;
 }
 
@@ -357,7 +428,10 @@ void Network::inject_node(NodeId id) {
     } else {
       flit.type = FlitType::Body;
     }
-    if (sup.next_seq == 0) m.injected = cycle_;
+    if (sup.next_seq == 0) {
+      m.injected = cycle_;
+      if (trace_ != nullptr) emit(trace::EventKind::Inject, m.id, c);
+    }
     const bool was_empty = ivc.buf.empty();
     ivc.buf.push_back(flit);
     ++buffered_flits_;
@@ -409,6 +483,7 @@ const routing::CandidateList& Network::route_candidates(NodeId id,
     algorithm_->candidates(mesh_->coord_of(id), m, cand_);
     return cand_;
   }
+  ++total_cache_lookups_;
   if (measuring_) ++route_cache_lookups_;
   const std::uint64_t key = algorithm_->route_state_key(m);
   const NodeId dst = mesh_->id_of(m.dst);
@@ -419,6 +494,7 @@ const routing::CandidateList& Network::route_candidates(NodeId id,
       (kRouteCacheSize - 1);
   RouteCacheEntry& e = route_cache_[slot];
   if (e.valid && e.node == id && e.dst == dst && e.key == key) {
+    ++total_cache_hits_;
     if (measuring_) ++route_cache_hits_;
     return e.cands;
   }
@@ -473,6 +549,7 @@ void Network::route_node(NodeId id, bool exhaustive) {
       continue;
     }
     const routing::CandidateList& cand = route_candidates(id, m);
+    bool allocated = false;
     if (measuring_) {
       ++measured_route_decisions_;
       measured_candidates_offered_ += cand.size();
@@ -528,9 +605,15 @@ void Network::route_node(NodeId id, bool exhaustive) {
       ivc.stage = IvcStage::Active;
       bump_route(id, -1);
       bump_switch(id, +1);
-      algorithm_->on_hop(c, chosen.dir, chosen.vc, m);
+      if (trace_ != nullptr) {
+        trace_alloc(c, m, chosen.dir, chosen.vc);
+      } else {
+        algorithm_->on_hop(c, chosen.dir, chosen.vc, m);
+      }
+      allocated = true;
       break;
     }
+    if (trace_ != nullptr && !allocated) trace_block(m, c);
   }
 #ifndef NDEBUG
   if (exhaustive) {
@@ -615,9 +698,17 @@ void Network::switch_node(NodeId id) {
         Message& m = messages_[flit.msg];
         m.delivered = cycle_;
         m.done = true;
+        ++total_messages_delivered_;
+        total_flits_delivered_ += m.length;
+        total_latency_sum_ += cycle_ - m.created;
         if (measuring_) {
           measured_flits_delivered_ += m.length;
           ++measured_messages_delivered_;
+        }
+        if (trace_ != nullptr) {
+          emit(trace::EventKind::Eject, flit.msg, c,
+               static_cast<std::uint32_t>(m.rs.hops),
+               static_cast<std::uint32_t>(m.rs.misroutes));
         }
       }
     } else {
@@ -759,6 +850,12 @@ void Network::purge_messages(const std::vector<MessageId>& ids) {
   for (const MessageId id : ids) {
     purge[static_cast<std::size_t>(id)] = 1;
   }
+  if (trace_ != nullptr) {
+    for (const MessageId id : ids) {
+      emit(trace::EventKind::Purge, id, messages_[static_cast<std::size_t>(id)].src);
+      trace_blocked_[static_cast<std::size_t>(id)] = 0;
+    }
+  }
   const int vcs = algorithm_->layout().total();
   const auto local = port_index(Direction::Local);
 
@@ -865,6 +962,10 @@ void Network::requeue_message(MessageId id) {
   queues_[static_cast<std::size_t>(src_id)].push_back(id);
   ++queued_messages_;
   bump_inject(src_id, +1);
+  if (trace_ != nullptr) {
+    emit(trace::EventKind::Retransmit, id, m.src,
+         static_cast<std::uint32_t>(m.retries));
+  }
 }
 
 void Network::revalidate_ring_state(const fault::FRingSet& rings) {

@@ -37,6 +37,7 @@
 #include "ftmesh/sim/rng.hpp"
 #include "ftmesh/sim/small_vec.hpp"
 #include "ftmesh/sim/watchdog.hpp"
+#include "ftmesh/trace/trace_event.hpp"
 
 namespace ftmesh::router {
 
@@ -251,6 +252,51 @@ class Network {
   using EjectHook = std::function<void(const Flit&, topology::Coord)>;
   void set_eject_hook(EjectHook hook) { eject_hook_ = std::move(hook); }
 
+  /// Attaches a lifecycle-event sink (trace/); nullptr detaches.  The null
+  /// pointer is the tracing-off fast path: each emission point costs one
+  /// predictable branch.  Events are only emitted from points where both
+  /// scan modes visit work in the same order, so a trace is byte-identical
+  /// across --scan-mode=full|active (tests/test_trace.cpp holds the line).
+  void set_trace_sink(trace::TraceSink* sink);
+  [[nodiscard]] trace::TraceSink* trace_sink() const noexcept { return trace_; }
+
+  // Whole-run cumulative counters (from cycle 0, measurement-independent):
+  // the raw material for the per-interval time series (trace/
+  // metrics_recorder.hpp), which needs deltas across the warm-up boundary.
+  [[nodiscard]] std::uint64_t total_flits_generated() const noexcept {
+    return total_flits_generated_;
+  }
+  [[nodiscard]] std::uint64_t total_flits_delivered() const noexcept {
+    return total_flits_delivered_;
+  }
+  [[nodiscard]] std::uint64_t total_messages_delivered() const noexcept {
+    return total_messages_delivered_;
+  }
+  /// Sum over delivered messages of (delivery cycle - creation cycle).
+  [[nodiscard]] std::uint64_t total_latency_sum() const noexcept {
+    return total_latency_sum_;
+  }
+  [[nodiscard]] std::uint64_t total_cache_lookups() const noexcept {
+    return total_cache_lookups_;
+  }
+  [[nodiscard]] std::uint64_t total_cache_hits() const noexcept {
+    return total_cache_hits_;
+  }
+
+  // Instantaneous active-set gauges (exact; stale worklist entries are
+  // filtered through the occupancy counters).  O(worklist length).
+  [[nodiscard]] std::uint64_t active_route_nodes() const;
+  [[nodiscard]] std::uint64_t active_switch_nodes() const;
+  [[nodiscard]] std::uint64_t active_inject_nodes() const;
+  [[nodiscard]] std::uint64_t full_link_registers() const noexcept {
+    return link_list_.size();
+  }
+  /// Per-VC-index count of currently reserved output VCs across all links.
+  [[nodiscard]] const std::vector<std::uint32_t>& link_vc_allocated()
+      const noexcept {
+    return link_vc_allocated_;
+  }
+
   /// Debug cross-check against the offline deadlock verifier: `ranks` maps
   /// each channel id (router/channel_id.hpp) to its topological rank in the
   /// verified channel-dependency order, -1 for unchecked channels (see
@@ -305,6 +351,17 @@ class Network {
   /// cache is enabled, enumerated into scratch otherwise.
   const routing::CandidateList& route_candidates(topology::NodeId id,
                                                  const Message& m);
+
+  // Trace emission helpers; called only when trace_ != nullptr.
+  void emit(trace::EventKind kind, MessageId msg, topology::Coord node,
+            std::uint32_t a = 0, std::uint32_t b = 0);
+  /// Successful allocation: runs the algorithm's on_hop() and emits
+  /// Unblock/VcAlloc plus any ring-transition / misroute events derived
+  /// from the hop's effect on the routing state.
+  void trace_alloc(topology::Coord c, Message& m, topology::Direction dir,
+                   int vc);
+  /// Failed allocation (every tier busy): emits Block on the transition.
+  void trace_block(const Message& m, topology::Coord c);
 
   /// Recomputes every occupancy counter, worklist and derived total from
   /// the authoritative router/queue/supply state.  Used after rare bulk
@@ -394,6 +451,13 @@ class Network {
   std::uint64_t route_cache_lookups_ = 0;
   std::uint64_t route_cache_hits_ = 0;
   std::uint64_t route_cache_invalidations_ = 0;  // whole-run event count
+  // Whole-run cumulative counters (see accessors above).
+  std::uint64_t total_flits_generated_ = 0;
+  std::uint64_t total_flits_delivered_ = 0;
+  std::uint64_t total_messages_delivered_ = 0;
+  std::uint64_t total_latency_sum_ = 0;
+  std::uint64_t total_cache_lookups_ = 0;
+  std::uint64_t total_cache_hits_ = 0;
   std::uint64_t kernel_samples_ = 0;
   std::uint64_t kernel_route_nodes_sum_ = 0;
   std::uint64_t kernel_switch_nodes_sum_ = 0;
@@ -402,6 +466,11 @@ class Network {
 
   EjectHook eject_hook_;
   std::vector<std::int32_t> debug_channel_order_;  // empty = check disabled
+
+  trace::TraceSink* trace_ = nullptr;
+  /// Per-message "currently blocked" flag, maintained only while tracing so
+  /// Block/Unblock fire on transitions rather than every starved cycle.
+  std::vector<char> trace_blocked_;
 
   // per-cycle scratch (kept across calls to avoid reallocation)
   routing::CandidateList cand_;

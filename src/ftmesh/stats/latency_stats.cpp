@@ -1,19 +1,22 @@
 #include "ftmesh/stats/latency_stats.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace ftmesh::stats {
 
-namespace {
-double percentile(const std::vector<double>& sorted, double p) {
+double percentile_sorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
+  if (std::isnan(p)) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
   const double idx = p * static_cast<double>(sorted.size() - 1);
-  const auto lo = static_cast<std::size_t>(idx);
+  // Guard the floor-cast: with large n, idx can round up to n-1 exactly.
+  const std::size_t lo =
+      std::min(static_cast<std::size_t>(idx), sorted.size() - 1);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = idx - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
-}  // namespace
 
 LatencySummary summarize_latency(const router::Network& net,
                                  std::uint64_t warmup) {
@@ -48,9 +51,9 @@ LatencySummary summarize_latency(const router::Network& net,
   s.mean_misroutes = misroute_sum / n;
   s.ring_message_fraction = static_cast<double>(ring_users) / n;
   std::sort(lat.begin(), lat.end());
-  s.p50 = percentile(lat, 0.50);
-  s.p95 = percentile(lat, 0.95);
-  s.p99 = percentile(lat, 0.99);
+  s.p50 = percentile_sorted(lat, 0.50);
+  s.p95 = percentile_sorted(lat, 0.95);
+  s.p99 = percentile_sorted(lat, 0.99);
   s.max = lat.back();
   return s;
 }

@@ -37,6 +37,13 @@ struct LatencySummary {
 LatencySummary summarize_latency(const router::Network& net,
                                  std::uint64_t warmup);
 
+/// Linear-interpolation percentile over an ascending-sorted sample set
+/// (the "exclusive of the ends" R-7 estimator): p in [0, 1] is clamped, an
+/// empty or NaN-polluted input yields 0, a single sample is every
+/// percentile of itself.  Shared by the latency and recovery summaries —
+/// this is the exact quantile the paper's latency-distribution figures use.
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
 struct ThroughputSummary {
   double offered_flits_per_node_cycle = 0.0;
   double accepted_flits_per_node_cycle = 0.0;

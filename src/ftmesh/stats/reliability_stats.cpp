@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "ftmesh/stats/latency_stats.hpp"
+
 namespace ftmesh::stats {
 
 ReliabilitySummary summarize_reliability(const router::Network& net,
@@ -43,9 +45,10 @@ ReliabilitySummary summarize_reliability(const router::Network& net,
     double sum = 0.0;
     for (const double v : recovery) sum += v;
     out.recovery_latency_mean = sum / static_cast<double>(recovery.size());
-    const auto idx = static_cast<std::size_t>(
-        0.95 * static_cast<double>(recovery.size() - 1));
-    out.recovery_latency_p95 = recovery[idx];
+    // Interpolated percentile, matching the latency summary.  The old
+    // floor-index form truncated toward the minimum on small samples
+    // (2 recovered messages -> "p95" was the smaller of the two).
+    out.recovery_latency_p95 = percentile_sorted(recovery, 0.95);
     out.recovery_latency_max = recovery.back();
   }
 

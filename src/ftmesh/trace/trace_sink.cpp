@@ -1,0 +1,100 @@
+#include "ftmesh/trace/trace_sink.hpp"
+
+#include <ostream>
+
+namespace ftmesh::trace {
+
+void JsonlSink::record(const Event& e) {
+  std::ostream& os = *os_;
+  os << "{\"cycle\":" << e.cycle << ",\"ev\":\"" << to_string(e.kind)
+     << "\",\"msg\":" << e.msg << ",\"x\":" << e.node.x << ",\"y\":"
+     << e.node.y;
+  switch (e.kind) {
+    case EventKind::Create:
+      os << ",\"len\":" << e.a;
+      break;
+    case EventKind::VcAlloc:
+      os << ",\"dir\":\"" << topology::to_string(e.dir) << "\",\"vc\":"
+         << e.vc;
+      break;
+    case EventKind::RingEnter:
+      os << ",\"region\":" << e.a << ",\"entry_distance\":" << e.b;
+      break;
+    case EventKind::RingExit:
+      os << ",\"region\":" << e.a;
+      break;
+    case EventKind::Misroute:
+      os << ",\"misroutes\":" << e.a;
+      break;
+    case EventKind::Eject:
+      os << ",\"hops\":" << e.a << ",\"misroutes\":" << e.b;
+      break;
+    case EventKind::Retransmit:
+      os << ",\"retry\":" << e.a;
+      break;
+    case EventKind::Inject:
+    case EventKind::Block:
+    case EventKind::Unblock:
+    case EventKind::Purge:
+    case EventKind::Abort:
+      break;
+  }
+  os << "}\n";
+}
+
+void ChromeTraceSink::begin_event(const Event& e, const char* name,
+                                  const char* cat, const char* phase) {
+  std::ostream& os = *os_;
+  if (!started_) {
+    os << "{\"traceEvents\":[\n";
+    started_ = true;
+  } else {
+    os << ",\n";
+  }
+  const int tid = e.node.y * width_ + e.node.x;
+  os << "{\"name\":\"" << name << "\",\"cat\":\"" << cat << "\",\"ph\":\""
+     << phase << "\",\"ts\":" << e.cycle << ",\"pid\":0,\"tid\":" << tid;
+}
+
+void ChromeTraceSink::record(const Event& e) {
+  std::ostream& os = *os_;
+  switch (e.kind) {
+    case EventKind::Create:
+      // Async span per message, keyed by id; spans from creation to
+      // ejection (or abort) regardless of which node tracks the endpoints.
+      begin_event(e, "message", "msg", "b");
+      os << ",\"id\":" << e.msg << ",\"args\":{\"len\":" << e.a << "}}";
+      return;
+    case EventKind::Eject:
+      begin_event(e, "message", "msg", "e");
+      os << ",\"id\":" << e.msg << ",\"args\":{\"hops\":" << e.a
+         << ",\"misroutes\":" << e.b << "}}";
+      return;
+    case EventKind::Abort:
+      begin_event(e, "message", "msg", "e");
+      os << ",\"id\":" << e.msg << ",\"args\":{\"aborted\":true}}";
+      return;
+    default:
+      break;
+  }
+  // Everything else is an instant event on the node's track.
+  begin_event(e, to_string(e.kind).data(), "hop", "i");
+  os << ",\"s\":\"t\",\"args\":{\"msg\":" << e.msg;
+  if (e.kind == EventKind::VcAlloc) {
+    os << ",\"dir\":\"" << topology::to_string(e.dir) << "\",\"vc\":" << e.vc;
+  } else if (e.kind == EventKind::RingEnter) {
+    os << ",\"region\":" << e.a << ",\"entry_distance\":" << e.b;
+  } else if (e.kind == EventKind::Misroute) {
+    os << ",\"misroutes\":" << e.a;
+  }
+  os << "}}";
+}
+
+void ChromeTraceSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!started_) *os_ << "{\"traceEvents\":[";
+  *os_ << "\n]}\n";
+}
+
+}  // namespace ftmesh::trace

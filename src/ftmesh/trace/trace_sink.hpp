@@ -1,0 +1,85 @@
+#pragma once
+// TraceSink backends: JSONL (one event object per line, grep/jq-friendly),
+// Chrome trace event format (loadable in Perfetto / chrome://tracing),
+// plus in-memory sinks for tests and benchmarks.
+//
+// See docs/observability.md for the event schema and a Perfetto how-to.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ftmesh/trace/trace_event.hpp"
+
+namespace ftmesh::trace {
+
+/// Discards events, counting them per kind.  Used by the benchmark suite to
+/// price the emission hooks themselves, independent of serialisation cost.
+class CountingSink final : public TraceSink {
+ public:
+  void record(const Event& e) override {
+    ++counts_[static_cast<std::size_t>(e.kind)];
+    ++total_;
+  }
+  [[nodiscard]] std::uint64_t count(EventKind k) const noexcept {
+    return counts_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+ private:
+  std::array<std::uint64_t, kEventKindCount> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// Collects events verbatim; for tests and the trace_message example.
+class VectorSink final : public TraceSink {
+ public:
+  void record(const Event& e) override { events_.push_back(e); }
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// One JSON object per line:
+///   {"cycle":41,"ev":"vc_alloc","msg":7,"x":3,"y":4,"dir":"X+","vc":2}
+/// Kind-specific payload keys (len, region, hops, ...) appear only on the
+/// kinds that define them, so every line is self-describing.
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(&os) {}
+  void record(const Event& e) override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Chrome trace event format ({"traceEvents":[...]}): each message is an
+/// async span ("b" at creation, "e" at ejection or abort, keyed by message
+/// id) and every hop-level event is an instant event on the thread track of
+/// the node it happened at (tid = row-major node id).  flush() (or the
+/// destructor) closes the JSON array.
+class ChromeTraceSink final : public TraceSink {
+ public:
+  /// `mesh_width` maps node coordinates to row-major track ids.
+  ChromeTraceSink(std::ostream& os, int mesh_width)
+      : os_(&os), width_(mesh_width) {}
+  ~ChromeTraceSink() override { finish(); }
+  void record(const Event& e) override;
+  void flush() override { finish(); }
+
+ private:
+  void begin_event(const Event& e, const char* name, const char* cat,
+                   const char* phase);
+  void finish();
+
+  std::ostream* os_;
+  int width_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace ftmesh::trace

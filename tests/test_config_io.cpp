@@ -34,6 +34,7 @@ TEST(ConfigIo, RoundTripPreservesEveryField) {
   cfg.watchdog_patience = 4321;
   cfg.collect_vc_usage = true;
   cfg.collect_traffic_map = true;
+  cfg.metrics_interval = 250;
 
   std::stringstream buffer;
   save_config(buffer, cfg);
@@ -61,6 +62,27 @@ TEST(ConfigIo, RoundTripPreservesEveryField) {
   EXPECT_EQ(loaded.watchdog_patience, cfg.watchdog_patience);
   EXPECT_EQ(loaded.collect_vc_usage, cfg.collect_vc_usage);
   EXPECT_EQ(loaded.collect_traffic_map, cfg.collect_traffic_map);
+  EXPECT_EQ(loaded.metrics_interval, cfg.metrics_interval);
+}
+
+TEST(ConfigIo, ZeroRateWarnsAboutLegacySaturationConvention) {
+  // Pre-rework configs used injection_rate = 0 to mean "saturated"; today
+  // it means "idle".  Loading such a config must validate (it is legal) but
+  // flag the ambiguity.
+  std::stringstream in("injection_rate = 0\n");
+  const auto cfg = load_config(in);
+  EXPECT_NO_THROW(cfg.validate());
+  const auto warnings = cfg.warnings();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("idle"), std::string::npos);
+  EXPECT_NE(warnings[0].find("negative"), std::string::npos);
+
+  // The modern spellings stay silent.
+  SimConfig quiet;
+  quiet.injection_rate = -1.0;  // saturated
+  EXPECT_TRUE(quiet.warnings().empty());
+  quiet.injection_rate = 0.004;  // Poisson
+  EXPECT_TRUE(quiet.warnings().empty());
 }
 
 TEST(ConfigIo, CommentsAndBlanksIgnored) {

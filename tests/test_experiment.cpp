@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 
 #include "ftmesh/core/experiment.hpp"
 #include "ftmesh/core/thread_pool.hpp"
@@ -54,12 +55,20 @@ SimConfig tiny() {
 }
 
 TEST(Experiment, FaultPatternSweepReSeeds) {
-  const auto configs = ftmesh::core::fault_pattern_sweep(tiny(), 5);
+  const auto base = tiny();
+  const auto configs = ftmesh::core::fault_pattern_sweep(base, 5);
   ASSERT_EQ(configs.size(), 5u);
+  // Pattern 0 is the base run verbatim; later patterns derive a distinct
+  // seed from (base seed, fault count, index) — see pattern_seed().
+  EXPECT_EQ(configs[0].seed, base.seed);
+  std::set<std::uint64_t> seeds;
   for (int i = 0; i < 5; ++i) {
-    EXPECT_EQ(configs[static_cast<std::size_t>(i)].seed,
-              tiny().seed + static_cast<std::uint64_t>(i));
+    const auto& c = configs[static_cast<std::size_t>(i)];
+    EXPECT_EQ(c.seed,
+              ftmesh::core::pattern_seed(base.seed, base.fault_count, i));
+    seeds.insert(c.seed);
   }
+  EXPECT_EQ(seeds.size(), 5u);
 }
 
 TEST(Experiment, BatchMatchesSerialRuns) {

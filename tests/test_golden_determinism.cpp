@@ -21,6 +21,7 @@
 #include "ftmesh/core/config.hpp"
 #include "ftmesh/core/simulator.hpp"
 #include "ftmesh/report/json.hpp"
+#include "ftmesh/trace/trace_sink.hpp"
 
 namespace {
 
@@ -46,6 +47,16 @@ std::string report_for(SimConfig cfg) {
   const auto result = sim.run();
   std::ostringstream os;
   ftmesh::report::write_result_json(os, cfg, result);
+  return os.str();
+}
+
+std::string trace_for(SimConfig cfg) {
+  cfg.validate();
+  Simulator sim(cfg);
+  std::ostringstream os;
+  ftmesh::trace::JsonlSink sink(os);
+  sim.set_trace_sink(&sink);
+  sim.run();
   return os.str();
 }
 
@@ -99,6 +110,19 @@ TEST_P(GoldenDeterminism, RouteCacheDoesNotChangeTheReport) {
   cfg.route_cache = false;
   const std::string uncached = report_for(cfg);
   ASSERT_EQ(cached, uncached);
+}
+
+TEST_P(GoldenDeterminism, TracesAreByteIdenticalAcrossScanModes) {
+  // Events are only emitted from phases that visit work in the same order
+  // in both modes (trace/trace_event.hpp), so the whole JSONL stream — not
+  // just the end-of-run aggregates — must match byte for byte.
+  auto cfg = config();
+  cfg.scan_mode = "active";
+  const std::string active = trace_for(cfg);
+  cfg.scan_mode = "full";
+  const std::string full = trace_for(cfg);
+  ASSERT_FALSE(active.empty());
+  ASSERT_EQ(active, full);
 }
 
 TEST_P(GoldenDeterminism, FullScanWithoutCacheMatchesActiveWithCache) {

@@ -64,6 +64,40 @@ TEST(Csv, EscapesSpecials) {
   EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
 }
 
+TEST(Csv, ParseReadsWriterOutputBack) {
+  // Round trip through the writer and reader with every special: commas,
+  // embedded quotes, and a newline inside a quoted cell.
+  const std::vector<std::vector<std::string>> rows = {
+      {"algorithm", "note", "value"},
+      {"Duato", "plain", "1"},
+      {"Nbc", "a,b and \"quotes\"", "2"},
+      {"Boura-FT", "line\nbreak, with comma", "3"},
+      {"", "empty first cell", ""},
+  };
+  std::ostringstream os;
+  CsvWriter csv(os);
+  for (const auto& row : rows) csv.row(row);
+  const auto parsed = ftmesh::report::parse_csv(os.str());
+  ASSERT_EQ(parsed.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(parsed[i], rows[i]) << "row " << i;
+  }
+}
+
+TEST(Csv, ParseHandlesCrlfAndMissingTrailingNewline) {
+  const auto a = ftmesh::report::parse_csv("x,y\r\n1,2\r\n");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1], (std::vector<std::string>{"1", "2"}));
+  const auto b = ftmesh::report::parse_csv("x,y\n1,2");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[1], (std::vector<std::string>{"1", "2"}));
+  EXPECT_TRUE(ftmesh::report::parse_csv("").empty());
+}
+
+TEST(Csv, ParseRejectsUnterminatedQuote) {
+  EXPECT_THROW(ftmesh::report::parse_csv("a,\"oops\n"), std::invalid_argument);
+}
+
 TEST(Cli, ParsesFlagsAndValues) {
   const char* argv[] = {"prog", "--full",       "--rate", "0.02",
                         "--algorithm=Duato",    "pos1"};

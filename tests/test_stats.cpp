@@ -75,6 +75,47 @@ TEST(LatencyStats, PercentilesOrdered) {
   EXPECT_LE(s.p99, s.max);
 }
 
+TEST(PercentileSorted, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(ftmesh::stats::percentile_sorted(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(ftmesh::stats::percentile_sorted(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(ftmesh::stats::percentile_sorted(one, 0.99), 42.0);
+  EXPECT_DOUBLE_EQ(ftmesh::stats::percentile_sorted(one, 1.0), 42.0);
+}
+
+TEST(PercentileSorted, SmallSampleTailInterpolatesTowardMax) {
+  // Regression for the floor-index truncation: "p95 of {1, 100}" must not
+  // be the minimum.
+  const std::vector<double> two{1.0, 100.0};
+  const double p95 = ftmesh::stats::percentile_sorted(two, 0.95);
+  EXPECT_GT(p95, 1.0);
+  EXPECT_DOUBLE_EQ(p95, 1.0 + 0.95 * 99.0);
+  // With a handful of delivered messages, p99 sits near (and never above)
+  // the observed maximum.
+  const std::vector<double> five{10.0, 20.0, 30.0, 40.0, 50.0};
+  const double p99 = ftmesh::stats::percentile_sorted(five, 0.99);
+  EXPECT_GT(p99, 49.0);
+  EXPECT_LE(p99, 50.0);
+}
+
+TEST(PercentileSorted, DuplicateHeavySamples) {
+  const std::vector<double> dup{5.0, 5.0, 5.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(ftmesh::stats::percentile_sorted(dup, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(ftmesh::stats::percentile_sorted(dup, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(ftmesh::stats::percentile_sorted(dup, 1.0), 9.0);
+  const double p90 = ftmesh::stats::percentile_sorted(dup, 0.90);
+  EXPECT_GT(p90, 5.0);
+  EXPECT_LT(p90, 9.0);
+}
+
+TEST(PercentileSorted, EdgeInputs) {
+  EXPECT_DOUBLE_EQ(ftmesh::stats::percentile_sorted({}, 0.5), 0.0);
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  // Out-of-range p clamps instead of reading out of bounds.
+  EXPECT_DOUBLE_EQ(ftmesh::stats::percentile_sorted(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ftmesh::stats::percentile_sorted(v, 1.5), 3.0);
+}
+
 TEST(LatencyStats, EmptyWindowIsZeroed) {
   StatFixture f;
   const auto s = ftmesh::stats::summarize_latency(*f.net, 0);

@@ -9,12 +9,19 @@ fraction fails the job.
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json \
-        [--max-regression 0.25] [--bench NAME ...]
+        [--max-regression 0.25] [--bench NAME ...] \
+        [--pair NAME_A:NAME_B:MAX_RATIO ...]
 
 Without --bench, the default watch list is the two acceptance-gate
 kernels: BM_NetworkStepIdle and BM_NetworkStepModerateLoad.  Benchmarks
 present in the baseline but absent from the current run (or vice versa)
 are an error only when watched.
+
+--pair gates a within-run ratio instead of a baseline comparison:
+current[NAME_A] / current[NAME_B] must stay <= MAX_RATIO.  Machine
+speed cancels out, so pair gates hold on any runner without touching
+the checked-in baseline (used to bound the traced-vs-untraced step
+overhead).
 
 Exit status: 0 = within budget, 1 = regression or missing benchmark,
 2 = bad invocation / unreadable input.
@@ -70,8 +77,30 @@ def main():
         metavar="NAME",
         help="benchmark to gate on (repeatable; default: the step kernels)",
     )
+    ap.add_argument(
+        "--pair",
+        action="append",
+        default=[],
+        metavar="A:B:MAX",
+        help="within-run ratio gate: current[A]/current[B] <= MAX "
+        "(repeatable; machine-independent)",
+    )
     args = ap.parse_args()
     watched = args.bench if args.bench else DEFAULT_WATCHED
+
+    pairs = []
+    for spec in args.pair:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            print(f"bench_compare: bad --pair {spec!r} (want A:B:MAX)",
+                  file=sys.stderr)
+            sys.exit(2)
+        try:
+            pairs.append((parts[0], parts[1], float(parts[2])))
+        except ValueError:
+            print(f"bench_compare: bad --pair ratio in {spec!r}",
+                  file=sys.stderr)
+            sys.exit(2)
 
     base = load_times(args.baseline)
     cur = load_times(args.current)
@@ -97,6 +126,20 @@ def main():
             status = (f"** FAIL: {100.0 * (ratio - 1.0):.1f}% slower "
                       f"(budget {100.0 * args.max_regression:.0f}%) **")
         print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {ratio:>6.2f}x  "
+              f"{status}")
+
+    for a, b, max_ratio in pairs:
+        if a not in cur or b not in cur:
+            missing = a if a not in cur else b
+            print(f"pair {a}/{b}: {missing} MISSING from current  ** FAIL **")
+            failed = True
+            continue
+        ratio = cur[a] / cur[b] if cur[b] > 0 else float("inf")
+        status = "ok"
+        if ratio > max_ratio:
+            failed = True
+            status = "** FAIL **"
+        print(f"pair {a}/{b}: {ratio:.2f}x (budget {max_ratio:.2f}x)  "
               f"{status}")
 
     if failed:

@@ -5,11 +5,14 @@
 //                     [--cycles N] [--seed S] [--json] [--save-config f]
 //                     [--fault-schedule SPEC] [--max-retries N]
 //                     [--backoff N] [--patience N] [--drain]
+//                     [--trace f] [--trace-format jsonl|chrome]
+//                     [--metrics-interval N] [--metrics-out f.csv]
 //   ftmesh sweep      [--algorithm A] [--from R0] [--to R1] [--steps N] ...
 //   ftmesh saturation [--algorithm A] [--threshold T] ...
 //   ftmesh faults     [--faults N] [--seed S]
 //   ftmesh campaign   [--algorithms A,B,..] [--rates r1,r2,..]
 //                     [--fault-counts 0,5,10] [--patterns N] [--out f.csv]
+//                     [--metrics-interval N] [--metrics-out f.csv]
 //   ftmesh verify     [--algo A|all|broken-demo] [--faults 0,5,10]
 //                     [--seed S] [--width W] [--height H] [--vcs V]
 //                     [--threads N]
@@ -20,6 +23,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "ftmesh/analysis/saturation.hpp"
@@ -30,6 +34,8 @@
 #include "ftmesh/report/heatmap.hpp"
 #include "ftmesh/report/json.hpp"
 #include "ftmesh/report/table.hpp"
+#include "ftmesh/trace/metrics_recorder.hpp"
+#include "ftmesh/trace/trace_sink.hpp"
 #include "ftmesh/verify/broken_demo.hpp"
 #include "ftmesh/verify/verifier.hpp"
 
@@ -69,7 +75,30 @@ SimConfig config_from_cli(const Cli& cli) {
   cfg.route_cache =
       cli.get_int("route-cache", cfg.route_cache ? 1 : 0) != 0;
   if (cli.flag("kernel-stats")) cfg.collect_kernel_stats = true;
+  cfg.metrics_interval = static_cast<std::uint64_t>(cli.get_int(
+      "metrics-interval", static_cast<std::int64_t>(cfg.metrics_interval)));
+  for (const auto& w : cfg.warnings()) std::cerr << "warning: " << w << "\n";
   return cfg;
+}
+
+/// --trace/--trace-format: opens the file and attaches the matching sink.
+/// Returns nullptr (and leaves `os` closed) when tracing is not requested.
+std::unique_ptr<ftmesh::trace::TraceSink> make_trace_sink(const Cli& cli,
+                                                          const SimConfig& cfg,
+                                                          std::ofstream& os) {
+  const auto path = cli.get("trace", "");
+  if (path.empty()) return nullptr;
+  os.open(path);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  const auto format = cli.get("trace-format", "jsonl");
+  if (format == "jsonl") {
+    return std::make_unique<ftmesh::trace::JsonlSink>(os);
+  }
+  if (format == "chrome") {
+    return std::make_unique<ftmesh::trace::ChromeTraceSink>(os, cfg.width);
+  }
+  throw std::invalid_argument("unknown --trace-format: " + format +
+                              " (expected jsonl or chrome)");
 }
 
 int cmd_run(const Cli& cli) {
@@ -79,6 +108,9 @@ int cmd_run(const Cli& cli) {
     std::cerr << "wrote " << path << "\n";
   }
   ftmesh::core::Simulator sim(cfg);
+  std::ofstream trace_os;
+  const auto sink = make_trace_sink(cli, cfg, trace_os);
+  if (sink) sim.set_trace_sink(sink.get());
   auto r = sim.run();
   // --drain: stop generation after the schedule and keep the clock running
   // until every message delivers or aborts; with a fault schedule this makes
@@ -88,6 +120,14 @@ int cmd_run(const Cli& cli) {
   if (cli.flag("drain") && !r.deadlock) {
     drained_cycles = sim.drain();
     r = sim.snapshot();
+  }
+  if (sink) sink->flush();
+  if (const auto path = cli.get("metrics-out", ""); !path.empty()) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot write " + path);
+    ftmesh::trace::write_metrics_csv(os, r.metrics);
+    std::cerr << "wrote " << r.metrics.samples.size() << " metrics samples to "
+              << path << "\n";
   }
   const bool leak =
       cli.flag("drain") && r.reliability.enabled && r.reliability.in_flight_end != 0;
@@ -114,6 +154,11 @@ int cmd_run(const Cli& cli) {
       ftmesh::report::format_double(r.throughput.accepted_fraction, 3));
   row("mean hops", ftmesh::report::format_double(r.latency.mean_hops, 2));
   row("deadlock", r.deadlock ? "YES" : "no");
+  if (!r.metrics.samples.empty()) {
+    row("metrics samples",
+        std::to_string(r.metrics.samples.size()) + " every " +
+            std::to_string(r.metrics.interval) + " cycles");
+  }
   if (r.kernel.enabled) {
     const auto& k = r.kernel;
     row("route-cache hit rate",
@@ -242,6 +287,12 @@ int cmd_campaign(const Cli& cli) {
     std::cerr << "wrote " << cells.size() << " cells to " << path << "\n";
   } else {
     ftmesh::core::write_campaign_csv(std::cout, cells);
+  }
+  if (const auto path = cli.get("metrics-out", ""); !path.empty()) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("cannot write " + path);
+    ftmesh::core::write_campaign_metrics_csv(os, cells);
+    std::cerr << "wrote per-pattern metrics to " << path << "\n";
   }
   return 0;
 }
