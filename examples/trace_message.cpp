@@ -99,12 +99,12 @@ int main(int argc, char** argv) {
   sim.set_trace_sink(sink);
 
   const auto id = sim.network().create_message(src, dst, /*length=*/100);
-  while (!sim.network().messages()[id].done &&
+  while (!sim.network().message_finished(id) &&
          sim.network().cycle() < cfg.total_cycles) {
     sim.step();
   }
   sink->flush();
-  if (!sim.network().messages()[id].done) {
+  if (!sim.network().message_finished(id)) {
     std::cerr << "message did not complete (watchdog "
               << (sim.network().watchdog().tripped() ? "tripped" : "ok")
               << ")\n";
@@ -166,7 +166,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  const auto& m = sim.network().messages()[id];
+  const auto& m = *sim.network().retired_record(id);
   std::cout << "\n  delivered in " << (m.delivered - m.created)
             << " cycles end to end\n\nPath map ('*' path, '#' fault, "
             << "'x' deactivated, 'S' source, 'D' destination):\n";

@@ -60,6 +60,10 @@ std::vector<CampaignCell> run_campaign(const CampaignSpec& spec) {
       }
     }
   }
+  // run_batch dispatches the flat cell list longest-expected-first on the
+  // shared persistent pool, but results land at their original indices, so
+  // the cursor walk below (and every CSV row it produces) is independent
+  // of the dispatch order.
   const auto results = run_batch(configs, spec.threads);
 
   std::size_t cursor = 0;

@@ -60,6 +60,11 @@ struct SimConfig {
   // Both are bit-identical; full exists for A/B validation and debugging.
   std::string scan_mode = "active";
   bool route_cache = true;  ///< memoize candidate sets per routing state
+  /// Recycle message slots: finished messages retire into a compact log
+  /// the cycle they complete and their slot is reused, bounding storage at
+  /// O(in-flight) instead of O(delivered).  Byte-identical results either
+  /// way; off = the legacy append-only message table (A/B validation).
+  bool recycle_messages = true;
 
   // optional statistics
   bool collect_vc_usage = false;

@@ -1,6 +1,7 @@
 #include "ftmesh/core/experiment.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 
 #include "ftmesh/core/thread_pool.hpp"
@@ -8,10 +9,42 @@
 
 namespace ftmesh::core {
 
+namespace {
+
+/// Expected simulation cost of one batch cell, in arbitrary comparable
+/// units: traffic volume (rate × cycles × nodes × message length) scaled
+/// up for fault handling.  Saturated cells (rate < 0: sources always
+/// ready) are the heaviest per cycle, so they get the source-always-on
+/// rate of 1.  Only the *ordering* of the heuristic matters — it decides
+/// which cells the self-scheduling workers start first.
+double expected_cost(const SimConfig& c) {
+  const double rate = c.injection_rate < 0.0 ? 1.0 : c.injection_rate;
+  const double nodes = static_cast<double>(c.width) *
+                       static_cast<double>(c.height);
+  const double fault_factor = 1.0 + 0.1 * static_cast<double>(c.fault_count);
+  return rate * static_cast<double>(c.total_cycles) * nodes *
+         static_cast<double>(c.message_length) * fault_factor;
+}
+
+}  // namespace
+
 std::vector<SimResult> run_batch(const std::vector<SimConfig>& configs,
                                  int threads) {
   std::vector<SimResult> results(configs.size());
-  parallel_for(configs.size(), threads, [&](std::size_t i) {
+  // Dispatch longest-expected-first: with self-scheduling workers, a heavy
+  // (saturated, faulty) cell picked up last would extend the batch tail by
+  // nearly its whole runtime.  The stable sort is a permutation of the
+  // *dispatch* order only — results land at their original index, so the
+  // output order (and every consumer: campaign CSV rows, sweep tables) is
+  // unchanged.
+  std::vector<std::size_t> order(configs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return expected_cost(configs[a]) > expected_cost(configs[b]);
+                   });
+  parallel_for(configs.size(), threads, [&](std::size_t k) {
+    const std::size_t i = order[k];
     try {
       Simulator sim(configs[i]);
       results[i] = sim.run();

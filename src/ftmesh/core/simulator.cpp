@@ -36,6 +36,7 @@ Simulator::Simulator(SimConfig cfg)
   ncfg.scan_mode = cfg_.scan_mode == "full" ? router::ScanMode::Full
                                             : router::ScanMode::Active;
   ncfg.route_cache = cfg_.route_cache;
+  ncfg.recycle_messages = cfg_.recycle_messages;
   ncfg.collect_vc_usage = cfg_.collect_vc_usage;
   ncfg.collect_traffic_map = cfg_.collect_traffic_map;
   ncfg.collect_kernel_stats = cfg_.collect_kernel_stats;

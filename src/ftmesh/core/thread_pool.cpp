@@ -5,10 +5,18 @@
 
 namespace ftmesh::core {
 
-ThreadPool::ThreadPool(int threads) {
+namespace {
+
+int resolve_threads(int threads) {
   int n = threads;
   if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
-  n = std::max(1, n);
+  return std::max(1, n);
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = resolve_threads(threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -22,6 +30,20 @@ ThreadPool::~ThreadPool() {
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  // Function-local static: constructed empty on first use, destroyed (and
+  // its workers joined) at process exit after main returns.
+  static ThreadPool pool{SharedTag{}};
+  return pool;
+}
+
+void ThreadPool::ensure_threads(int threads) {
+  std::lock_guard lock(mutex_);
+  while (static_cast<int>(workers_.size()) < threads) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -63,19 +85,41 @@ void ThreadPool::worker_loop() {
 void parallel_for(std::size_t count, int threads,
                   const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  ThreadPool pool(threads);
+  const int workers = static_cast<int>(std::min(
+      static_cast<std::size_t>(resolve_threads(threads)), count));
   std::atomic<std::size_t> next{0};
-  const int workers = pool.thread_count();
-  for (int w = 0; w < workers; ++w) {
+  const auto run = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  if (workers <= 1) {
+    run();  // purely inline: no pool, no locks
+    return;
+  }
+  // The caller is worker 0; the shared pool supplies the other workers-1.
+  // Completion is tracked locally (not via the pool's wait_idle) so
+  // concurrent parallel_for calls from different threads never wait on
+  // each other's tasks.  The last decrement notifies while holding the
+  // mutex: the waiting caller owns the stack these refer to, and may
+  // destroy it the moment the predicate is observed true.
+  ThreadPool& pool = ThreadPool::shared();
+  pool.ensure_threads(workers - 1);
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  int active = workers - 1;
+  for (int w = 1; w < workers; ++w) {
     pool.submit([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        fn(i);
-      }
+      run();
+      std::lock_guard lock(done_mutex);
+      if (--active == 0) done_cv.notify_one();
     });
   }
-  pool.wait_idle();
+  run();
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return active == 0; });
 }
 
 }  // namespace ftmesh::core

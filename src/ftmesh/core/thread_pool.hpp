@@ -1,8 +1,16 @@
 #pragma once
-// A small fixed-size thread pool used by the experiment harness to run
-// independent simulations (one per fault pattern / sweep point) in
-// parallel.  Results stay deterministic because every simulation derives
-// its randomness from its own (seed, index) pair, never from scheduling.
+// A small thread pool used by the experiment harness to run independent
+// simulations (one per fault pattern / sweep point) in parallel.  Results
+// stay deterministic because every simulation derives its randomness from
+// its own (seed, index) pair, never from scheduling.
+//
+// parallel_for() runs on a process-lifetime shared pool (ThreadPool::
+// shared()) instead of constructing a pool per call: campaign batches are
+// issued back-to-back, and spawning/joining a full complement of OS
+// threads per batch was a measurable fixed cost.  The shared pool starts
+// with zero workers and grows on demand, never shrinking; the calling
+// thread always participates as one of the workers, so `threads == 1`
+// never touches the pool (or any lock) at all.
 
 #include <condition_variable>
 #include <cstddef>
@@ -23,6 +31,15 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// The process-lifetime pool behind parallel_for().  Constructed empty
+  /// on first use (no threads are spawned until some caller asks for
+  /// parallelism) and torn down at process exit.
+  static ThreadPool& shared();
+
+  /// Grows the pool to at least `threads` workers (never shrinks).
+  /// Thread-safe against concurrent submit/ensure calls.
+  void ensure_threads(int threads);
+
   /// Enqueues a task.  Exceptions escaping tasks terminate (tasks are
   /// expected to capture-and-store their own errors).
   void submit(std::function<void()> task);
@@ -35,6 +52,9 @@ class ThreadPool {
   }
 
  private:
+  struct SharedTag {};  ///< selects the empty (grow-on-demand) constructor
+  explicit ThreadPool(SharedTag) {}
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -46,7 +66,11 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Runs fn(i) for i in [0, count) across `threads` workers and waits.
+/// Runs fn(i) for i in [0, count) across `threads` workers (<= 0 selects
+/// hardware_concurrency) and waits.  The caller participates as one of the
+/// workers; the remaining threads come from the shared persistent pool.
+/// Work is claimed through a shared atomic counter (self-scheduling), so
+/// uneven task durations balance automatically.
 void parallel_for(std::size_t count, int threads,
                   const std::function<void(std::size_t)>& fn);
 

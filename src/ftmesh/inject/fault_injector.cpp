@@ -7,7 +7,9 @@
 
 namespace ftmesh::inject {
 
+using router::MessageHandle;
 using router::MessageId;
+using router::MessageSlot;
 
 namespace {
 
@@ -29,18 +31,23 @@ bool FaultInjector::tick(router::Network& net) {
 
   // 1. Due retransmissions re-enter their source queue.  A message whose
   //    endpoint died while it waited out its backoff is aborted here (the
-  //    recovery pass only sees messages holding network resources).
+  //    recovery pass only sees messages holding network resources).  A
+  //    stale handle means the message was aborted after this entry was
+  //    scheduled (its slot retired, possibly already reused): skip it.
   while (retransmits_.due(now)) {
-    const MessageId id = retransmits_.pop().payload;
-    auto& m = net.message_mut(id);
-    if (m.done || m.aborted) continue;
+    const MessageHandle h = retransmits_.pop().payload;
+    if (!net.handle_live(h)) continue;
+    const auto& m = net.slot_message(h.slot);
+    if (m.done || m.aborted) continue;  // recycling off: retired in place
     if (!net.faults().active(m.src) || !net.faults().active(m.dst)) {
-      m.aborted = true;
+      const MessageId id = m.id;
+      const topology::Coord src = m.src;
       ++log_.aborts;
-      trace_abort(net, id, m.src);
+      trace_abort(net, id, src);
+      net.abort_message(h.slot);
       continue;
     }
-    net.requeue_message(id);
+    net.requeue_message(h.slot);
   }
 
   // 2. Due fault events reconfigure the live fault map.
@@ -71,39 +78,47 @@ void FaultInjector::recover(router::Network& net) {
   const double now = static_cast<double>(net.cycle());
 
   // Victims holding network resources the new map invalidates...
-  std::vector<MessageId> victims = net.collect_fault_victims();
+  std::vector<MessageSlot> victims = net.collect_fault_victims();
   log_.messages_flushed += victims.size();
 
   // ...plus undelivered messages whose endpoints died: they may hold
   // nothing (still queued at a dead source) but can never complete.
-  for (const auto& m : net.messages()) {
-    if (m.done || m.aborted) continue;
+  const auto& slots = net.messages();
+  for (MessageSlot s = 0; s < slots.size(); ++s) {
+    const auto& m = slots[s];
+    if (m.id == router::kInvalidMessage || m.done || m.aborted) continue;
     if (!net.faults().active(m.src) || !net.faults().active(m.dst)) {
-      victims.push_back(m.id);
+      victims.push_back(s);
     }
   }
+  // Dedupe on slots, then order by stable id so purge-trace emission and
+  // the retransmit schedule are independent of slot assignment (with
+  // recycling off slot == id and this is the legacy order).
   std::sort(victims.begin(), victims.end());
   victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  std::sort(victims.begin(), victims.end(), [&](MessageSlot a, MessageSlot b) {
+    return net.slot_message(a).id < net.slot_message(b).id;
+  });
 
   net.purge_messages(victims);
 
-  for (const MessageId id : victims) {
-    auto& m = net.message_mut(id);
-    if (m.done || m.aborted) continue;
+  for (const MessageSlot slot : victims) {
+    const auto& m = net.slot_message(slot);
+    if (m.id == router::kInvalidMessage || m.done || m.aborted) continue;
     const bool endpoint_dead =
         !net.faults().active(m.src) || !net.faults().active(m.dst);
     if (endpoint_dead || m.retries >= config_.max_retries) {
-      m.aborted = true;
       ++log_.aborts;
-      trace_abort(net, id, m.src);
+      trace_abort(net, m.id, m.src);
+      net.abort_message(slot);
       continue;
     }
-    ++m.retries;
+    net.slot_message_mut(slot).retries++;
     ++log_.retransmissions;
     const double delay =
         static_cast<double>(config_.retry_backoff)
         * static_cast<double>(1ULL << (m.retries - 1));
-    retransmits_.schedule(now + delay, id);
+    retransmits_.schedule(now + delay, net.slot_handle(slot));
   }
 }
 

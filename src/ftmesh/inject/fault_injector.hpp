@@ -80,7 +80,11 @@ class FaultInjector {
   FaultSchedule schedule_;
   Reconfigurator reconfig_;
   InjectConfig config_;
-  sim::EventQueue<router::MessageId> retransmits_;
+  /// Pending retransmissions carry generation-tagged handles, not raw
+  /// slots: a message aborted while waiting out its backoff frees (and may
+  /// recycle) its slot, and the stale entry must be detected when popped
+  /// rather than alias the slot's new occupant.
+  sim::EventQueue<router::MessageHandle> retransmits_;
   InjectLog log_;
 };
 

@@ -12,6 +12,14 @@ namespace ftmesh::router {
 using MessageId = std::uint32_t;
 inline constexpr MessageId kInvalidMessage = 0xffffffffu;
 
+/// Index into the network's message slot table.  With slot recycling
+/// enabled a slot is reused after its message retires, so a slot is *not*
+/// a stable identifier: the externally visible `Message::id` stays a
+/// monotonically increasing counter, while flits, VC owners and source
+/// queues all carry slots.  The two types coincide bit-for-bit when
+/// recycling is off (slot == id for every message ever created).
+using MessageSlot = std::uint32_t;
+
 enum class FlitType : std::uint8_t {
   Head = 0,
   Body = 1,
@@ -28,8 +36,9 @@ constexpr bool is_tail(FlitType t) noexcept {
 
 /// A flit in a buffer or on a link.  `seq` is its index within the message
 /// (0 = header), used by tests to verify in-order, non-interleaved delivery.
+/// `msg` is the message's *slot* in the network table, not its stable id.
 struct Flit {
-  MessageId msg = kInvalidMessage;
+  MessageSlot msg = kInvalidMessage;
   std::uint32_t seq = 0;
   FlitType type = FlitType::Head;
 };

@@ -8,6 +8,11 @@
 // array otherwise.  A 10x10/24-VC network has 12,000 input VCs; keeping
 // them allocation-free and contiguous is a measurable share of the cycle
 // kernel (see docs/performance.md).
+//
+// Buffered flits reference their message by *slot* (Flit::msg): a slot is
+// recycled only after the tail flit has left every ring in the network
+// (retirement happens at ejection), so a flit sitting here always refers
+// to the live message occupying that slot.
 
 #include <cassert>
 #include <cstdint>

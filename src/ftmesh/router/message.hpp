@@ -60,8 +60,21 @@ struct RouteState {
   RingState ring;
 };
 
+/// The hot per-message state read and written every route step: endpoints
+/// plus the mutable routing state.  Kept in a parallel array indexed by
+/// message slot (SoA split) so the route stage never drags the cold
+/// accounting fields of `Message` through the cache.
+struct HeaderState {
+  topology::Coord src;
+  topology::Coord dst;
+  RouteState rs;
+};
+
+/// Cold accounting record for a message occupying a slot.  Endpoints are
+/// duplicated from `HeaderState` so stats and traffic bookkeeping never
+/// touch the hot array.
 struct Message {
-  MessageId id = kInvalidMessage;
+  MessageId id = kInvalidMessage;  ///< stable monotonic id (never a slot)
   topology::Coord src;
   topology::Coord dst;
   std::uint32_t length = 1;  ///< flits
@@ -78,8 +91,33 @@ struct Message {
   // of a recovered message includes every aborted attempt.
   std::uint16_t retries = 0;  ///< retransmissions performed so far
   bool aborted = false;       ///< permanently given up (never delivered)
+};
 
-  RouteState rs;
+/// Everything the stats accumulators need from a finished message, frozen
+/// the cycle its tail is ejected (or it is aborted).  Retiring into this
+/// record is what lets the live slot be recycled: steady-state storage is
+/// O(in-flight messages) plus one compact record per finished message.
+struct RetiredMessage {
+  MessageId id = kInvalidMessage;
+  std::uint64_t created = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint32_t length = 0;
+  std::uint16_t hops = 0;
+  std::uint16_t misroutes = 0;
+  std::uint16_t retries = 0;
+  bool aborted = false;
+  bool ring_user = false;  ///< ever entered an f-ring (rs.ring.region >= 0)
+};
+
+/// Generation-tagged reference to a message slot.  A slot's generation is
+/// bumped every time it is recycled, so a handle held across a retirement
+/// (e.g. a pending retransmission for a message aborted in the meantime)
+/// can be detected as stale instead of silently aliasing the slot's new
+/// occupant.
+struct MessageHandle {
+  MessageSlot slot = kInvalidMessage;
+  std::uint32_t gen = 0;
 };
 
 }  // namespace ftmesh::router

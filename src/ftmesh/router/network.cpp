@@ -245,7 +245,7 @@ void Network::on_fault_change() {
 
 void Network::set_trace_sink(trace::TraceSink* sink) {
   trace_ = sink;
-  trace_blocked_.assign(messages_.size(), 0);
+  trace_blocked_.assign(messages_.size(), 0);  // slot-indexed
 }
 
 void Network::emit(trace::EventKind kind, MessageId msg, Coord node,
@@ -260,38 +260,41 @@ void Network::emit(trace::EventKind kind, MessageId msg, Coord node,
   trace_->record(e);
 }
 
-void Network::trace_alloc(Coord c, Message& m, Direction dir, int vc) {
-  const bool ring_was = m.rs.ring.active;
-  const std::uint16_t mis_was = m.rs.misroutes;
-  algorithm_->on_hop(c, dir, vc, m);
-  if (trace_blocked_[static_cast<std::size_t>(m.id)]) {
-    trace_blocked_[static_cast<std::size_t>(m.id)] = 0;
-    emit(trace::EventKind::Unblock, m.id, c);
+void Network::trace_alloc(Coord c, MessageSlot slot, Direction dir, int vc) {
+  HeaderState& h = headers_[static_cast<std::size_t>(slot)];
+  const MessageId id = messages_[static_cast<std::size_t>(slot)].id;
+  const bool ring_was = h.rs.ring.active;
+  const std::uint16_t mis_was = h.rs.misroutes;
+  algorithm_->on_hop(c, dir, vc, h);
+  if (trace_blocked_[static_cast<std::size_t>(slot)]) {
+    trace_blocked_[static_cast<std::size_t>(slot)] = 0;
+    emit(trace::EventKind::Unblock, id, c);
   }
   trace::Event e;
   e.cycle = cycle_;
   e.kind = trace::EventKind::VcAlloc;
-  e.msg = m.id;
+  e.msg = id;
   e.node = c;
   e.dir = dir;
   e.vc = static_cast<std::int16_t>(vc);
   trace_->record(e);
-  if (!ring_was && m.rs.ring.active) {
-    emit(trace::EventKind::RingEnter, m.id, c,
-         static_cast<std::uint32_t>(m.rs.ring.region), m.rs.ring.entry_distance);
-  } else if (ring_was && !m.rs.ring.active) {
-    emit(trace::EventKind::RingExit, m.id, c,
-         static_cast<std::uint32_t>(m.rs.ring.region));
+  if (!ring_was && h.rs.ring.active) {
+    emit(trace::EventKind::RingEnter, id, c,
+         static_cast<std::uint32_t>(h.rs.ring.region), h.rs.ring.entry_distance);
+  } else if (ring_was && !h.rs.ring.active) {
+    emit(trace::EventKind::RingExit, id, c,
+         static_cast<std::uint32_t>(h.rs.ring.region));
   }
-  if (m.rs.misroutes > mis_was) {
-    emit(trace::EventKind::Misroute, m.id, c, m.rs.misroutes);
+  if (h.rs.misroutes > mis_was) {
+    emit(trace::EventKind::Misroute, id, c, h.rs.misroutes);
   }
 }
 
-void Network::trace_block(const Message& m, Coord c) {
-  if (!trace_blocked_[static_cast<std::size_t>(m.id)]) {
-    trace_blocked_[static_cast<std::size_t>(m.id)] = 1;
-    emit(trace::EventKind::Block, m.id, c);
+void Network::trace_block(MessageSlot slot, Coord c) {
+  if (!trace_blocked_[static_cast<std::size_t>(slot)]) {
+    trace_blocked_[static_cast<std::size_t>(slot)] = 1;
+    emit(trace::EventKind::Block, messages_[static_cast<std::size_t>(slot)].id,
+         c);
   }
 }
 
@@ -300,25 +303,89 @@ void Network::trace_block(const Message& m, Coord c) {
 MessageId Network::create_message(Coord src, Coord dst, std::uint32_t length) {
   assert(faults_->active(src) && faults_->active(dst));
   assert(length >= 1);
-  Message m;
-  m.id = static_cast<MessageId>(messages_.size());
+  MessageSlot slot;
+  if (config_.recycle_messages && !free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    assert(messages_[static_cast<std::size_t>(slot)].id == kInvalidMessage);
+  } else {
+    slot = static_cast<MessageSlot>(messages_.size());
+    messages_.emplace_back();
+    headers_.emplace_back();
+    slot_gen_.push_back(0);
+    if (trace_ != nullptr) trace_blocked_.push_back(0);
+  }
+  Message& m = messages_[static_cast<std::size_t>(slot)];
+  m = Message{};
+  m.id = next_message_id_++;
   m.src = src;
   m.dst = dst;
   m.length = length;
   m.created = cycle_;
-  algorithm_->on_inject(m);
-  messages_.push_back(m);
+  HeaderState& h = headers_[static_cast<std::size_t>(slot)];
+  h = HeaderState{};
+  h.src = src;
+  h.dst = dst;
+  algorithm_->on_inject(h);
+  if (config_.recycle_messages) live_ids_.emplace(m.id, slot);
   const NodeId src_id = mesh_->id_of(src);
-  queues_[static_cast<std::size_t>(src_id)].push_back(m.id);
+  queues_[static_cast<std::size_t>(src_id)].push_back(slot);
   ++queued_messages_;
   bump_inject(src_id, +1);
   total_flits_generated_ += length;
   if (measuring_) measured_flits_generated_ += length;
   if (trace_ != nullptr) {
-    trace_blocked_.push_back(0);
+    trace_blocked_[static_cast<std::size_t>(slot)] = 0;
     emit(trace::EventKind::Create, m.id, src, length);
   }
   return m.id;
+}
+
+void Network::retire_slot(MessageSlot slot) {
+  Message& m = messages_[static_cast<std::size_t>(slot)];
+  const HeaderState& h = headers_[static_cast<std::size_t>(slot)];
+  assert(m.id != kInvalidMessage && (m.done || m.aborted));
+  RetiredMessage r;
+  r.id = m.id;
+  r.created = m.created;
+  r.injected = m.injected;
+  r.delivered = m.delivered;
+  r.length = m.length;
+  r.hops = h.rs.hops;
+  r.misroutes = h.rs.misroutes;
+  r.retries = m.retries;
+  r.aborted = m.aborted;
+  r.ring_user = h.rs.ring.region >= 0;
+  retired_.push_back(r);
+  if (!config_.recycle_messages) return;  // legacy: slots live forever
+  live_ids_.erase(m.id);
+  m = Message{};  // id == kInvalidMessage marks the slot free
+  headers_[static_cast<std::size_t>(slot)] = HeaderState{};
+  ++slot_gen_[static_cast<std::size_t>(slot)];
+  free_slots_.push_back(slot);
+}
+
+void Network::abort_message(MessageSlot slot) {
+  Message& m = messages_[static_cast<std::size_t>(slot)];
+  assert(m.id != kInvalidMessage && !m.done && !m.aborted);
+  m.aborted = true;
+  retire_slot(slot);
+}
+
+const RetiredMessage* Network::retired_record(MessageId id) const {
+  for (const RetiredMessage& r : retired_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+bool Network::message_finished(MessageId id) const {
+  assert(id < next_message_id_);
+  if (!config_.recycle_messages) {
+    const Message& m = messages_[static_cast<std::size_t>(id)];
+    return m.done || m.aborted;
+  }
+  return live_ids_.find(id) == live_ids_.end();
 }
 
 void Network::begin_measurement() {
@@ -477,7 +544,7 @@ void Network::set_debug_channel_order(std::vector<std::int32_t> ranks) {
 }
 
 const routing::CandidateList& Network::route_candidates(NodeId id,
-                                                        const Message& m) {
+                                                        const HeaderState& m) {
   if (route_cache_.empty()) {
     cand_.clear();
     algorithm_->candidates(mesh_->coord_of(id), m, cand_);
@@ -539,7 +606,9 @@ void Network::route_node(NodeId id, bool exhaustive) {
     ++found;
 #endif
     ivc.stage = IvcStage::RouteWait;
-    Message& m = messages_[front.msg];
+    // SoA: the route stage reads/writes only the hot header array; the
+    // cold accounting record is untouched until ejection.
+    HeaderState& m = headers_[front.msg];
     if (c == m.dst) {
       ivc.out_dir = Direction::Local;
       ivc.out_vc = vc;
@@ -598,7 +667,10 @@ void Network::route_node(NodeId id, bool exhaustive) {
                debug_channel_order_[held] < debug_channel_order_[next]);
       }
 #endif
-      rt.output(port_index(chosen.dir), chosen.vc).allocate(m.id);
+      // Output-VC ownership is the *slot*: the purge/victim machinery
+      // indexes its flag arrays by slot, and the owner is always live
+      // while the reservation is held.
+      rt.output(port_index(chosen.dir), chosen.vc).allocate(front.msg);
       ++link_vc_allocated_[static_cast<std::size_t>(chosen.vc)];
       ivc.out_dir = chosen.dir;
       ivc.out_vc = chosen.vc;
@@ -606,14 +678,14 @@ void Network::route_node(NodeId id, bool exhaustive) {
       bump_route(id, -1);
       bump_switch(id, +1);
       if (trace_ != nullptr) {
-        trace_alloc(c, m, chosen.dir, chosen.vc);
+        trace_alloc(c, front.msg, chosen.dir, chosen.vc);
       } else {
         algorithm_->on_hop(c, chosen.dir, chosen.vc, m);
       }
       allocated = true;
       break;
     }
-    if (trace_ != nullptr && !allocated) trace_block(m, c);
+    if (trace_ != nullptr && !allocated) trace_block(front.msg, c);
   }
 #ifndef NDEBUG
   if (exhaustive) {
@@ -706,10 +778,14 @@ void Network::switch_node(NodeId id) {
           ++measured_messages_delivered_;
         }
         if (trace_ != nullptr) {
-          emit(trace::EventKind::Eject, flit.msg, c,
-               static_cast<std::uint32_t>(m.rs.hops),
-               static_cast<std::uint32_t>(m.rs.misroutes));
+          const HeaderState& h = headers_[flit.msg];
+          emit(trace::EventKind::Eject, m.id, c,
+               static_cast<std::uint32_t>(h.rs.hops),
+               static_cast<std::uint32_t>(h.rs.misroutes));
         }
+        // The tail is out: freeze the accounting and recycle the slot the
+        // same cycle — this is what bounds storage at O(in-flight).
+        retire_slot(flit.msg);
       }
     } else {
       OutputVc& ovc = rt.output(out_port, ivc.out_vc);
@@ -792,8 +868,8 @@ void Network::phase_sampling() {
 
 // ---- dynamic-fault recovery ----------------------------------------------
 
-std::vector<MessageId> Network::collect_fault_victims() const {
-  std::vector<MessageId> out;
+std::vector<MessageSlot> Network::collect_fault_victims() const {
+  std::vector<MessageSlot> out;
   const int vcs = algorithm_->layout().total();
   for (NodeId id = 0; id < mesh_->node_count(); ++id) {
     const Coord c = mesh_->coord_of(id);
@@ -841,19 +917,28 @@ std::vector<MessageId> Network::collect_fault_victims() const {
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Order by stable id, not slot: trace Purge emission and retransmit
+  // scheduling iterate this list, and their byte-exact order must not
+  // depend on which slots the victims happen to occupy.  (With recycling
+  // off, slot == id and this is a no-op.)
+  std::sort(out.begin(), out.end(), [this](MessageSlot a, MessageSlot b) {
+    return messages_[static_cast<std::size_t>(a)].id <
+           messages_[static_cast<std::size_t>(b)].id;
+  });
   return out;
 }
 
-void Network::purge_messages(const std::vector<MessageId>& ids) {
-  if (ids.empty()) return;
+void Network::purge_messages(const std::vector<MessageSlot>& slots) {
+  if (slots.empty()) return;
   std::vector<char> purge(messages_.size(), 0);
-  for (const MessageId id : ids) {
-    purge[static_cast<std::size_t>(id)] = 1;
+  for (const MessageSlot s : slots) {
+    purge[static_cast<std::size_t>(s)] = 1;
   }
   if (trace_ != nullptr) {
-    for (const MessageId id : ids) {
-      emit(trace::EventKind::Purge, id, messages_[static_cast<std::size_t>(id)].src);
-      trace_blocked_[static_cast<std::size_t>(id)] = 0;
+    for (const MessageSlot s : slots) {
+      const Message& m = messages_[static_cast<std::size_t>(s)];
+      emit(trace::EventKind::Purge, m.id, m.src);
+      trace_blocked_[static_cast<std::size_t>(s)] = 0;
     }
   }
   const int vcs = algorithm_->layout().total();
@@ -943,7 +1028,7 @@ void Network::purge_messages(const std::vector<MessageId>& ids) {
   for (auto& q : queues_) {
     q.erase(std::remove_if(
                 q.begin(), q.end(),
-                [&](MessageId m) { return purge[static_cast<std::size_t>(m)] != 0; }),
+                [&](MessageSlot s) { return purge[static_cast<std::size_t>(s)] != 0; }),
             q.end());
   }
 
@@ -952,27 +1037,27 @@ void Network::purge_messages(const std::vector<MessageId>& ids) {
   rebuild_active_sets();
 }
 
-void Network::requeue_message(MessageId id) {
-  Message& m = messages_.at(id);
-  assert(!m.done && !m.aborted);
+void Network::requeue_message(MessageSlot slot) {
+  Message& m = messages_[static_cast<std::size_t>(slot)];
+  assert(m.id != kInvalidMessage && !m.done && !m.aborted);
   assert(faults_->active(m.src) && faults_->active(m.dst));
-  m.rs = RouteState{};
-  algorithm_->on_inject(m);
+  HeaderState& h = headers_[static_cast<std::size_t>(slot)];
+  h.rs = RouteState{};
+  algorithm_->on_inject(h);
   const NodeId src_id = mesh_->id_of(m.src);
-  queues_[static_cast<std::size_t>(src_id)].push_back(id);
+  queues_[static_cast<std::size_t>(src_id)].push_back(slot);
   ++queued_messages_;
   bump_inject(src_id, +1);
   if (trace_ != nullptr) {
-    emit(trace::EventKind::Retransmit, id, m.src,
+    emit(trace::EventKind::Retransmit, m.id, m.src,
          static_cast<std::uint32_t>(m.retries));
   }
 }
 
 void Network::revalidate_ring_state(const fault::FRingSet& rings) {
   const int vcs = algorithm_->layout().total();
-  const auto check = [&](MessageId id, Coord pos) {
-    Message& m = messages_[static_cast<std::size_t>(id)];
-    auto& r = m.rs.ring;
+  const auto check = [&](MessageSlot slot, Coord pos) {
+    auto& r = headers_[static_cast<std::size_t>(slot)].rs.ring;
     if (!r.active) return;
     if (r.region >= 0 && r.region < static_cast<int>(rings.ring_count()) &&
         rings.ring(r.region).contains(pos)) {
@@ -1030,26 +1115,27 @@ std::string Network::debug_stuck_report(std::size_t max_lines) const {
         if (ivc.buf.empty()) continue;
         const auto& f = ivc.buf.front();
         const auto& m = messages_[f.msg];
+        const auto& h = headers_[f.msg];
         os << "(" << c.x << "," << c.y << ") in["
            << topology::to_string(static_cast<Direction>(port)) << "][" << vc
-           << "] msg " << f.msg << " seq " << f.seq << " len "
+           << "] msg " << m.id << " seq " << f.seq << " len "
            << static_cast<int>(ivc.buf.size()) << " stage "
            << static_cast<int>(ivc.stage) << " -> "
            << topology::to_string(ivc.out_dir) << "[" << ivc.out_vc << "]"
            << " src(" << m.src.x << "," << m.src.y << ") dst(" << m.dst.x
-           << "," << m.dst.y << ") hops " << m.rs.hops << " mis "
-           << m.rs.misroutes << " ring "
-           << (m.rs.ring.active ? "Y" : "n");
+           << "," << m.dst.y << ") hops " << h.rs.hops << " mis "
+           << h.rs.misroutes << " ring "
+           << (h.rs.ring.active ? "Y" : "n");
         if (ivc.stage == IvcStage::RouteWait && is_head(f.type) &&
-            !(c == m.dst)) {
+            !(c == h.dst)) {
           os << " wants:";
           routing::CandidateList cl;
-          algorithm_->candidates(c, m, cl);
+          algorithm_->candidates(c, h, cl);
           for (std::size_t i = 0; i < cl.size(); ++i) {
             const auto& cv = cl[i];
             const auto& ovc = rt.output(port_index(cv.dir), cv.vc);
             os << " " << topology::to_string(cv.dir) << "[" << cv.vc << "]";
-            if (ovc.allocated) os << "@" << ovc.owner;
+            if (ovc.allocated) os << "@" << messages_[ovc.owner].id;
           }
         }
         os << "\n";
@@ -1068,7 +1154,7 @@ std::vector<MessageId> Network::find_deadlock_cycle() const {
   // owned by cycle members" for the strongest claim available without
   // replaying schedules).  For diagnostics we report any ownership cycle.
   const int vcs = algorithm_->layout().total();
-  std::map<MessageId, std::vector<MessageId>> edges;
+  std::map<MessageSlot, std::vector<MessageSlot>> edges;
   routing::CandidateList cand;
   for (NodeId id = 0; id < mesh_->node_count(); ++id) {
     const Coord c = mesh_->coord_of(id);
@@ -1079,7 +1165,7 @@ std::vector<MessageId> Network::find_deadlock_cycle() const {
         if (ivc.buf.empty()) continue;
         const Flit& front = ivc.buf.front();
         if (!is_head(front.type) || ivc.stage == IvcStage::Active) continue;
-        const Message& m = messages_[front.msg];
+        const HeaderState& m = headers_[front.msg];
         if (c == m.dst) continue;
         cand.clear();
         algorithm_->candidates(c, m, cand);
@@ -1094,11 +1180,12 @@ std::vector<MessageId> Network::find_deadlock_cycle() const {
       }
     }
   }
-  // DFS cycle search over the wait graph.
-  std::map<MessageId, int> state;  // 0 unvisited, 1 on stack, 2 done
-  std::vector<MessageId> stack;
-  std::vector<MessageId> cycle;
-  const std::function<bool(MessageId)> dfs = [&](MessageId u) {
+  // DFS cycle search over the wait graph (slot-addressed; the returned
+  // cycle is translated to stable ids below).
+  std::map<MessageSlot, int> state;  // 0 unvisited, 1 on stack, 2 done
+  std::vector<MessageSlot> stack;
+  std::vector<MessageSlot> cycle;
+  const std::function<bool(MessageSlot)> dfs = [&](MessageSlot u) {
     state[u] = 1;
     stack.push_back(u);
     const auto it = edges.find(u);
@@ -1119,7 +1206,14 @@ std::vector<MessageId> Network::find_deadlock_cycle() const {
     return false;
   };
   for (const auto& [msg, _] : edges) {
-    if ((state.count(msg) ? state[msg] : 0) == 0 && dfs(msg)) return cycle;
+    if ((state.count(msg) ? state[msg] : 0) == 0 && dfs(msg)) {
+      std::vector<MessageId> ids;
+      ids.reserve(cycle.size());
+      for (const MessageSlot s : cycle) {
+        ids.push_back(messages_[static_cast<std::size_t>(s)].id);
+      }
+      return ids;
+    }
   }
   return {};
 }

@@ -23,10 +23,12 @@
 // debug builds.  Both modes produce bit-identical results — see
 // docs/performance.md for the invariants and the determinism argument.
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ftmesh/fault/fault_model.hpp"
@@ -56,6 +58,14 @@ struct NetworkConfig {
   routing::SelectionPolicy selection = routing::SelectionPolicy::Random;
   ScanMode scan_mode = ScanMode::Active;
   bool route_cache = true;    ///< memoize candidate sets per routing state
+  /// Recycle message slots: a message retires into the compact
+  /// `RetiredMessage` log the cycle its tail is ejected (or it is aborted)
+  /// and its slot returns to a free list, so steady-state storage is
+  /// O(in-flight), not O(delivered).  Off = the legacy append-only table
+  /// (slot == id for every message ever created); results are
+  /// byte-identical either way — the stats read the same retirement log in
+  /// both modes.
+  bool recycle_messages = true;
   bool collect_vc_usage = false;
   bool collect_traffic_map = false;
   bool collect_kernel_stats = false;  ///< cache hit rate + active-set sizes
@@ -69,7 +79,8 @@ class Network {
           sim::Rng rng);
 
   /// Enqueues a new message at `src`'s source queue.  Both endpoints must
-  /// be active nodes.  Returns the message id.
+  /// be active nodes.  Returns the message's stable id — a monotonically
+  /// increasing counter, never a (reusable) slot index.
   MessageId create_message(topology::Coord src, topology::Coord dst,
                            std::uint32_t length);
 
@@ -89,11 +100,67 @@ class Network {
   }
   [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
 
+  /// Access to a *live* message by its stable id.  Hot accessor: unchecked
+  /// indexing plus a debug-build assert (the bounds/liveness check was a
+  /// measurable cost in the recovery path); with recycling enabled the id
+  /// is translated through the live-id map.  Calling this for a retired id
+  /// is a contract violation — use message_finished() / retired_record().
   [[nodiscard]] const Message& message(MessageId id) const {
-    return messages_.at(id);
+    return messages_[slot_of(id)];
   }
+  /// The message *slot table* (indexed by slot, not id).  With recycling
+  /// enabled, free slots are marked by `id == kInvalidMessage` and finished
+  /// occupants have already moved to retired(); iterate accordingly.
   [[nodiscard]] const std::vector<Message>& messages() const noexcept {
     return messages_;
+  }
+  /// Hot per-slot routing state, parallel to messages().
+  [[nodiscard]] const std::vector<HeaderState>& headers() const noexcept {
+    return headers_;
+  }
+  /// Routing state of a live message, by stable id.
+  [[nodiscard]] const RouteState& route_state(MessageId id) const {
+    return headers_[slot_of(id)].rs;
+  }
+
+  /// Compact per-message records frozen at retirement (tail ejected or
+  /// aborted), in retirement order.  The stats accumulators read this log
+  /// in both recycling modes, which is what keeps reports byte-identical.
+  [[nodiscard]] const std::vector<RetiredMessage>& retired() const noexcept {
+    return retired_;
+  }
+  /// Retirement record for `id`, or nullptr while the message is still
+  /// live.  Linear scan — diagnostics and tests, not the per-cycle path.
+  [[nodiscard]] const RetiredMessage* retired_record(MessageId id) const;
+  /// True once the message retired (delivered or aborted).
+  [[nodiscard]] bool message_finished(MessageId id) const;
+
+  /// Total ids handed out by create_message (monotonic, never reused).
+  [[nodiscard]] MessageId messages_created() const noexcept {
+    return next_message_id_;
+  }
+  /// Current slot-table size: the high-water mark of concurrently live
+  /// messages when recycling is on (grow-only; the long-run memory test
+  /// pins this), the all-time message count when off.
+  [[nodiscard]] std::size_t message_slots() const noexcept {
+    return messages_.size();
+  }
+  [[nodiscard]] std::size_t free_message_slots() const noexcept {
+    return free_slots_.size();
+  }
+  /// True when `h` still names the occupant it was taken for: the slot's
+  /// generation matches and the slot is occupied.
+  [[nodiscard]] bool handle_live(MessageHandle h) const noexcept {
+    return h.slot < messages_.size() && slot_gen_[h.slot] == h.gen &&
+           messages_[h.slot].id != kInvalidMessage;
+  }
+  /// Generation-tagged handle for a live message.
+  [[nodiscard]] MessageHandle handle_of(MessageId id) const {
+    return slot_handle(slot_of(id));
+  }
+  [[nodiscard]] MessageHandle slot_handle(MessageSlot slot) const {
+    assert(slot < messages_.size());
+    return {slot, slot_gen_[slot]};
   }
 
   [[nodiscard]] const Router& router_at(topology::Coord c) const {
@@ -131,9 +198,11 @@ class Network {
 
   /// Messages that the *current* fault map invalidates: any message with a
   /// flit buffered in (or a channel reserved at / into) a blocked node.
-  /// Sorted, duplicate-free.  Cheap when nothing changed: long-blocked
-  /// nodes hold no flits.
-  [[nodiscard]] std::vector<MessageId> collect_fault_victims() const;
+  /// Duplicate-free slots, sorted by stable id (== slot order when
+  /// recycling is off), so downstream trace emission and retransmit
+  /// scheduling see the same order in both modes.  Cheap when nothing
+  /// changed: long-blocked nodes hold no flits.
+  [[nodiscard]] std::vector<MessageSlot> collect_fault_victims() const;
 
   /// Removes every flit of the given messages from input buffers and link
   /// registers, releases their channel reservations and injection supplies,
@@ -142,11 +211,28 @@ class Network {
   /// accounting); surviving traffic is untouched.  Rebuilds the active sets
   /// from scratch afterwards (rare event; a full rescan is simpler than
   /// tracking every removal).
-  void purge_messages(const std::vector<MessageId>& ids);
+  void purge_messages(const std::vector<MessageSlot>& slots);
 
   /// Re-enqueues a previously purged message at its source with fresh
   /// routing state.  Both endpoints must be active again.
-  void requeue_message(MessageId id);
+  void requeue_message(MessageSlot slot);
+
+  /// Permanently gives up on a live (already purged) message: marks it
+  /// aborted and retires it, recycling the slot.  The caller does its own
+  /// abort accounting/trace emission first — the slot's fields are gone
+  /// afterwards.
+  void abort_message(MessageSlot slot);
+
+  /// Slot-addressed access for the recovery path, which works on purge
+  /// victims (slots) directly.
+  [[nodiscard]] const Message& slot_message(MessageSlot slot) const {
+    assert(slot < messages_.size());
+    return messages_[slot];
+  }
+  [[nodiscard]] Message& slot_message_mut(MessageSlot slot) {
+    assert(slot < messages_.size());
+    return messages_[slot];
+  }
 
   /// Clears ring-mode routing state that a ring rebuild invalidated: any
   /// in-flight header whose recorded region no longer exists or whose ring
@@ -161,7 +247,10 @@ class Network {
   void on_fault_change();
 
   /// Mutable access for recovery bookkeeping (retries / aborted flags).
-  [[nodiscard]] Message& message_mut(MessageId id) { return messages_.at(id); }
+  /// Unchecked like message(); live ids only.
+  [[nodiscard]] Message& message_mut(MessageId id) {
+    return messages_[slot_of(id)];
+  }
 
   // Measurement-window counters (active after begin_measurement()).
   [[nodiscard]] std::uint64_t measured_cycles() const noexcept { return measured_cycles_; }
@@ -312,7 +401,7 @@ class Network {
     bool full = false;
   };
   struct Supply {
-    MessageId current = kInvalidMessage;
+    MessageSlot current = kInvalidMessage;
     std::uint32_t next_seq = 0;
   };
   struct Request {
@@ -347,10 +436,29 @@ class Network {
   void route_node(topology::NodeId id, bool exhaustive);
   void switch_node(topology::NodeId id);
 
-  /// Candidate set for `m`'s header at node `id` — memoized when the route
+  /// Candidate set for `h`'s header at node `id` — memoized when the route
   /// cache is enabled, enumerated into scratch otherwise.
   const routing::CandidateList& route_candidates(topology::NodeId id,
-                                                 const Message& m);
+                                                 const HeaderState& h);
+
+  /// Slot for a live id: identity when recycling is off (slot == id), a
+  /// live-id-map lookup otherwise.  Debug-asserts liveness; release builds
+  /// index unchecked.
+  [[nodiscard]] MessageSlot slot_of(MessageId id) const {
+    if (!config_.recycle_messages) {
+      assert(static_cast<std::size_t>(id) < messages_.size());
+      return static_cast<MessageSlot>(id);
+    }
+    const auto it = live_ids_.find(id);
+    assert(it != live_ids_.end() && "message accessor on a retired id");
+    return it->second;
+  }
+
+  /// Freezes the slot's accounting into the retirement log and (when
+  /// recycling) clears the slot, bumps its generation and returns it to
+  /// the free list.  Called the cycle the tail ejects or the message is
+  /// aborted — never with flits of the message still in the network.
+  void retire_slot(MessageSlot slot);
 
   // Trace emission helpers; called only when trace_ != nullptr.
   void emit(trace::EventKind kind, MessageId msg, topology::Coord node,
@@ -358,10 +466,10 @@ class Network {
   /// Successful allocation: runs the algorithm's on_hop() and emits
   /// Unblock/VcAlloc plus any ring-transition / misroute events derived
   /// from the hop's effect on the routing state.
-  void trace_alloc(topology::Coord c, Message& m, topology::Direction dir,
-                   int vc);
+  void trace_alloc(topology::Coord c, MessageSlot slot,
+                   topology::Direction dir, int vc);
   /// Failed allocation (every tier busy): emits Block on the transition.
-  void trace_block(const Message& m, topology::Coord c);
+  void trace_block(MessageSlot slot, topology::Coord c);
 
   /// Recomputes every occupancy counter, worklist and derived total from
   /// the authoritative router/queue/supply state.  Used after rare bulk
@@ -409,9 +517,22 @@ class Network {
 
   std::vector<Router> routers_;
   std::vector<LinkReg> links_;  // [node][direction]
-  std::vector<Message> messages_;
-  std::vector<std::deque<MessageId>> queues_;  // per-node source queues
-  std::vector<Supply> supplies_;               // [node][injection vc]
+
+  // Message storage: a slot table plus a parallel hot array (SoA split —
+  // the route stage touches only headers_).  With recycling on, finished
+  // slots go through retire_slot() onto free_slots_ and their generation
+  // is bumped; live_ids_ maps stable ids to their current slot.  With
+  // recycling off the table is append-only and slot == id.
+  std::vector<Message> messages_;      // cold accounting, indexed by slot
+  std::vector<HeaderState> headers_;   // hot routing state, indexed by slot
+  std::vector<std::uint32_t> slot_gen_;
+  std::vector<MessageSlot> free_slots_;  // LIFO: reuse the warmest slot
+  std::vector<RetiredMessage> retired_;  // in retirement order
+  std::unordered_map<MessageId, MessageSlot> live_ids_;  // recycling only
+  MessageId next_message_id_ = 0;
+
+  std::vector<std::deque<MessageSlot>> queues_;  // per-node source queues
+  std::vector<Supply> supplies_;                 // [node][injection vc]
 
   std::uint64_t cycle_ = 0;
   std::uint64_t buffered_flits_ = 0;  // input buffers + link registers
@@ -468,8 +589,9 @@ class Network {
   std::vector<std::int32_t> debug_channel_order_;  // empty = check disabled
 
   trace::TraceSink* trace_ = nullptr;
-  /// Per-message "currently blocked" flag, maintained only while tracing so
+  /// Per-slot "currently blocked" flag, maintained only while tracing so
   /// Block/Unblock fire on transitions rather than every starved cycle.
+  /// Cleared on slot reuse.
   std::vector<char> trace_blocked_;
 
   // per-cycle scratch (kept across calls to avoid reallocation)

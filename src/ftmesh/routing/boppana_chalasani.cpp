@@ -48,7 +48,7 @@ std::optional<int> BoppanaChalasani::blocking_region(Coord at, Coord dst) const 
 }
 
 std::optional<BoppanaChalasani::RingMove> BoppanaChalasani::plan_ring_move(
-    Coord at, const router::Message& msg) const {
+    Coord at, const router::HeaderState& msg) const {
   RingMove move;
   // A runtime reconfiguration (inject/) can leave recorded ring state
   // pointing at a region the rebuild renumbered away, or at a ring that no
@@ -88,7 +88,7 @@ std::optional<BoppanaChalasani::RingMove> BoppanaChalasani::plan_ring_move(
   return move;
 }
 
-void BoppanaChalasani::candidates(Coord at, const router::Message& msg,
+void BoppanaChalasani::candidates(Coord at, const router::HeaderState& msg,
                                   CandidateList& out) const {
   std::array<Direction, 2> usable{};
   const int n = usable_minimal(at, msg.dst, usable);
@@ -142,7 +142,7 @@ void BoppanaChalasani::add_ring_candidate(Coord at, const RingMove& move,
 }
 
 std::uint64_t BoppanaChalasani::route_state_key(
-    const router::Message& msg) const noexcept {
+    const router::HeaderState& msg) const noexcept {
   std::uint64_t key = base_->route_state_key(msg) << 21;
   const auto& ring = msg.rs.ring;
   if (ring.active) {
@@ -157,7 +157,7 @@ std::uint64_t BoppanaChalasani::route_state_key(
 }
 
 void BoppanaChalasani::on_hop(Coord at, Direction dir, int vc,
-                              router::Message& msg) const {
+                              router::HeaderState& msg) const {
   const bool ring_hop = layout().at(vc).role == VcRole::BcRing;
   if (ring_hop) {
     const auto move = plan_ring_move(at, msg);

@@ -36,11 +36,11 @@ class BoppanaChalasani : public RoutingAlgorithm {
   }
   [[nodiscard]] const RoutingAlgorithm& base() const noexcept { return *base_; }
 
-  void candidates(topology::Coord at, const router::Message& msg,
+  void candidates(topology::Coord at, const router::HeaderState& msg,
                   CandidateList& out) const override;
-  void on_inject(router::Message& msg) const override { base_->on_inject(msg); }
+  void on_inject(router::HeaderState& msg) const override { base_->on_inject(msg); }
   void on_hop(topology::Coord at, topology::Direction dir, int vc,
-              router::Message& msg) const override;
+              router::HeaderState& msg) const override;
   void on_fault_change() override { base_->on_fault_change(); }
 
   /// The fortification adds ring channels but does not change which CDG the
@@ -54,7 +54,7 @@ class BoppanaChalasani : public RoutingAlgorithm {
   /// scratch on the next ring entry), and `reversals` collapses to the one
   /// bit plan_ring_move inspects.
   [[nodiscard]] std::uint64_t route_state_key(
-      const router::Message& msg) const noexcept override;
+      const router::HeaderState& msg) const noexcept override;
 
   /// The planned ring move for a blocked/ring-mode header at `at`:
   /// (next ring node, region id, effective type, orientation, reversed).
@@ -67,7 +67,7 @@ class BoppanaChalasani : public RoutingAlgorithm {
     bool reversed = false;
   };
   [[nodiscard]] std::optional<RingMove> plan_ring_move(
-      topology::Coord at, const router::Message& msg) const;
+      topology::Coord at, const router::HeaderState& msg) const;
 
  private:
   /// Region blocking the message at `at` (a minimal-direction neighbour

@@ -41,7 +41,7 @@ void Boura::label_unsafe_nodes() {
   }
 }
 
-void Boura::candidates(Coord at, const router::Message& msg,
+void Boura::candidates(Coord at, const router::HeaderState& msg,
                        CandidateList& out) const {
   std::array<Direction, 2> minimal{};
   const int nmin = usable_minimal(at, msg.dst, minimal);

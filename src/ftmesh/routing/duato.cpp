@@ -13,7 +13,7 @@ Duato::Duato(const topology::Mesh& mesh, const fault::FaultMap& faults,
       layout_(std::move(layout)),
       name_(std::move(name)) {}
 
-void Duato::candidates(Coord at, const router::Message& msg,
+void Duato::candidates(Coord at, const router::HeaderState& msg,
                        CandidateList& out) const {
   // Tier 1 — class I: any adaptive channel on any healthy minimal direction.
   std::array<Direction, 2> dirs{};

@@ -24,11 +24,11 @@ class Duato : public RoutingAlgorithm {
   [[nodiscard]] std::string_view name() const noexcept override { return name_; }
   [[nodiscard]] const VcLayout& layout() const noexcept override { return layout_; }
 
-  void candidates(topology::Coord at, const router::Message& msg,
+  void candidates(topology::Coord at, const router::HeaderState& msg,
                   CandidateList& out) const override;
-  void on_inject(router::Message& msg) const override { escape_->on_inject(msg); }
+  void on_inject(router::HeaderState& msg) const override { escape_->on_inject(msg); }
   void on_hop(topology::Coord at, topology::Direction dir, int vc,
-              router::Message& msg) const override {
+              router::HeaderState& msg) const override {
     escape_->on_hop(at, dir, vc, msg);
   }
 
@@ -36,7 +36,7 @@ class Duato : public RoutingAlgorithm {
   /// whole story.  (deadlock_argument stays EscapeCdg per Duato's theorem,
   /// even when the escape algorithm alone would demand a full-CDG check.)
   [[nodiscard]] std::uint64_t route_state_key(
-      const router::Message& msg) const noexcept override {
+      const router::HeaderState& msg) const noexcept override {
     return escape_->route_state_key(msg);
   }
 

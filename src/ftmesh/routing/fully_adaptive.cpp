@@ -5,7 +5,7 @@ namespace ftmesh::routing {
 using topology::Coord;
 using topology::Direction;
 
-void FullyAdaptive::candidates(Coord at, const router::Message& msg,
+void FullyAdaptive::candidates(Coord at, const router::HeaderState& msg,
                                CandidateList& out) const {
   // Tier 1: healthy minimal directions, free channel choice (including the
   // escape channel when its direction is the dimension-order one).

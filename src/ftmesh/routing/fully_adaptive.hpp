@@ -26,13 +26,13 @@ class FullyAdaptive : public RoutingAlgorithm {
   [[nodiscard]] const VcLayout& layout() const noexcept override { return layout_; }
   [[nodiscard]] int misroute_limit() const noexcept { return misroute_limit_; }
 
-  void candidates(topology::Coord at, const router::Message& msg,
+  void candidates(topology::Coord at, const router::HeaderState& msg,
                   CandidateList& out) const override;
 
   /// candidates() reads the misroute budget (saturating at the limit, since
   /// tier 2 closes for good once it is spent) and the U-turn guard.
   [[nodiscard]] std::uint64_t route_state_key(
-      const router::Message& msg) const noexcept override {
+      const router::HeaderState& msg) const noexcept override {
     const auto spent = static_cast<std::uint64_t>(
         std::min(static_cast<int>(msg.rs.misroutes), misroute_limit_));
     return spent << 3 | static_cast<std::uint64_t>(msg.rs.last_dir);

@@ -19,13 +19,13 @@ std::string_view HopScheme::name() const noexcept {
   return bonus_ ? "Nbc" : "NHop";
 }
 
-int HopScheme::current_class(const router::Message& msg) const noexcept {
+int HopScheme::current_class(const router::HeaderState& msg) const noexcept {
   return static_cast<int>(msg.rs.class_hops) +
          static_cast<int>(msg.rs.class_offset);
 }
 
 std::uint64_t HopScheme::route_state_key(
-    const router::Message& msg) const noexcept {
+    const router::HeaderState& msg) const noexcept {
   const int top = layout_.escape_class_count() - 1;
   const auto lo =
       static_cast<std::uint64_t>(std::min(current_class(msg), top));
@@ -34,7 +34,7 @@ std::uint64_t HopScheme::route_state_key(
   return lo << 8 | hi;
 }
 
-void HopScheme::on_inject(router::Message& msg) const {
+void HopScheme::on_inject(router::HeaderState& msg) const {
   msg.rs.class_hops = 0;
   msg.rs.class_offset = 0;
   if (!bonus_) {
@@ -48,7 +48,7 @@ void HopScheme::on_inject(router::Message& msg) const {
   msg.rs.cards_left = static_cast<std::uint16_t>(std::max(0, max_class - needed));
 }
 
-void HopScheme::candidates(Coord at, const router::Message& msg,
+void HopScheme::candidates(Coord at, const router::HeaderState& msg,
                            CandidateList& out) const {
   std::array<Direction, 2> dirs{};
   const int ndirs = usable_minimal(at, msg.dst, dirs);
@@ -67,7 +67,7 @@ void HopScheme::candidates(Coord at, const router::Message& msg,
 }
 
 void HopScheme::on_hop(Coord at, Direction dir, int vc,
-                       router::Message& msg) const {
+                       router::HeaderState& msg) const {
   // Spend bonus cards when the chosen channel's class is above the floor.
   if (layout_.at(vc).role == VcRole::EscapeII) {
     const int floor_class =

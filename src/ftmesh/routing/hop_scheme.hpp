@@ -32,11 +32,11 @@ class HopScheme : public RoutingAlgorithm {
   [[nodiscard]] std::string_view name() const noexcept override;
   [[nodiscard]] const VcLayout& layout() const noexcept override { return layout_; }
 
-  void candidates(topology::Coord at, const router::Message& msg,
+  void candidates(topology::Coord at, const router::HeaderState& msg,
                   CandidateList& out) const override;
-  void on_inject(router::Message& msg) const override;
+  void on_inject(router::HeaderState& msg) const override;
   void on_hop(topology::Coord at, topology::Direction dir, int vc,
-              router::Message& msg) const override;
+              router::HeaderState& msg) const override;
 
   /// The class index must strictly increase along every dependency chain,
   /// so the whole CDG must be acyclic.
@@ -48,7 +48,7 @@ class HopScheme : public RoutingAlgorithm {
   /// congruent under on_hop (lo' = min(max(level, lo) + 1, top) and
   /// hi' = min(hi + 1, top)), so the pair is a complete finite projection.
   [[nodiscard]] std::uint64_t route_state_key(
-      const router::Message& msg) const noexcept override;
+      const router::HeaderState& msg) const noexcept override;
 
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
   [[nodiscard]] bool bonus_cards() const noexcept { return bonus_; }
@@ -56,7 +56,7 @@ class HopScheme : public RoutingAlgorithm {
   /// Current minimum legal class for `msg` (its class "floor").  Based on
   /// RouteState::class_hops, which excludes ring-detour hops: counting those
   /// would overrun the diameter-sized class budget (see message.hpp).
-  [[nodiscard]] int current_class(const router::Message& msg) const noexcept;
+  [[nodiscard]] int current_class(const router::HeaderState& msg) const noexcept;
 
  private:
   Kind kind_;

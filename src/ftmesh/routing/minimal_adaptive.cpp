@@ -5,7 +5,7 @@ namespace ftmesh::routing {
 using topology::Coord;
 using topology::Direction;
 
-void MinimalAdaptive::candidates(Coord at, const router::Message& msg,
+void MinimalAdaptive::candidates(Coord at, const router::HeaderState& msg,
                                  CandidateList& out) const {
   // "No supervision in the way of using virtual channels" (paper): every
   // channel — including the XY escape channel when its direction is the

@@ -6,7 +6,7 @@ using topology::Coord;
 using topology::Direction;
 
 void RoutingAlgorithm::on_hop(Coord at, Direction dir, int vc,
-                              router::Message& msg) const {
+                              router::HeaderState& msg) const {
   (void)vc;
   const Coord to = at.step(dir);
   ++msg.rs.hops;
@@ -20,7 +20,7 @@ void RoutingAlgorithm::on_hop(Coord at, Direction dir, int vc,
 }
 
 std::uint64_t RoutingAlgorithm::route_state_key(
-    const router::Message& msg) const noexcept {
+    const router::HeaderState& msg) const noexcept {
   // Conservative default: every counter candidates() could read, unclamped.
   // Sound for any algorithm, but keeps distinct keys for states that may
   // behave identically; override with a clamped projection where possible.

@@ -10,7 +10,7 @@
 //
 // Instances are constructed per simulation against a fixed mesh + fault map
 // and must be stateless across messages (all per-message state lives in
-// Message::rs), which makes them safe to share between the router pipeline
+// HeaderState::rs), which makes them safe to share between the router pipeline
 // and tests.
 
 #include <cassert>
@@ -120,16 +120,16 @@ class RoutingAlgorithm {
 
   /// Appends every legal (direction, vc) for `msg`'s header at node `at`.
   /// Must not offer directions off the mesh or into blocked nodes.
-  virtual void candidates(topology::Coord at, const router::Message& msg,
+  virtual void candidates(topology::Coord at, const router::HeaderState& msg,
                           CandidateList& out) const = 0;
 
   /// Initialises per-message routing state at injection time.
-  virtual void on_inject(router::Message& msg) const { (void)msg; }
+  virtual void on_inject(router::HeaderState& msg) const { (void)msg; }
 
   /// Applies state transitions after the header moves from `at` through
   /// (dir, vc).  Default updates the generic hop counters.
   virtual void on_hop(topology::Coord at, topology::Direction dir, int vc,
-                      router::Message& msg) const;
+                      router::HeaderState& msg) const;
 
   /// Notification that the fault map this algorithm references was mutated
   /// in place by a runtime reconfiguration event (inject/).  Algorithms
@@ -155,7 +155,7 @@ class RoutingAlgorithm {
   /// counters, which is always sound but may blow up the verifier's state
   /// space; algorithms should override with their clamped projection.
   [[nodiscard]] virtual std::uint64_t route_state_key(
-      const router::Message& msg) const noexcept;
+      const router::HeaderState& msg) const noexcept;
 
  protected:
   RoutingAlgorithm(const topology::Mesh& mesh, const fault::FaultMap& faults)

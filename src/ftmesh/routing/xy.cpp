@@ -5,7 +5,7 @@ namespace ftmesh::routing {
 using topology::Coord;
 using topology::Direction;
 
-void XyRouting::candidates(Coord at, const router::Message& msg,
+void XyRouting::candidates(Coord at, const router::HeaderState& msg,
                            CandidateList& out) const {
   Direction dir;
   if (msg.dst.x > at.x) dir = Direction::XPlus;

@@ -17,12 +17,12 @@ class XyRouting : public RoutingAlgorithm {
   [[nodiscard]] std::string_view name() const noexcept override { return "XY"; }
   [[nodiscard]] const VcLayout& layout() const noexcept override { return layout_; }
 
-  void candidates(topology::Coord at, const router::Message& msg,
+  void candidates(topology::Coord at, const router::HeaderState& msg,
                   CandidateList& out) const override;
 
   /// candidates() reads only the header position and destination.
   [[nodiscard]] std::uint64_t route_state_key(
-      const router::Message&) const noexcept override {
+      const router::HeaderState&) const noexcept override {
     return 0;
   }
 

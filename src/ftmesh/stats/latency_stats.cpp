@@ -26,20 +26,39 @@ LatencySummary summarize_latency(const router::Network& net,
   double hop_sum = 0.0;
   double misroute_sum = 0.0;
   std::uint64_t ring_users = 0;
+  // Finished messages live in the retirement log (both recycling modes).
+  // Accumulate in stable-id order — the order the legacy full-table scan
+  // used — so the floating-point sums, and therefore the report, are
+  // byte-identical regardless of retirement (i.e. delivery) order.
+  const auto& retired = net.retired();
+  std::vector<std::uint32_t> order(retired.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return retired[a].id < retired[b].id;
+  });
+  for (const std::uint32_t idx : order) {
+    const auto& r = retired[idx];
+    if (r.created >= warmup) {
+      ++s.generated;
+      if (r.aborted) ++s.undelivered;
+    }
+    if (r.aborted || r.delivered < warmup) continue;
+    ++s.delivered;
+    lat.push_back(static_cast<double>(r.delivered - r.created));
+    net_sum += static_cast<double>(r.delivered - r.injected);
+    hop_sum += static_cast<double>(r.hops);
+    misroute_sum += static_cast<double>(r.misroutes);
+    if (r.ring_user) ++ring_users;
+  }
+  // Messages still in flight at the end of the run: integer counters only.
+  // Free slots carry id == kInvalidMessage; finished slots (recycling off
+  // keeps them in the table) are already counted through the log above.
   for (const auto& m : net.messages()) {
+    if (m.id == router::kInvalidMessage || m.done || m.aborted) continue;
     if (m.created >= warmup) {
       ++s.generated;
-      if (!m.done) ++s.undelivered;
+      ++s.undelivered;
     }
-    if (!m.done || m.delivered < warmup) continue;
-    ++s.delivered;
-    lat.push_back(static_cast<double>(m.delivered - m.created));
-    net_sum += static_cast<double>(m.delivered - m.injected);
-    hop_sum += static_cast<double>(m.rs.hops);
-    misroute_sum += static_cast<double>(m.rs.misroutes);
-    // A message that took any ring hop ends with misroutes > 0 or carries a
-    // ring region id; region >= 0 persists after exit and marks ring users.
-    if (m.rs.ring.region >= 0) ++ring_users;
   }
   if (lat.empty()) return s;
   const double n = static_cast<double>(lat.size());

@@ -22,22 +22,29 @@ ReliabilitySummary summarize_reliability(const router::Network& net,
 
   std::vector<double> recovery;
   std::uint64_t post_fault_flits = 0;
-  for (const auto& m : net.messages()) {
+  // Finished messages come from the retirement log (identical in both
+  // recycling modes); collection order is irrelevant here — every float
+  // reduction below happens after a sort.
+  for (const auto& r : net.retired()) {
     ++out.generated;
-    if (m.done) {
+    if (!r.aborted) {
       ++out.delivered;
-      if (m.retries > 0) {
+      if (r.retries > 0) {
         ++out.recovered_messages;
-        recovery.push_back(static_cast<double>(m.delivered - m.created));
+        recovery.push_back(static_cast<double>(r.delivered - r.created));
       }
-      if (log.events_applied > 0 && m.delivered >= log.last_event_cycle) {
-        post_fault_flits += m.length;
+      if (log.events_applied > 0 && r.delivered >= log.last_event_cycle) {
+        post_fault_flits += r.length;
       }
-    } else if (m.aborted) {
-      ++out.aborted;
     } else {
-      ++out.in_flight_end;
+      ++out.aborted;
     }
+  }
+  // Live slots: anything not yet retired was still in flight at the end.
+  for (const auto& m : net.messages()) {
+    if (m.id == router::kInvalidMessage || m.done || m.aborted) continue;
+    ++out.generated;
+    ++out.in_flight_end;
   }
 
   if (!recovery.empty()) {

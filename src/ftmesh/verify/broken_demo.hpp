@@ -24,7 +24,7 @@ class BrokenDemoRouting : public routing::RoutingAlgorithm {
     return layout_;
   }
 
-  void candidates(topology::Coord at, const router::Message& msg,
+  void candidates(topology::Coord at, const router::HeaderState& msg,
                   routing::CandidateList& out) const override {
     std::array<topology::Direction, 2> dirs{};
     const int n = usable_minimal(at, msg.dst, dirs);
@@ -37,7 +37,7 @@ class BrokenDemoRouting : public routing::RoutingAlgorithm {
     return routing::DeadlockArgument::FullCdg;
   }
   [[nodiscard]] std::uint64_t route_state_key(
-      const router::Message&) const noexcept override {
+      const router::HeaderState&) const noexcept override {
     return 0;
   }
 

@@ -65,7 +65,7 @@ struct DstSearch {
 
   /// Interns the state (at, key(msg)); on first sight computes and caches
   /// its candidate set and flags dead ends.
-  std::int32_t intern(Coord at, const router::Message& msg) {
+  std::int32_t intern(Coord at, const router::HeaderState& msg) {
     const StateKey key{mesh->id_of(at), algo->route_state_key(msg)};
     const auto [it, fresh] =
         index.try_emplace(key, static_cast<std::int32_t>(state_rs.size()));
@@ -103,7 +103,7 @@ struct DstSearch {
   void run() {
     for (const Coord src : faults->active_nodes()) {
       if (src == dst) continue;
-      router::Message msg;
+      router::HeaderState msg;
       msg.src = src;
       msg.dst = dst;
       algo->on_inject(msg);
@@ -120,7 +120,7 @@ struct DstSearch {
         used[static_cast<std::size_t>(ch)] = 1;
         const Coord to = at.step(c.dir);
         if (to == dst) continue;  // delivered: ejection is always a sink
-        router::Message msg;
+        router::HeaderState msg;
         msg.src = dst;  // src is never read after injection
         msg.dst = dst;
         msg.rs = state_rs[static_cast<std::size_t>(s)];

@@ -12,7 +12,7 @@ using ftmesh::fault::FRingSet;
 using ftmesh::fault::Orientation;
 using ftmesh::fault::Rect;
 using ftmesh::router::classify;
-using ftmesh::router::Message;
+using ftmesh::router::HeaderState;
 using ftmesh::router::MsgType;
 using ftmesh::router::ring_orientation;
 using ftmesh::routing::BoppanaChalasani;
@@ -39,11 +39,10 @@ struct BcFixture {
            "BC-test") {}
 };
 
-Message make_msg(Coord src, Coord dst) {
-  Message m;
+HeaderState make_msg(Coord src, Coord dst) {
+  HeaderState m;
   m.src = src;
   m.dst = dst;
-  m.length = 10;
   return m;
 }
 

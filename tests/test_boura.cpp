@@ -8,7 +8,7 @@ namespace {
 
 using ftmesh::fault::FaultMap;
 using ftmesh::fault::Rect;
-using ftmesh::router::Message;
+using ftmesh::router::HeaderState;
 using ftmesh::routing::Boura;
 using ftmesh::routing::CandidateList;
 using ftmesh::routing::VcLayout;
@@ -17,11 +17,10 @@ using ftmesh::topology::Coord;
 using ftmesh::topology::Direction;
 using ftmesh::topology::Mesh;
 
-Message make_msg(Coord src, Coord dst) {
-  Message m;
+HeaderState make_msg(Coord src, Coord dst) {
+  HeaderState m;
   m.src = src;
   m.dst = dst;
-  m.length = 10;
   return m;
 }
 
@@ -99,7 +98,7 @@ TEST(Boura, FtAvoidsUnsafeMinimalHops) {
       FaultMap::from_blocks(mesh, {Rect{3, 5, 3, 5}, Rect{5, 5, 5, 5}});
   const Boura b(mesh, faults, Boura::Variant::FaultTolerant, boura_layout(true));
   ASSERT_TRUE(b.unsafe({4, 5}));
-  // Message at (4,4) wanting (4,7): minimal Y+ leads into the unsafe node.
+  // HeaderState at (4,4) wanting (4,7): minimal Y+ leads into the unsafe node.
   auto msg = make_msg({4, 4}, {4, 7});
   CandidateList out;
   b.candidates({4, 4}, msg, out);

@@ -35,6 +35,7 @@ TEST(ConfigIo, RoundTripPreservesEveryField) {
   cfg.collect_vc_usage = true;
   cfg.collect_traffic_map = true;
   cfg.metrics_interval = 250;
+  cfg.recycle_messages = false;  // non-default: proves the key round-trips
 
   std::stringstream buffer;
   save_config(buffer, cfg);
@@ -63,6 +64,7 @@ TEST(ConfigIo, RoundTripPreservesEveryField) {
   EXPECT_EQ(loaded.collect_vc_usage, cfg.collect_vc_usage);
   EXPECT_EQ(loaded.collect_traffic_map, cfg.collect_traffic_map);
   EXPECT_EQ(loaded.metrics_interval, cfg.metrics_interval);
+  EXPECT_EQ(loaded.recycle_messages, cfg.recycle_messages);
 }
 
 TEST(ConfigIo, ZeroRateWarnsAboutLegacySaturationConvention) {

@@ -6,8 +6,9 @@
 // which idle routers are skipped, so the full JSON report — every latency
 // percentile, throughput figure and reliability counter — is byte-identical.
 // The same holds for the route-candidate cache (pure memoization, sound by
-// the route_state_key contract) and across repeated runs (determinism in
-// (config, seed)).
+// the route_state_key contract), for message slot recycling (external ids
+// stay stable and id-ordered even as slots are reused), and across repeated
+// runs (determinism in (config, seed)).
 //
 // The matrix deliberately includes a dynamic fault schedule so the
 // cache-invalidation and active-set-rebuild paths are exercised, not just
@@ -110,6 +111,32 @@ TEST_P(GoldenDeterminism, RouteCacheDoesNotChangeTheReport) {
   cfg.route_cache = false;
   const std::string uncached = report_for(cfg);
   ASSERT_EQ(cached, uncached);
+}
+
+TEST_P(GoldenDeterminism, RecyclingDoesNotChangeTheReport) {
+  // Slot recycling changes the storage model (message slots are reused the
+  // cycle the tail ejects), but every externally visible id is the stable
+  // monotonic MessageId and the stats pipeline accumulates retired messages
+  // in id order — so the full JSON report must not move by a byte.
+  auto cfg = config();
+  cfg.recycle_messages = true;
+  const std::string recycled = report_for(cfg);
+  cfg.recycle_messages = false;
+  const std::string appendonly = report_for(cfg);
+  ASSERT_EQ(recycled, appendonly);
+}
+
+TEST_P(GoldenDeterminism, TracesAreByteIdenticalAcrossRecyclingModes) {
+  // Trace events carry stable ids, never slot indices, and fault victims
+  // are purged in id order regardless of slot assignment: the whole JSONL
+  // stream must match, including the dynamic-schedule purge/retransmit runs.
+  auto cfg = config();
+  cfg.recycle_messages = true;
+  const std::string recycled = trace_for(cfg);
+  cfg.recycle_messages = false;
+  const std::string appendonly = trace_for(cfg);
+  ASSERT_FALSE(recycled.empty());
+  ASSERT_EQ(recycled, appendonly);
 }
 
 TEST_P(GoldenDeterminism, TracesAreByteIdenticalAcrossScanModes) {

@@ -9,7 +9,7 @@
 namespace {
 
 using ftmesh::fault::FaultMap;
-using ftmesh::router::Message;
+using ftmesh::router::HeaderState;
 using ftmesh::routing::CandidateList;
 using ftmesh::routing::HopScheme;
 using ftmesh::routing::VcLayout;
@@ -23,11 +23,10 @@ struct Fixture {
   FaultMap faults{mesh};
 };
 
-Message make_msg(Coord src, Coord dst) {
-  Message m;
+HeaderState make_msg(Coord src, Coord dst) {
+  HeaderState m;
   m.src = src;
   m.dst = dst;
-  m.length = 10;
   return m;
 }
 

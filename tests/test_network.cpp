@@ -28,6 +28,9 @@ struct NetFixture {
 
   explicit NetFixture(const std::string& name = "Minimal-Adaptive",
                       NetworkConfig cfg = {}) {
+    // These tests inspect messages by id after delivery (and iterate the
+    // full table), so keep the slot table append-only.
+    cfg.recycle_messages = false;
     algo = ftmesh::routing::make_algorithm(name, mesh, faults, rings);
     net = std::make_unique<Network>(mesh, faults, *algo, cfg, Rng(7));
   }
@@ -39,8 +42,8 @@ TEST(Network, SingleMessageIsDelivered) {
   for (int i = 0; i < 300 && !f.net->message(id).done; ++i) f.net->step();
   const auto& m = f.net->message(id);
   ASSERT_TRUE(m.done);
-  EXPECT_EQ(m.rs.hops, 10);  // minimal path, no contention
-  EXPECT_EQ(m.rs.misroutes, 0);
+  EXPECT_EQ(f.net->route_state(id).hops, 10);  // minimal path, no contention
+  EXPECT_EQ(f.net->route_state(id).misroutes, 0);
   // Zero-load latency: hops + length - 1 (the first flit moves in its
   // creation cycle) plus small pipeline overheads.
   EXPECT_GE(m.delivered - m.created, 10u + 20u - 1u);
@@ -189,8 +192,8 @@ TEST(Network, TwoInjectionVcsInterleaveMessagesFromOneSource) {
   const auto b = f.net->create_message({0, 0}, {0, 9}, 60);
   for (int i = 0; i < 40; ++i) f.net->step();
   // With two injection channels both messages are in flight concurrently.
-  EXPECT_GT(f.net->message(a).rs.hops, 0);
-  EXPECT_GT(f.net->message(b).rs.hops, 0);
+  EXPECT_GT(f.net->route_state(a).hops, 0);
+  EXPECT_GT(f.net->route_state(b).hops, 0);
   for (int i = 0; i < 400; ++i) f.net->step();
   EXPECT_TRUE(f.net->message(a).done);
   EXPECT_TRUE(f.net->message(b).done);
@@ -258,13 +261,15 @@ TEST(Network, RectangularMeshWorks) {
   const FRingSet rings(faults);
   const auto algo =
       ftmesh::routing::make_algorithm("Nbc", mesh, faults, rings);
-  Network net(mesh, faults, *algo, {}, Rng(5));
+  NetworkConfig cfg;
+  cfg.recycle_messages = false;  // inspect messages by id after delivery
+  Network net(mesh, faults, *algo, cfg, Rng(5));
   const auto a = net.create_message({0, 0}, {11, 3}, 10);
   const auto b = net.create_message({11, 0}, {0, 3}, 10);
   for (int i = 0; i < 300; ++i) net.step();
   EXPECT_TRUE(net.message(a).done);
   EXPECT_TRUE(net.message(b).done);
-  EXPECT_EQ(net.message(a).rs.hops, 14);
+  EXPECT_EQ(net.route_state(a).hops, 14);
 }
 
 TEST(Network, AdaptivityCountersAccumulateWhileMeasuring) {

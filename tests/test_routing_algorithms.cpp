@@ -14,7 +14,7 @@ namespace {
 using ftmesh::fault::FaultMap;
 using ftmesh::fault::FRingSet;
 using ftmesh::fault::Rect;
-using ftmesh::router::Message;
+using ftmesh::router::HeaderState;
 using ftmesh::routing::CandidateList;
 using ftmesh::routing::VcLayout;
 using ftmesh::routing::VcRole;
@@ -22,11 +22,10 @@ using ftmesh::topology::Coord;
 using ftmesh::topology::Direction;
 using ftmesh::topology::Mesh;
 
-Message make_msg(Coord src, Coord dst) {
-  Message m;
+HeaderState make_msg(Coord src, Coord dst) {
+  HeaderState m;
   m.src = src;
   m.dst = dst;
-  m.length = 10;
   return m;
 }
 

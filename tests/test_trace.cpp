@@ -86,11 +86,11 @@ TEST(TraceLifecycle, SingleMessageEventSequence) {
   sim.set_trace_sink(&sink);
   const MessageId id =
       sim.network().create_message({1, 4}, {8, 4}, /*length=*/100);
-  while (!sim.network().messages()[id].done &&
+  while (!sim.network().message_finished(id) &&
          sim.network().cycle() < cfg.total_cycles) {
     sim.step();
   }
-  ASSERT_TRUE(sim.network().messages()[id].done);
+  ASSERT_TRUE(sim.network().message_finished(id));
 
   const auto& events = sink.events();
   ASSERT_FALSE(events.empty());
@@ -105,11 +105,12 @@ TEST(TraceLifecycle, SingleMessageEventSequence) {
       events.begin(), events.end(),
       [](const Event& e) { return e.kind == EventKind::Eject; });
   ASSERT_NE(eject, events.end());
-  const auto& m = sim.network().messages()[id];
-  EXPECT_EQ(eject->a, m.rs.hops);
-  EXPECT_EQ(eject->b, m.rs.misroutes);
-  EXPECT_EQ(count_kind(events, EventKind::VcAlloc), m.rs.hops);
-  EXPECT_EQ(count_kind(events, EventKind::Misroute), m.rs.misroutes);
+  const auto* m = sim.network().retired_record(id);
+  ASSERT_NE(m, nullptr);  // delivered => retired
+  EXPECT_EQ(eject->a, m->hops);
+  EXPECT_EQ(eject->b, m->misroutes);
+  EXPECT_EQ(count_kind(events, EventKind::VcAlloc), m->hops);
+  EXPECT_EQ(count_kind(events, EventKind::Misroute), m->misroutes);
 
   // The detour around the block enters the ring exactly once and leaves it.
   EXPECT_EQ(count_kind(events, EventKind::RingEnter), 1u);

@@ -170,8 +170,12 @@ TEST(Generator, OnlyActiveSourcesGenerate) {
     net.step();
   }
   for (const auto& m : net.messages()) {
+    if (m.id == ftmesh::router::kInvalidMessage) continue;  // recycled slot
     EXPECT_TRUE(faults.active(m.src));
     EXPECT_TRUE(faults.active(m.dst));
+  }
+  for (const auto& r : net.retired()) {
+    EXPECT_FALSE(r.aborted);
   }
 }
 

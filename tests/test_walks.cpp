@@ -17,7 +17,7 @@ namespace {
 using ftmesh::fault::FaultMap;
 using ftmesh::fault::FRingSet;
 using ftmesh::fault::Rect;
-using ftmesh::router::Message;
+using ftmesh::router::HeaderState;
 using ftmesh::routing::RoutingAlgorithm;
 using ftmesh::sim::Rng;
 using ftmesh::topology::Coord;
@@ -26,10 +26,9 @@ using ftmesh::topology::Mesh;
 /// Walks msg's header from src to dst taking the first candidate at each
 /// node; returns hops taken, or -1 if it stalls or exceeds the budget.
 int walk(const RoutingAlgorithm& algo, const Mesh& mesh, Coord src, Coord dst) {
-  Message msg;
+  HeaderState msg;
   msg.src = src;
   msg.dst = dst;
-  msg.length = 100;
   algo.on_inject(msg);
   Coord at = src;
   ftmesh::routing::CandidateList out;

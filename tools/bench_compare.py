@@ -10,18 +10,25 @@ fraction fails the job.
 Usage:
     bench_compare.py BASELINE.json CURRENT.json \
         [--max-regression 0.25] [--bench NAME ...] \
-        [--pair NAME_A:NAME_B:MAX_RATIO ...]
+        [--pair NAME_A:NAME_B:MAX_RATIO ...] \
+        [--counter-max NAME:COUNTER:MAX ...]
 
-Without --bench, the default watch list is the two acceptance-gate
-kernels: BM_NetworkStepIdle and BM_NetworkStepModerateLoad.  Benchmarks
-present in the baseline but absent from the current run (or vice versa)
-are an error only when watched.
+Without --bench, the default watch list is the acceptance-gate kernels:
+BM_NetworkStepIdle, BM_NetworkStepModerateLoad and
+BM_NetworkStepSaturated.  Benchmarks present in the baseline but absent
+from the current run (or vice versa) are an error only when watched.
 
 --pair gates a within-run ratio instead of a baseline comparison:
 current[NAME_A] / current[NAME_B] must stay <= MAX_RATIO.  Machine
 speed cancels out, so pair gates hold on any runner without touching
 the checked-in baseline (used to bound the traced-vs-untraced step
-overhead).
+overhead and to require the recycled saturated stepper to be no slower
+than the append-only one).
+
+--counter-max gates a user counter from the current run against an
+absolute bound: current[NAME].counters[COUNTER] <= MAX.  Counters such
+as peak_slots are machine-independent, so this pins structural claims
+(the slot table stays O(in-flight)) without a baseline.
 
 Exit status: 0 = within budget, 1 = regression or missing benchmark,
 2 = bad invocation / unreadable input.
@@ -34,11 +41,22 @@ import sys
 DEFAULT_WATCHED = [
     "BM_NetworkStepIdle",
     "BM_NetworkStepModerateLoad",
+    "BM_NetworkStepSaturated",
 ]
 
+# Google Benchmark JSON keys that are per-run metadata, not user counters.
+_NON_COUNTER_KEYS = frozenset([
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "items_per_second",
+    "bytes_per_second", "aggregate_name", "aggregate_unit", "label",
+    "error_occurred", "error_message",
+])
 
-def load_times(path):
-    """Returns {benchmark name: real_time} from a benchmark JSON file."""
+
+def load_runs(path):
+    """Returns ({name: real_time}, {name: {counter: value}}) from a
+    benchmark JSON file."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -46,16 +64,21 @@ def load_times(path):
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
     times = {}
+    counters = {}
     for b in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev) if repetitions were used;
         # plain rows have no aggregate_name.
         if b.get("aggregate_name"):
             continue
         times[b["name"]] = float(b["real_time"])
+        counters[b["name"]] = {
+            k: float(v) for k, v in b.items()
+            if k not in _NON_COUNTER_KEYS and isinstance(v, (int, float))
+        }
     if not times:
         print(f"bench_compare: no benchmarks in {path}", file=sys.stderr)
         sys.exit(2)
-    return times
+    return times, counters
 
 
 def main():
@@ -85,6 +108,14 @@ def main():
         help="within-run ratio gate: current[A]/current[B] <= MAX "
         "(repeatable; machine-independent)",
     )
+    ap.add_argument(
+        "--counter-max",
+        action="append",
+        default=[],
+        metavar="NAME:COUNTER:MAX",
+        help="absolute user-counter gate on the current run: "
+        "current[NAME].COUNTER <= MAX (repeatable; machine-independent)",
+    )
     args = ap.parse_args()
     watched = args.bench if args.bench else DEFAULT_WATCHED
 
@@ -102,8 +133,22 @@ def main():
                   file=sys.stderr)
             sys.exit(2)
 
-    base = load_times(args.baseline)
-    cur = load_times(args.current)
+    counter_gates = []
+    for spec in args.counter_max:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            print(f"bench_compare: bad --counter-max {spec!r} "
+                  "(want NAME:COUNTER:MAX)", file=sys.stderr)
+            sys.exit(2)
+        try:
+            counter_gates.append((parts[0], parts[1], float(parts[2])))
+        except ValueError:
+            print(f"bench_compare: bad --counter-max bound in {spec!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+
+    base, _ = load_runs(args.baseline)
+    cur, cur_counters = load_runs(args.current)
 
     failed = False
     width = max(len(n) for n in sorted(set(base) | set(cur)))
@@ -140,6 +185,20 @@ def main():
             failed = True
             status = "** FAIL **"
         print(f"pair {a}/{b}: {ratio:.2f}x (budget {max_ratio:.2f}x)  "
+              f"{status}")
+
+    for name, counter, bound in counter_gates:
+        value = cur_counters.get(name, {}).get(counter)
+        if value is None:
+            print(f"counter {name}.{counter}: MISSING from current  "
+                  "** FAIL **")
+            failed = True
+            continue
+        status = "ok"
+        if value > bound:
+            failed = True
+            status = "** FAIL **"
+        print(f"counter {name}.{counter}: {value:.0f} (bound {bound:.0f})  "
               f"{status}")
 
     if failed:

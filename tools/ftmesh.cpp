@@ -74,6 +74,8 @@ SimConfig config_from_cli(const Cli& cli) {
   cfg.scan_mode = cli.get("scan-mode", cfg.scan_mode);
   cfg.route_cache =
       cli.get_int("route-cache", cfg.route_cache ? 1 : 0) != 0;
+  cfg.recycle_messages =
+      cli.get_int("recycle-messages", cfg.recycle_messages ? 1 : 0) != 0;
   if (cli.flag("kernel-stats")) cfg.collect_kernel_stats = true;
   cfg.metrics_interval = static_cast<std::uint64_t>(cli.get_int(
       "metrics-interval", static_cast<std::int64_t>(cfg.metrics_interval)));
