@@ -21,6 +21,7 @@ ThreadPool::ThreadPool(int threads) {
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  thread_count_.store(n, std::memory_order_release);
 }
 
 ThreadPool::~ThreadPool() {
@@ -44,6 +45,8 @@ void ThreadPool::ensure_threads(int threads) {
   while (static_cast<int>(workers_.size()) < threads) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  thread_count_.store(static_cast<int>(workers_.size()),
+                      std::memory_order_release);
 }
 
 void ThreadPool::submit(std::function<void()> task) {

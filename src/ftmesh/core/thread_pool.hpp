@@ -12,6 +12,7 @@
 // thread always participates as one of the workers, so `threads == 1`
 // never touches the pool (or any lock) at all.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -47,8 +48,12 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
+  /// Current worker count.  Reads an atomic mirror of workers_.size():
+  /// callers probe this while ensure_threads() may be growing the pool
+  /// from another thread, and vector::size() is not safe to read
+  /// concurrently with push_back.
   [[nodiscard]] int thread_count() const noexcept {
-    return static_cast<int>(workers_.size());
+    return thread_count_.load(std::memory_order_acquire);
   }
 
  private:
@@ -58,6 +63,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::atomic<int> thread_count_{0};  // == workers_.size(), lock-free mirror
   std::deque<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_task_;

@@ -416,8 +416,225 @@ void Network::step() {
   phase_routing();
   phase_switching();
   phase_sampling();
+#if defined(FTMESH_AUDIT) && FTMESH_AUDIT >= 1
+  audit_invariants(FTMESH_AUDIT);
+#endif
   ++cycle_;
   if (measuring_) ++measured_cycles_;
+}
+
+// ---- runtime invariant audit ---------------------------------------------
+
+void Network::audit_invariants(int level) const {
+  if (level <= 0) return;
+  const auto fail = [this](const std::string& what) {
+    throw AuditError("audit_invariants, cycle " + std::to_string(cycle_) +
+                     ": " + what);
+  };
+
+  // ---- level 1: slot table, free list, generations, message totals ------
+  if (messages_.size() != headers_.size() ||
+      messages_.size() != slot_gen_.size()) {
+    fail("slot-table arrays diverged (messages/headers/slot_gen)");
+  }
+  std::size_t occupied = 0;
+  for (const auto& m : messages_) {
+    if (m.id != kInvalidMessage) ++occupied;
+  }
+  if (config_.recycle_messages) {
+    std::vector<char> freed(messages_.size(), 0);
+    for (const MessageSlot slot : free_slots_) {
+      if (slot >= messages_.size()) fail("free-list entry out of range");
+      if (freed[slot] != 0) fail("slot appears on the free list twice");
+      freed[slot] = 1;
+      if (messages_[slot].id != kInvalidMessage) {
+        fail("free-listed slot is still occupied");
+      }
+    }
+    for (MessageSlot slot = 0; slot < messages_.size(); ++slot) {
+      if (messages_[slot].id == kInvalidMessage && freed[slot] == 0) {
+        fail("vacant slot missing from the free list");
+      }
+    }
+    if (occupied != live_ids_.size()) {
+      fail("occupied slot count != live-id map size");
+    }
+    for (const auto& [id, slot] : live_ids_) {
+      if (slot >= messages_.size() || messages_[slot].id != id) {
+        fail("live-id map entry does not name its occupant");
+      }
+    }
+    if (retired_.size() + occupied != next_message_id_) {
+      fail("message conservation: retired + live != created");
+    }
+  } else if (messages_.size() != next_message_id_) {
+    fail("append-only slot table size != messages created");
+  }
+
+  if (level < 2) return;
+
+  // ---- level 2: full recount of the network ------------------------------
+  const int vcs = algorithm_->layout().total();
+  const auto local = topology::port_index(Direction::Local);
+  std::uint64_t flits = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t busy = 0;
+  std::vector<std::uint32_t> alloc_recount(static_cast<std::size_t>(vcs), 0);
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const auto sid = static_cast<std::size_t>(id);
+    const Router& rt = routers_[sid];
+    std::uint32_t routable = 0;
+    std::uint32_t sendable = 0;
+    for (int port = 0; port < kPortCount; ++port) {
+      for (int vc = 0; vc < vcs; ++vc) {
+        const InputVc& ivc = rt.input(port, vc);
+        flits += ivc.buf.size();
+        if (port != local &&
+            ivc.buf.size() > static_cast<std::size_t>(config_.buffer_depth)) {
+          fail("input VC buffer deeper than the credit budget");
+        }
+        if (!ivc.buf.empty()) {
+          if (ivc.stage == IvcStage::Active) {
+            ++sendable;
+          } else if (is_head(ivc.buf.front().type)) {
+            ++routable;
+          } else {
+            fail("non-Active input VC fronted by a body flit");
+          }
+        }
+        if (ivc.stage == IvcStage::Active &&
+            ivc.out_dir != Direction::Local) {
+          if (ivc.out_vc < 0 || ivc.out_vc >= vcs) {
+            fail("Active input VC with an out-of-range output VC");
+          }
+          const OutputVc& ovc =
+              rt.output(topology::port_index(ivc.out_dir), ivc.out_vc);
+          if (!ovc.allocated) {
+            fail("Active input VC whose output VC is not reserved");
+          }
+          if (!ivc.buf.empty() && ivc.buf.front().msg != ovc.owner) {
+            fail("flits of one worm on an output VC owned by another");
+          }
+        }
+      }
+    }
+    // Per-node pending counters are exact, and a node with work must carry
+    // its in-worklist flag (the flag, in turn, is checked against the
+    // worklists below).
+    if (route_pending_[sid] != routable) {
+      fail("route_pending counter drifted from the router state");
+    }
+    if (switch_pending_[sid] != sendable) {
+      fail("switch_pending counter drifted from the router state");
+    }
+    if (routable > 0 && in_route_[sid] == 0) {
+      fail("node with routable headers missing from the route worklist");
+    }
+    if (sendable > 0 && in_switch_[sid] == 0) {
+      fail("node with sendable flits missing from the switch worklist");
+    }
+
+    for (int d = 0; d < kMeshDirections; ++d) {
+      const auto nb = mesh_->neighbour(mesh_->coord_of(id),
+                                       static_cast<Direction>(d));
+      for (int vc = 0; vc < vcs; ++vc) {
+        const OutputVc& ovc = rt.output(d, vc);
+        if (ovc.allocated) {
+          ++alloc_recount[static_cast<std::size_t>(vc)];
+          if (ovc.owner >= messages_.size() ||
+              messages_[ovc.owner].id == kInvalidMessage) {
+            fail("reserved output VC owned by a vacant message slot");
+          }
+        }
+        if (!nb) continue;
+        // Credit conservation: credits + downstream occupancy + the flit in
+        // flight on the link register reconstruct the buffer depth exactly.
+        const auto& reg = links_[sid * kMeshDirections +
+                                 static_cast<std::size_t>(d)];
+        const int in_flight = (reg.full && reg.vc == vc) ? 1 : 0;
+        const auto& down = routers_[static_cast<std::size_t>(mesh_->id_of(*nb))];
+        const auto& dbuf =
+            down.input(topology::port_index(
+                           topology::opposite(static_cast<Direction>(d))),
+                       vc)
+                .buf;
+        if (ovc.credits + static_cast<int>(dbuf.size()) + in_flight !=
+            config_.buffer_depth) {
+          fail("credit accounting drifted on a link output VC");
+        }
+      }
+    }
+
+    std::uint32_t node_busy = 0;
+    for (int iv = 0; iv < config_.injection_vcs; ++iv) {
+      const auto& sup = supplies_[sid * static_cast<std::size_t>(
+                                            config_.injection_vcs) +
+                                  static_cast<std::size_t>(iv)];
+      if (sup.current != kInvalidMessage) ++node_busy;
+    }
+    busy += node_busy;
+    queued += queues_[sid].size();
+    if (inject_pending_[sid] !=
+        static_cast<std::uint32_t>(queues_[sid].size()) + node_busy) {
+      fail("inject_pending counter drifted from queue + supply state");
+    }
+    if (inject_pending_[sid] > 0 && in_inject_[sid] == 0) {
+      fail("node with injection work missing from the inject worklist");
+    }
+  }
+
+  for (std::size_t idx = 0; idx < links_.size(); ++idx) {
+    if (links_[idx].full) {
+      ++flits;
+      if (in_link_[idx] == 0) {
+        fail("full link register missing from the link worklist");
+      }
+    }
+  }
+
+  if (flits != buffered_flits_) {
+    fail("flit conservation: recount != buffered_flits");
+  }
+  if (queued != queued_messages_) {
+    fail("queued-message total drifted from the source queues");
+  }
+  if (busy != busy_supplies_) {
+    fail("busy-supply total drifted from the injection supplies");
+  }
+  for (int vc = 0; vc < vcs; ++vc) {
+    if (alloc_recount[static_cast<std::size_t>(vc)] !=
+        link_vc_allocated_[static_cast<std::size_t>(vc)]) {
+      fail("per-VC link allocation gauge drifted");
+    }
+  }
+
+  // Worklist membership: every node (or link register) carrying an in-list
+  // flag must actually be on its list — the flag is what keeps it from
+  // being re-pushed, so a flag without an entry silently drops work.
+  const auto check_membership = [&fail](const std::vector<NodeId>& list,
+                                        const std::vector<char>& flag,
+                                        const char* what) {
+    std::vector<char> present(flag.size(), 0);
+    for (const NodeId n : list) present[static_cast<std::size_t>(n)] = 1;
+    for (std::size_t n = 0; n < flag.size(); ++n) {
+      if (flag[n] != 0 && present[n] == 0) {
+        fail(std::string("flagged node absent from the ") + what +
+             " worklist");
+      }
+    }
+  };
+  check_membership(route_nodes_, in_route_, "route");
+  check_membership(switch_nodes_, in_switch_, "switch");
+  check_membership(inject_nodes_, in_inject_, "inject");
+  {
+    std::vector<char> present(in_link_.size(), 0);
+    for (const std::size_t idx : link_list_) present[idx] = 1;
+    for (std::size_t idx = 0; idx < in_link_.size(); ++idx) {
+      if (in_link_[idx] != 0 && present[idx] == 0) {
+        fail("flagged link register absent from the link worklist");
+      }
+    }
+  }
 }
 
 // ---- phase 1: arrivals ---------------------------------------------------

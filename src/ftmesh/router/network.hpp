@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -50,6 +51,13 @@ namespace ftmesh::router {
 enum class ScanMode : std::uint8_t {
   Full = 0,
   Active = 1,
+};
+
+/// Thrown by Network::audit_invariants when a runtime invariant is broken.
+/// The message names the violated identity and the cycle it was caught on.
+class AuditError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
 };
 
 struct NetworkConfig {
@@ -393,6 +401,17 @@ class Network {
   /// allocation then asserts that a header holding a ranked channel only
   /// acquires strictly higher-ranked ones; release builds ignore the order.
   void set_debug_channel_order(std::vector<std::int32_t> ranks);
+
+  /// Runtime invariant audit; throws AuditError on the first violation.
+  /// Level 1 checks the slot table (free-list uniqueness, generation /
+  /// live-id consistency, created == retired + live).  Level 2 additionally
+  /// recounts the whole network: flit conservation across input buffers and
+  /// link registers, per-link credit/occupancy accounting, output-VC
+  /// ownership by live slots, the exact per-node pending counters, and
+  /// active-set soundness (worklists ⊇ nodes with work).  Always compiled
+  /// (tests drive it directly); builds configured with -DFTMESH_AUDIT=1|2
+  /// also run it automatically at the end of every step().
+  void audit_invariants(int level) const;
 
  private:
   struct LinkReg {

@@ -1,0 +1,48 @@
+#pragma once
+// Static-audit contract published by a routing algorithm.
+//
+// The audit engine (verify/audit.hpp) enumerates every reachable routing
+// state and checks each emitted candidate against this declaration: which
+// VC roles the algorithm is allowed to claim, how far it may misroute
+// outside ring detours, and whether the Boppana-Chalasani exit discipline
+// applies.  The profile is a *claim* — the audit's job is to prove the
+// implementation never exceeds it, so keep profiles as tight as the
+// algorithm's design allows (a loose mask weakens the check, it never
+// fixes a failure).
+
+#include <cstdint>
+
+#include "ftmesh/routing/vc_layout.hpp"
+
+namespace ftmesh::routing {
+
+/// Bit for `role` in AuditProfile::role_mask.
+[[nodiscard]] constexpr std::uint8_t role_bit(VcRole role) noexcept {
+  return static_cast<std::uint8_t>(1U << static_cast<unsigned>(role));
+}
+
+struct AuditProfile {
+  /// OR of role_bit(r) for every VcRole a candidate of this algorithm may
+  /// carry.  A candidate whose VC has a role outside the mask is a
+  /// VC-discipline violation.
+  std::uint8_t role_mask =
+      role_bit(VcRole::AdaptiveI) | role_bit(VcRole::EscapeII) |
+      role_bit(VcRole::BcRing) | role_bit(VcRole::XyEscape);
+
+  /// Bound on non-minimal, non-ring candidates: 0 means strictly minimal
+  /// routing outside ring detours; k > 0 means such a candidate may only be
+  /// offered while the header's (saturating) misroute counter is below k;
+  /// -1 disables the check (unbounded misrouting claimed).
+  int misroute_limit = -1;
+
+  /// True when the Boppana-Chalasani exit discipline applies: a header in
+  /// ring mode at a node not strictly closer to its destination than its
+  /// ring entry point must be offered ring candidates only.
+  bool ring_exit_strictly_closer = false;
+
+  [[nodiscard]] constexpr bool allows(VcRole role) const noexcept {
+    return (role_mask & role_bit(role)) != 0;
+  }
+};
+
+}  // namespace ftmesh::routing

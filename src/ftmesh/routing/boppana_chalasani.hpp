@@ -56,6 +56,20 @@ class BoppanaChalasani : public RoutingAlgorithm {
   [[nodiscard]] std::uint64_t route_state_key(
       const router::HeaderState& msg) const noexcept override;
 
+  /// The base claim widened with the ring channels, plus the exit
+  /// discipline: in ring mode the message leaves only at nodes strictly
+  /// closer to the destination than its entry point.
+  [[nodiscard]] AuditProfile audit_profile() const noexcept override {
+    AuditProfile profile = base_->audit_profile();
+    profile.role_mask |= role_bit(VcRole::BcRing);
+    profile.ring_exit_strictly_closer = true;
+    return profile;
+  }
+  [[nodiscard]] std::pair<int, int> audit_escape_window(
+      topology::Coord at, const router::HeaderState& msg) const noexcept override {
+    return base_->audit_escape_window(at, msg);
+  }
+
   /// The planned ring move for a blocked/ring-mode header at `at`:
   /// (next ring node, region id, effective type, orientation, reversed).
   /// Exposed for tests.

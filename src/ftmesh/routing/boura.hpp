@@ -16,6 +16,7 @@
 // deadlock-free under wormhole switching, so the reconstruction routes
 // fault detours on dedicated ring channels instead).
 
+#include <algorithm>
 #include <vector>
 
 #include "ftmesh/routing/routing_algorithm.hpp"
@@ -42,6 +43,23 @@ class Boura : public RoutingAlgorithm {
   [[nodiscard]] std::uint64_t route_state_key(
       const router::HeaderState&) const noexcept override {
     return 0;
+  }
+
+  /// Strictly minimal on adaptive + escape channels; the escape class is
+  /// pinned by the remaining-offset phase (positive offsets on class 0,
+  /// negative on class 1), never by channel availability.
+  [[nodiscard]] AuditProfile audit_profile() const noexcept override {
+    AuditProfile profile;
+    profile.role_mask = role_bit(VcRole::AdaptiveI) | role_bit(VcRole::EscapeII);
+    profile.misroute_limit = 0;
+    return profile;
+  }
+  [[nodiscard]] std::pair<int, int> audit_escape_window(
+      topology::Coord at, const router::HeaderState& msg) const noexcept override {
+    const int top = layout_.escape_class_count() - 1;
+    const bool have_positive = msg.dst.x > at.x || msg.dst.y > at.y;
+    const int klass = std::min(have_positive ? 0 : 1, top < 0 ? 0 : top);
+    return {klass, klass};
   }
 
   /// True when `c` carries the unsafe label (FT variant only; always false

@@ -40,6 +40,19 @@ class Duato : public RoutingAlgorithm {
     return escape_->route_state_key(msg);
   }
 
+  /// Class-I adaptive channels on top of whatever the escape claims; the
+  /// escape's misroute bound and class-window discipline carry over
+  /// unchanged (tier 1 is strictly minimal).
+  [[nodiscard]] AuditProfile audit_profile() const noexcept override {
+    AuditProfile profile = escape_->audit_profile();
+    profile.role_mask |= role_bit(VcRole::AdaptiveI);
+    return profile;
+  }
+  [[nodiscard]] std::pair<int, int> audit_escape_window(
+      topology::Coord at, const router::HeaderState& msg) const noexcept override {
+    return escape_->audit_escape_window(at, msg);
+  }
+
   [[nodiscard]] const RoutingAlgorithm& escape() const noexcept { return *escape_; }
 
  private:

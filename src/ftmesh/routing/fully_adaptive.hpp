@@ -38,6 +38,15 @@ class FullyAdaptive : public RoutingAlgorithm {
     return spent << 3 | static_cast<std::uint64_t>(msg.rs.last_dir);
   }
 
+  /// Adaptive + dimension-order escape channels; non-minimal hops only
+  /// while the misroute budget lasts (the audit proves tier 2 closes).
+  [[nodiscard]] AuditProfile audit_profile() const noexcept override {
+    AuditProfile profile;
+    profile.role_mask = role_bit(VcRole::AdaptiveI) | role_bit(VcRole::XyEscape);
+    profile.misroute_limit = misroute_limit_;
+    return profile;
+  }
+
  private:
   VcLayout layout_;
   XyRouting xy_;

@@ -34,6 +34,22 @@ std::uint64_t HopScheme::route_state_key(
   return lo << 8 | hi;
 }
 
+AuditProfile HopScheme::audit_profile() const noexcept {
+  AuditProfile profile;
+  profile.role_mask = role_bit(VcRole::EscapeII);
+  profile.misroute_limit = 0;
+  return profile;
+}
+
+std::pair<int, int> HopScheme::audit_escape_window(
+    Coord at, const router::HeaderState& msg) const noexcept {
+  (void)at;
+  const int top = layout_.escape_class_count() - 1;
+  const int lo = std::min(current_class(msg), top);
+  const int hi = std::min(lo + static_cast<int>(msg.rs.cards_left), top);
+  return {lo, hi};
+}
+
 void HopScheme::on_inject(router::HeaderState& msg) const {
   msg.rs.class_hops = 0;
   msg.rs.class_offset = 0;

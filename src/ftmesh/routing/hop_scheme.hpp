@@ -50,6 +50,13 @@ class HopScheme : public RoutingAlgorithm {
   [[nodiscard]] std::uint64_t route_state_key(
       const router::HeaderState& msg) const noexcept override;
 
+  /// Strictly minimal routing on EscapeII channels only; the class window
+  /// offered is exactly [floor, floor + cards_left] clamped to the top
+  /// class.
+  [[nodiscard]] AuditProfile audit_profile() const noexcept override;
+  [[nodiscard]] std::pair<int, int> audit_escape_window(
+      topology::Coord at, const router::HeaderState& msg) const noexcept override;
+
   [[nodiscard]] Kind kind() const noexcept { return kind_; }
   [[nodiscard]] bool bonus_cards() const noexcept { return bonus_; }
 

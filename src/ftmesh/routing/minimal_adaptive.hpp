@@ -33,6 +33,14 @@ class MinimalAdaptive : public RoutingAlgorithm {
     return 0;
   }
 
+  /// Strictly minimal: adaptive channels plus the dimension-order escape.
+  [[nodiscard]] AuditProfile audit_profile() const noexcept override {
+    AuditProfile profile;
+    profile.role_mask = role_bit(VcRole::AdaptiveI) | role_bit(VcRole::XyEscape);
+    profile.misroute_limit = 0;
+    return profile;
+  }
+
  private:
   VcLayout layout_;
   XyRouting xy_;

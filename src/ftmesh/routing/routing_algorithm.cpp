@@ -34,6 +34,26 @@ std::uint64_t RoutingAlgorithm::route_state_key(
   return key;
 }
 
+AuditProfile RoutingAlgorithm::audit_profile() const noexcept {
+  // Derive the mask from the layout: the algorithm cannot legally claim a
+  // role its layout has no channel for.  Misrouting stays unchecked unless
+  // the algorithm declares its bound.
+  AuditProfile profile;
+  profile.role_mask = 0;
+  const auto& lay = layout();
+  for (int vc = 0; vc < lay.total(); ++vc) {
+    profile.role_mask |= role_bit(lay.at(vc).role);
+  }
+  return profile;
+}
+
+std::pair<int, int> RoutingAlgorithm::audit_escape_window(
+    Coord at, const router::HeaderState& msg) const noexcept {
+  (void)at;
+  (void)msg;
+  return {0, layout().escape_class_count() - 1};
+}
+
 int RoutingAlgorithm::usable_minimal(Coord at, Coord dst,
                                      std::array<Direction, 2>& dirs) const noexcept {
   std::array<Direction, 2> minimal{};

@@ -23,6 +23,7 @@
 #include "ftmesh/fault/fault_model.hpp"
 #include "ftmesh/fault/fring.hpp"
 #include "ftmesh/router/message.hpp"
+#include "ftmesh/routing/audit_profile.hpp"
 #include "ftmesh/routing/vc_layout.hpp"
 #include "ftmesh/sim/small_vec.hpp"
 #include "ftmesh/topology/mesh.hpp"
@@ -156,6 +157,23 @@ class RoutingAlgorithm {
   /// space; algorithms should override with their clamped projection.
   [[nodiscard]] virtual std::uint64_t route_state_key(
       const router::HeaderState& msg) const noexcept;
+
+  // ---- static-audit hooks (verify/audit) ------------------------------
+
+  /// The audit contract this algorithm claims (see audit_profile.hpp).  The
+  /// default derives the role mask from the channels the layout actually
+  /// contains and leaves misrouting unchecked; algorithms override with
+  /// their design's tighter claim.
+  [[nodiscard]] virtual AuditProfile audit_profile() const noexcept;
+
+  /// Inclusive window [lo, hi] of EscapeII class levels a candidate emitted
+  /// for `msg`'s header at `at` may carry.  Cross-checked by the audit
+  /// against every EscapeII candidate; the default permits every class the
+  /// layout has.  Algorithms with a class discipline (hop schemes, Boura's
+  /// positive/negative phases) override with the exact window their
+  /// candidates() enforces.
+  [[nodiscard]] virtual std::pair<int, int> audit_escape_window(
+      topology::Coord at, const router::HeaderState& msg) const noexcept;
 
  protected:
   RoutingAlgorithm(const topology::Mesh& mesh, const fault::FaultMap& faults)

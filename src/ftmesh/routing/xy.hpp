@@ -26,6 +26,14 @@ class XyRouting : public RoutingAlgorithm {
     return 0;
   }
 
+  /// Strictly minimal dimension-order hops on the XY escape channel only.
+  [[nodiscard]] AuditProfile audit_profile() const noexcept override {
+    AuditProfile profile;
+    profile.role_mask = role_bit(VcRole::XyEscape);
+    profile.misroute_limit = 0;
+    return profile;
+  }
+
  private:
   VcLayout layout_;
 };

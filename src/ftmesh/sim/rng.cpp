@@ -68,8 +68,15 @@ std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>(next_below(span));
+  // All arithmetic in unsigned space: `hi - lo` as signed overflows for
+  // spans wider than INT64_MAX, and the full [INT64_MIN, INT64_MAX] range
+  // wraps the span to 0, which next_below must never see.  Unsigned
+  // subtraction/addition are modular and the final conversion back is
+  // two's-complement (well-defined since C++20).
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  const std::uint64_t offset = span == 0 ? (*this)() : next_below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + offset);
 }
 
 double Rng::next_double() noexcept {

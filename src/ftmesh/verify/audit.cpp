@@ -1,0 +1,396 @@
+#include "ftmesh/verify/audit.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "ftmesh/core/thread_pool.hpp"
+#include "ftmesh/verify/scc.hpp"
+
+namespace ftmesh::verify {
+
+using topology::Coord;
+using topology::Direction;
+
+const char* audit_check_name(AuditCheck check) noexcept {
+  switch (check) {
+    case AuditCheck::Coverage: return "coverage";
+    case AuditCheck::VcDiscipline: return "vc-discipline";
+    case AuditCheck::RingConformance: return "ring-conformance";
+    case AuditCheck::Progress: return "progress";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const char* role_name(routing::VcRole role) noexcept {
+  switch (role) {
+    case routing::VcRole::AdaptiveI: return "AdaptiveI";
+    case routing::VcRole::EscapeII: return "EscapeII";
+    case routing::VcRole::BcRing: return "BcRing";
+    case routing::VcRole::XyEscape: return "XyEscape";
+  }
+  return "?";
+}
+
+/// BFS state identity, shared with the CDG builder: header node plus the
+/// algorithm's routing-state key.
+struct StateKey {
+  topology::NodeId node = 0;
+  std::uint64_t key = 0;
+
+  friend bool operator==(const StateKey&, const StateKey&) = default;
+};
+
+struct StateKeyHash {
+  std::size_t operator()(const StateKey& s) const noexcept {
+    std::uint64_t x = s.key * 0x9E3779B97F4A7C15ull +
+                      static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.node));
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// Per-destination audit scratch; results are merged by the caller.
+struct DstAudit {
+  const routing::RoutingAlgorithm* algo = nullptr;
+  const topology::Mesh* mesh = nullptr;
+  const fault::FaultMap* faults = nullptr;
+  const fault::FRingSet* rings = nullptr;
+  const AuditOptions* opts = nullptr;
+  Coord dst;
+  routing::AuditProfile profile;
+  bool escape_required = false;
+
+  std::unordered_map<StateKey, std::int32_t, StateKeyHash> index;
+  std::vector<router::RouteState> state_rs;
+  std::vector<Coord> state_at;
+  std::vector<std::uint64_t> state_key;
+  std::vector<std::vector<routing::CandidateVc>> state_cands;
+  std::vector<char> state_has_nonring;  ///< offers >= 1 non-ring candidate
+  /// Ring-hop edges of the state graph (s -> successor state via a BcRing
+  /// candidate); exit-free cycles in here are livelocks.
+  std::vector<std::vector<std::int32_t>> ring_out;
+  std::deque<std::int32_t> todo;
+  routing::CandidateList cand;
+
+  std::uint64_t candidates_checked = 0;
+  std::uint64_t violation_count = 0;
+  std::vector<AuditViolation> violations;
+
+  void flag(AuditCheck check, Coord at, std::uint64_t key, std::string detail) {
+    ++violation_count;
+    if (violations.size() < opts->max_violations) {
+      violations.push_back({check, at, dst, key, std::move(detail)});
+    }
+  }
+
+  /// Runs every per-state and per-candidate check on a freshly interned
+  /// state.  `cs` is the state's full candidate set.
+  void check_state(Coord at, std::uint64_t key, const router::HeaderState& msg,
+                   const std::vector<routing::CandidateVc>& cs) {
+    const auto& layout = algo->layout();
+
+    // Coverage: the fault-map constructors reject disconnecting patterns,
+    // so every reachable state sits in a connected component with dst and
+    // must make an offer.
+    if (cs.empty()) {
+      flag(AuditCheck::Coverage, at, key,
+           "no candidate at a reachable state (pattern is connected)");
+      return;
+    }
+    bool any_escape = false;
+    bool any_nonring = false;
+    for (const auto& c : cs) {
+      ++candidates_checked;
+
+      // VC discipline: index range, permitted role, legal direction.
+      if (c.vc < 0 || c.vc >= layout.total()) {
+        std::ostringstream os;
+        os << "vc " << c.vc << " outside layout (total " << layout.total() << ")";
+        flag(AuditCheck::VcDiscipline, at, key, os.str());
+        continue;
+      }
+      const auto info = layout.at(c.vc);
+      if (info.role != routing::VcRole::AdaptiveI) any_escape = true;
+      if (info.role != routing::VcRole::BcRing) any_nonring = true;
+      if (!profile.allows(info.role)) {
+        std::ostringstream os;
+        os << "role " << role_name(info.role) << " (vc " << c.vc
+           << ") outside the declared role mask";
+        flag(AuditCheck::VcDiscipline, at, key, os.str());
+      }
+      if (c.dir == Direction::Local) {
+        flag(AuditCheck::VcDiscipline, at, key, "candidate on the local port");
+        continue;
+      }
+      const auto nb = mesh->neighbour(at, c.dir);
+      if (!nb) {
+        flag(AuditCheck::VcDiscipline, at, key, "candidate points off the mesh");
+        continue;
+      }
+      const Coord to = *nb;
+      if (faults->blocked(to)) {
+        std::ostringstream os;
+        os << "candidate into blocked node (" << to.x << "," << to.y << ")";
+        flag(AuditCheck::VcDiscipline, at, key, os.str());
+      }
+
+      if (info.role == routing::VcRole::EscapeII) {
+        const auto [lo, hi] = algo->audit_escape_window(at, msg);
+        if (info.level < lo || info.level > hi) {
+          std::ostringstream os;
+          os << "escape class " << info.level << " outside the declared window ["
+             << lo << ", " << hi << "]";
+          flag(AuditCheck::VcDiscipline, at, key, os.str());
+        }
+      }
+
+      if (info.role == routing::VcRole::BcRing) {
+        check_ring_candidate(at, key, c, to, info.level);
+      } else if (profile.misroute_limit >= 0 &&
+                 topology::manhattan(to, dst) >= topology::manhattan(at, dst)) {
+        // Progress: a non-minimal, non-ring hop must fit the misroute
+        // budget; the key abstraction saturates the counter at the limit,
+        // so the representative state's counter is exact here.
+        const int spent = std::min(static_cast<int>(msg.rs.misroutes),
+                                   profile.misroute_limit);
+        if (spent >= profile.misroute_limit) {
+          std::ostringstream os;
+          if (profile.misroute_limit == 0) {
+            os << "non-minimal candidate from a strictly minimal algorithm";
+          } else {
+            os << "non-minimal candidate with the misroute budget ("
+               << profile.misroute_limit << ") exhausted";
+          }
+          flag(AuditCheck::Progress, at, key, os.str());
+        }
+      }
+    }
+
+    if (escape_required && !any_escape) {
+      flag(AuditCheck::Coverage, at, key,
+           "no escape-capable candidate (EscapeCdg progress condition)");
+    }
+
+    // Boppana-Chalasani exit discipline: while not strictly closer than the
+    // ring entry point, the ring channel is the only legal offer.
+    if (profile.ring_exit_strictly_closer && msg.rs.ring.active &&
+        topology::manhattan(at, dst) >=
+            static_cast<int>(msg.rs.ring.entry_distance) &&
+        any_nonring) {
+      flag(AuditCheck::RingConformance, at, key,
+           "non-ring candidate before the ring exit condition holds");
+    }
+  }
+
+  /// A BcRing candidate must ride its message type's dedicated channel and
+  /// step to the f-ring successor under that type's fixed orientation.
+  void check_ring_candidate(Coord at, std::uint64_t key,
+                            const routing::CandidateVc& c, Coord to,
+                            int level) {
+    const auto& layout = algo->layout();
+    if (level < 0 || level >= router::kMsgTypeCount) {
+      flag(AuditCheck::RingConformance, at, key, "ring vc with invalid type level");
+      return;
+    }
+    const auto type = static_cast<router::MsgType>(level);
+    if (layout.ring_vc(type) != c.vc) {
+      std::ostringstream os;
+      os << "ring candidate on vc " << c.vc << ", but type " << level
+         << "'s channel is vc " << layout.ring_vc(type);
+      flag(AuditCheck::RingConformance, at, key, os.str());
+    }
+    const auto orientation = router::ring_orientation(type);
+    for (const auto& ring : rings->rings()) {
+      if (!ring.contains(at)) continue;
+      const auto next = ring.next(at, orientation);
+      if (next && *next == to) return;  // conformant ring step
+    }
+    std::ostringstream os;
+    os << "ring hop to (" << to.x << "," << to.y
+       << ") is no f-ring successor under type " << level << "'s orientation";
+    flag(AuditCheck::RingConformance, at, key, os.str());
+  }
+
+  std::int32_t intern(Coord at, const router::HeaderState& msg) {
+    const StateKey key{mesh->id_of(at), algo->route_state_key(msg)};
+    const auto [it, fresh] =
+        index.try_emplace(key, static_cast<std::int32_t>(state_rs.size()));
+    if (!fresh) return it->second;
+    const std::int32_t s = it->second;
+    state_rs.push_back(msg.rs);
+    state_at.push_back(at);
+    state_key.push_back(key.key);
+
+    cand.clear();
+    algo->candidates(at, msg, cand);
+    std::vector<routing::CandidateVc> cs;
+    cs.reserve(cand.size());
+    for (std::size_t i = 0; i < cand.size(); ++i) cs.push_back(cand[i]);
+    check_state(at, key.key, msg, cs);
+
+    bool nonring = false;
+    const auto& layout = algo->layout();
+    for (const auto& c : cs) {
+      if (c.vc >= 0 && c.vc < layout.total() &&
+          layout.at(c.vc).role != routing::VcRole::BcRing) {
+        nonring = true;
+        break;
+      }
+    }
+    state_has_nonring.push_back(nonring ? 1 : 0);
+    state_cands.push_back(std::move(cs));
+    ring_out.emplace_back();
+    todo.push_back(s);
+    return s;
+  }
+
+  void run() {
+    for (const Coord src : faults->active_nodes()) {
+      if (src == dst) continue;
+      router::HeaderState msg;
+      msg.src = src;
+      msg.dst = dst;
+      algo->on_inject(msg);
+      intern(src, msg);
+    }
+    const auto& layout = algo->layout();
+    while (!todo.empty()) {
+      const std::int32_t s = todo.front();
+      todo.pop_front();
+      const Coord at = state_at[static_cast<std::size_t>(s)];
+      // Copy: intern() may grow state_cands and invalidate references.
+      const auto cands = state_cands[static_cast<std::size_t>(s)];
+      for (const auto& c : cands) {
+        if (c.dir == Direction::Local || c.vc < 0 || c.vc >= layout.total()) {
+          continue;  // already flagged; no state to advance into
+        }
+        const auto nb = mesh->neighbour(at, c.dir);
+        if (!nb) continue;  // off-mesh: already flagged, no state to advance
+        const Coord to = *nb;
+        if (to == dst) continue;  // delivered: ejection is always a sink
+        router::HeaderState msg;
+        msg.src = dst;  // src is never read after injection
+        msg.dst = dst;
+        msg.rs = state_rs[static_cast<std::size_t>(s)];
+        algo->on_hop(at, c.dir, c.vc, msg);
+        const std::int32_t s2 = intern(to, msg);
+        if (layout.at(c.vc).role == routing::VcRole::BcRing) {
+          ring_out[static_cast<std::size_t>(s)].push_back(s2);
+        }
+      }
+    }
+    check_ring_orbits();
+  }
+
+  /// Progress: a cycle of ring hops in state space none of whose states
+  /// offers a non-ring candidate can never be left — a livelock.  (Cycles
+  /// *with* an exit are legitimate: a blocked message may lap a closed ring
+  /// until an exit channel frees.)
+  void check_ring_orbits() {
+    const auto scc = strongly_connected_components(ring_out, {});
+    std::vector<char> comp_has_exit(static_cast<std::size_t>(scc.comp_count), 0);
+    for (std::size_t s = 0; s < state_has_nonring.size(); ++s) {
+      const auto comp = scc.comp[s];
+      if (comp >= 0 && state_has_nonring[s] != 0) {
+        comp_has_exit[static_cast<std::size_t>(comp)] = 1;
+      }
+    }
+    std::vector<char> flagged(static_cast<std::size_t>(scc.comp_count), 0);
+    for (std::size_t s = 0; s < state_has_nonring.size(); ++s) {
+      const auto comp = scc.comp[s];
+      if (comp < 0 || scc.comp_size[static_cast<std::size_t>(comp)] < 2) continue;
+      if (comp_has_exit[static_cast<std::size_t>(comp)] != 0) continue;
+      if (flagged[static_cast<std::size_t>(comp)] != 0) continue;
+      flagged[static_cast<std::size_t>(comp)] = 1;
+      std::ostringstream os;
+      os << "exit-free ring orbit ("
+         << scc.comp_size[static_cast<std::size_t>(comp)]
+         << " states): no state on the cycle offers a non-ring candidate";
+      flag(AuditCheck::Progress, state_at[s], state_key[s], os.str());
+    }
+  }
+};
+
+}  // namespace
+
+AuditReport audit_algorithm(const routing::RoutingAlgorithm& algo,
+                            const topology::Mesh& mesh,
+                            const fault::FaultMap& faults,
+                            const fault::FRingSet& rings,
+                            const AuditOptions& opts) {
+  AuditReport report;
+  report.algorithm = std::string(algo.name());
+  report.width = mesh.width();
+  report.height = mesh.height();
+  report.total_vcs = algo.layout().total();
+  report.faulty = faults.faulty_count();
+  report.deactivated = faults.deactivated_count();
+
+  const auto dsts = faults.active_nodes();
+  const auto profile = algo.audit_profile();
+  const bool escape_required =
+      algo.deadlock_argument() == routing::DeadlockArgument::EscapeCdg;
+
+  std::vector<std::uint64_t> states_by_dst(dsts.size(), 0);
+  std::vector<std::uint64_t> cands_by_dst(dsts.size(), 0);
+  std::vector<std::uint64_t> count_by_dst(dsts.size(), 0);
+  std::vector<std::vector<AuditViolation>> violations_by_dst(dsts.size());
+
+  core::parallel_for(dsts.size(), opts.threads, [&](std::size_t di) {
+    DstAudit audit;
+    audit.algo = &algo;
+    audit.mesh = &mesh;
+    audit.faults = &faults;
+    audit.rings = &rings;
+    audit.opts = &opts;
+    audit.dst = dsts[di];
+    audit.profile = profile;
+    audit.escape_required = escape_required;
+    audit.run();
+
+    states_by_dst[di] = audit.state_rs.size();
+    cands_by_dst[di] = audit.candidates_checked;
+    count_by_dst[di] = audit.violation_count;
+    violations_by_dst[di] = std::move(audit.violations);
+  });
+
+  for (std::size_t di = 0; di < dsts.size(); ++di) {
+    report.states_explored += states_by_dst[di];
+    report.candidates_checked += cands_by_dst[di];
+    report.violation_count += count_by_dst[di];
+    for (auto& v : violations_by_dst[di]) {
+      if (report.violations.size() >= opts.max_violations) break;
+      report.violations.push_back(std::move(v));
+    }
+  }
+  return report;
+}
+
+void print_audit_report(std::ostream& os, const AuditReport& report) {
+  os << (report.ok() ? "OK:  " : "FAIL:") << " audit " << report.algorithm
+     << " on " << report.width << "x" << report.height << ", " << report.total_vcs
+     << " VCs, faults " << report.faulty << "+" << report.deactivated
+     << " deactivated: " << report.states_explored << " states, "
+     << report.candidates_checked << " candidates, " << report.violation_count
+     << " violation(s)\n";
+  for (const auto& v : report.violations) {
+    os << "  [" << audit_check_name(v.check) << "] at (" << v.at.x << ","
+       << v.at.y << ") -> (" << v.dst.x << "," << v.dst.y << ") key 0x"
+       << std::hex << v.key << std::dec << ": " << v.detail << "\n";
+  }
+  if (report.violation_count > report.violations.size()) {
+    os << "  ... " << (report.violation_count - report.violations.size())
+       << " more violation(s) suppressed\n";
+  }
+}
+
+}  // namespace ftmesh::verify

@@ -1,0 +1,240 @@
+// Tests for the static routing-function audit (verify/audit.hpp) and the
+// per-cycle runtime invariant auditor (Network::audit_invariants).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "ftmesh/fault/fault_model.hpp"
+#include "ftmesh/fault/fring.hpp"
+#include "ftmesh/router/network.hpp"
+#include "ftmesh/routing/registry.hpp"
+#include "ftmesh/verify/audit.hpp"
+#include "ftmesh/verify/broken_demo.hpp"
+
+namespace {
+
+using ftmesh::fault::FaultMap;
+using ftmesh::fault::FRingSet;
+using ftmesh::fault::Rect;
+using ftmesh::router::Network;
+using ftmesh::router::NetworkConfig;
+using ftmesh::sim::Rng;
+using ftmesh::topology::Coord;
+using ftmesh::topology::Mesh;
+using ftmesh::verify::AuditCheck;
+using ftmesh::verify::AuditOptions;
+using ftmesh::verify::AuditReport;
+using ftmesh::verify::audit_algorithm;
+
+FaultMap make_faults(const Mesh& mesh, int count, std::uint64_t seed) {
+  if (count == 0) return FaultMap(mesh);
+  // Same derivation as the simulator, so audited patterns match runs.
+  Rng rng = Rng(seed).derive(0xFA);
+  return FaultMap::random(mesh, count, rng);
+}
+
+AuditReport audit(const std::string& name, const Mesh& mesh,
+                  const FaultMap& faults) {
+  const FRingSet rings(faults);
+  const auto algo =
+      ftmesh::routing::make_algorithm(name, mesh, faults, rings);
+  AuditOptions opts;
+  opts.threads = 1;
+  return audit_algorithm(*algo, mesh, faults, rings, opts);
+}
+
+// ---- every registered algorithm audits clean --------------------------
+
+class AuditAllAlgorithms : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AuditAllAlgorithms,
+    ::testing::ValuesIn(ftmesh::routing::algorithm_names()),
+    [](const auto& suite_info) {
+      std::string n = suite_info.param;
+      for (auto& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST_P(AuditAllAlgorithms, CleanMeshHasNoViolations) {
+  const Mesh mesh(6, 6);
+  const FaultMap faults(mesh);
+  const auto report = audit(GetParam(), mesh, faults);
+  EXPECT_TRUE(report.ok()) << report.violation_count << " violations, e.g. "
+                           << (report.violations.empty()
+                                   ? std::string("none")
+                                   : report.violations.front().detail);
+  EXPECT_GT(report.states_explored, 0u);
+  EXPECT_GT(report.candidates_checked, 0u);
+}
+
+TEST_P(AuditAllAlgorithms, BlockFaultPatternHasNoViolations) {
+  const Mesh mesh(7, 7);
+  const auto faults = FaultMap::from_blocks(mesh, {Rect{2, 2, 3, 3}});
+  const auto report = audit(GetParam(), mesh, faults);
+  EXPECT_TRUE(report.ok()) << report.violation_count << " violations, e.g. "
+                           << (report.violations.empty()
+                                   ? std::string("none")
+                                   : report.violations.front().detail);
+}
+
+TEST_P(AuditAllAlgorithms, RandomFaultPatternsHaveNoViolations) {
+  const Mesh mesh(6, 6);
+  for (const std::uint64_t seed : {2u, 3u}) {
+    const auto faults = make_faults(mesh, 3, seed);
+    const auto report = audit(GetParam(), mesh, faults);
+    EXPECT_TRUE(report.ok())
+        << "seed " << seed << ": " << report.violation_count
+        << " violations, e.g. "
+        << (report.violations.empty() ? std::string("none")
+                                      : report.violations.front().detail);
+  }
+}
+
+// ---- the audit provably catches broken routing functions --------------
+
+TEST(Audit, BrokenDemoIsFlaggedForCoverageUnderFaults) {
+  const Mesh mesh(6, 6);
+  const auto faults = FaultMap::from_blocks(mesh, {Rect{2, 2, 3, 3}});
+  const FRingSet rings(faults);
+  const ftmesh::verify::BrokenDemoRouting algo(mesh, faults);
+  AuditOptions opts;
+  opts.threads = 1;
+  opts.max_violations = 4;
+  const auto report = audit_algorithm(algo, mesh, faults, rings, opts);
+  ASSERT_FALSE(report.ok());
+  EXPECT_LE(report.violations.size(), 4u);
+  EXPECT_GE(report.violation_count, report.violations.size());
+  bool coverage = false;
+  for (const auto& v : report.violations) {
+    coverage = coverage || v.check == AuditCheck::Coverage;
+  }
+  EXPECT_TRUE(coverage) << "expected a coverage violation witness";
+}
+
+TEST(Audit, BrokenDemoIsCleanOnFaultFreeMesh) {
+  // Minimal adaptive routing covers every (src, dst) pair when nothing is
+  // blocked; only the fault cases expose the missing misrouting.
+  const Mesh mesh(6, 6);
+  const FaultMap faults(mesh);
+  const FRingSet rings(faults);
+  const ftmesh::verify::BrokenDemoRouting algo(mesh, faults);
+  EXPECT_TRUE(audit_algorithm(algo, mesh, faults, rings).ok());
+}
+
+// An algorithm that emits a VC index outside its own layout: the
+// vc-discipline check must catch it at every state.
+class BadVcRouting : public ftmesh::routing::RoutingAlgorithm {
+ public:
+  BadVcRouting(const Mesh& mesh, const FaultMap& faults)
+      : RoutingAlgorithm(mesh, faults),
+        layout_(ftmesh::routing::VcLayout::adaptive(1, /*ring=*/false,
+                                                    /*xy=*/false)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Bad-Vc";
+  }
+  [[nodiscard]] const ftmesh::routing::VcLayout& layout() const noexcept override {
+    return layout_;
+  }
+  void candidates(Coord at, const ftmesh::router::HeaderState& msg,
+                  ftmesh::routing::CandidateList& out) const override {
+    std::array<ftmesh::topology::Direction, 2> dirs{};
+    const int n = usable_minimal(at, msg.dst, dirs);
+    for (int d = 0; d < n; ++d) {
+      out.add(dirs[static_cast<std::size_t>(d)], 7);  // layout has 1 VC
+    }
+  }
+  [[nodiscard]] ftmesh::routing::DeadlockArgument deadlock_argument()
+      const noexcept override {
+    return ftmesh::routing::DeadlockArgument::FullCdg;
+  }
+  [[nodiscard]] std::uint64_t route_state_key(
+      const ftmesh::router::HeaderState&) const noexcept override {
+    return 0;
+  }
+
+ private:
+  ftmesh::routing::VcLayout layout_;
+};
+
+TEST(Audit, OutOfRangeVcIsFlaggedAsVcDiscipline) {
+  const Mesh mesh(5, 5);
+  const FaultMap faults(mesh);
+  const FRingSet rings(faults);
+  const BadVcRouting algo(mesh, faults);
+  const auto report = audit_algorithm(algo, mesh, faults, rings);
+  ASSERT_FALSE(report.ok());
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_EQ(report.violations.front().check, AuditCheck::VcDiscipline);
+}
+
+TEST(Audit, ReportPrintsSummaryAndWitnesses) {
+  const Mesh mesh(6, 6);
+  const auto faults = FaultMap::from_blocks(mesh, {Rect{2, 2, 3, 3}});
+  const FRingSet rings(faults);
+  const ftmesh::verify::BrokenDemoRouting algo(mesh, faults);
+  const auto report = audit_algorithm(algo, mesh, faults, rings);
+  std::ostringstream os;
+  ftmesh::verify::print_audit_report(os, report);
+  const auto text = os.str();
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+  EXPECT_NE(text.find("coverage"), std::string::npos);
+}
+
+// ---- runtime invariant auditor ----------------------------------------
+
+// Drives real traffic and recounts the whole network every cycle at the
+// deepest level.  Any drift between the incremental bookkeeping and the
+// ground truth throws AuditError and fails the test.
+void run_audited_traffic(const std::string& algo_name, int fault_count,
+                         bool recycle) {
+  const Mesh mesh(6, 6);
+  const auto faults = make_faults(mesh, fault_count, 5);
+  const FRingSet rings(faults);
+  const auto algo =
+      ftmesh::routing::make_algorithm(algo_name, mesh, faults, rings);
+  NetworkConfig cfg;
+  cfg.recycle_messages = recycle;
+  Network net(mesh, faults, *algo, cfg, Rng(7));
+
+  Rng traffic(21);
+  const auto random_live = [&]() -> Coord {
+    for (;;) {
+      const Coord c{static_cast<int>(traffic.next_below(6)),
+                    static_cast<int>(traffic.next_below(6))};
+      if (!faults.blocked(c)) return c;
+    }
+  };
+  for (int cycle = 0; cycle < 400; ++cycle) {
+    if (cycle < 200 && cycle % 3 == 0) {
+      const Coord src = random_live();
+      Coord dst = random_live();
+      while (dst == src) dst = random_live();
+      net.create_message(src, dst, 4);
+    }
+    net.step();
+    ASSERT_NO_THROW(net.audit_invariants(2)) << "cycle " << cycle;
+    if (cycle >= 200 && net.drained()) break;
+  }
+}
+
+TEST(RuntimeAudit, CleanMeshTrafficKeepsEveryInvariant) {
+  run_audited_traffic("Minimal-Adaptive", 0, /*recycle=*/true);
+}
+
+TEST(RuntimeAudit, AppendOnlySlotTableKeepsEveryInvariant) {
+  run_audited_traffic("Fully-Adaptive", 0, /*recycle=*/false);
+}
+
+TEST(RuntimeAudit, FaultedRingTrafficKeepsEveryInvariant) {
+  run_audited_traffic("Pbc", 3, /*recycle=*/true);
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 
 #include "ftmesh/sim/rng.hpp"
@@ -125,6 +126,26 @@ TEST(Rng, DeriveWithDifferentSaltsDiverges) {
     if (c1() == c2()) ++equal;
   }
   EXPECT_LT(equal, 3);
+}
+
+// Regression: the extreme bounds used to compute `hi - lo` in signed
+// arithmetic (overflow UB for spans wider than INT64_MAX) and the full
+// 64-bit range wrapped the span to zero, handing next_below(0) an empty
+// interval.  Any value is in range for the full span; the point is that
+// UBSan-instrumented builds execute these lines without a finding.
+TEST(Rng, UniformIntExtremeBoundsAreDefined) {
+  Rng r(7);
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < 100; ++i) {
+    (void)r.uniform_int(kMin, kMax);  // span wraps to 0
+    const auto wide = r.uniform_int(kMin, 0);  // span > INT64_MAX
+    EXPECT_LE(wide, 0);
+    const auto pinned = r.uniform_int(kMax, kMax);
+    EXPECT_EQ(pinned, kMax);
+    const auto low = r.uniform_int(kMin, kMin);
+    EXPECT_EQ(low, kMin);
+  }
 }
 
 TEST(Rng, SplitMix64KnownSequenceAdvances) {

@@ -1,0 +1,67 @@
+// Tests for the shared thread pool behind parallel_for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "ftmesh/core/thread_pool.hpp"
+
+namespace {
+
+using ftmesh::core::ThreadPool;
+using ftmesh::core::parallel_for;
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 257;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  const auto caller = std::this_thread::get_id();
+  parallel_for(16, 1, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, EnsureThreadsGrowsAndNeverShrinks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1);
+  pool.ensure_threads(3);
+  EXPECT_EQ(pool.thread_count(), 3);
+  pool.ensure_threads(2);
+  EXPECT_EQ(pool.thread_count(), 3);
+}
+
+// Regression: thread_count() used to read workers_.size() with no
+// synchronisation while ensure_threads() was push_back-ing from another
+// thread — a data race TSan flags (and a torn size read in practice).
+// Hammer the pair from two threads; under -DFTMESH_SANITIZE=thread this
+// test fails if the counter ever goes back to racing the vector.
+TEST(ThreadPool, ThreadCountIsSafeAgainstConcurrentGrowth) {
+  ThreadPool pool(1);
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    int last = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const int n = pool.thread_count();
+      EXPECT_GE(n, last);  // monotone: the pool never shrinks
+      last = n;
+    }
+  });
+  for (int target = 2; target <= 8; ++target) {
+    pool.ensure_threads(target);
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(pool.thread_count(), 8);
+}
+
+}  // namespace

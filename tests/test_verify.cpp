@@ -97,6 +97,25 @@ TEST_P(AllAlgorithms, ChannelOrderRanksIncreaseAlongBaseDependencies) {
   EXPECT_GT(ranked, 0u);
 }
 
+TEST_P(AllAlgorithms, VerifiesCleanUnderRandomizedFaultSweep) {
+  // Seeded sweep over fault-pattern space: several seeds x several fault
+  // counts on an 8x8 mesh.  Every pattern FaultMap::random accepts must
+  // verify for every registered algorithm; a pattern-dependent regression
+  // (ring handling, region hulls) shows up here before it would in a
+  // simulation campaign.
+  const Mesh mesh(8, 8);
+  for (const std::uint64_t seed : {2u, 3u, 4u}) {
+    for (const int faults : {3, 6}) {
+      const auto fm = make_faults(mesh, faults, seed);
+      const auto r = verify_named(GetParam(), mesh, fm);
+      std::ostringstream os;
+      ftmesh::verify::print_report(os, r, mesh);
+      EXPECT_TRUE(r.ok()) << "seed " << seed << ", " << faults << " faults: "
+                          << os.str();
+    }
+  }
+}
+
 std::string param_name(const testing::TestParamInfo<std::string>& p) {
   std::string s = p.param;
   for (auto& ch : s) {

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Checks (never rewrites) formatting against .clang-format.
+#
+#   tools/check_format.sh [file...]
+#
+# Without arguments every tracked C++ source under src/, tests/, bench/,
+# examples/ and tools/ is checked; with arguments only those files are.
+# Exits 0 when everything is clean or clang-format is not installed
+# (developer machines without LLVM degrade gracefully); exits 1 and
+# prints a unified diff per offending file otherwise.  Set
+# CLANG_FORMAT_REQUIRE=1 to fail instead of skipping when the binary is
+# missing.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+format_bin=${CLANG_FORMAT:-clang-format}
+if ! command -v "${format_bin}" >/dev/null 2>&1; then
+  if [ "${CLANG_FORMAT_REQUIRE:-0}" = "1" ]; then
+    echo "check_format: '${format_bin}' not found and CLANG_FORMAT_REQUIRE=1" >&2
+    exit 1
+  fi
+  echo "check_format: '${format_bin}' not found; skipping (install LLVM or set CLANG_FORMAT)" >&2
+  exit 0
+fi
+
+if [ $# -gt 0 ]; then
+  files=$(printf '%s\n' "$@")
+else
+  files=$(cd "${repo_root}" && git ls-files \
+    'src/**/*.cpp' 'src/**/*.hpp' 'tests/*.cpp' 'bench/*.cpp' \
+    'examples/*.cpp' 'tools/*.cpp')
+fi
+
+status=0
+for f in ${files}; do
+  case "${f}" in
+    /*) path=${f} ;;
+    *) path=${repo_root}/${f} ;;
+  esac
+  if ! "${format_bin}" --style=file "${path}" | diff -u "${path}" - >/dev/null; then
+    echo "== needs formatting: ${f}"
+    "${format_bin}" --style=file "${path}" | diff -u "${path}" - || true
+    status=1
+  fi
+done
+exit ${status}

@@ -16,11 +16,16 @@
 //   ftmesh verify     [--algo A|all|broken-demo] [--faults 0,5,10]
 //                     [--seed S] [--width W] [--height H] [--vcs V]
 //                     [--threads N]
+//   ftmesh audit      [--algo A|all|broken-demo] [--patterns clean,center,
+//                     boundary,random] [--faults N,..] [--seed S]
+//                     [--width W] [--height H] [--vcs V] [--threads N]
+//                     [--max-violations N] [--json]
 //   ftmesh algorithms
 //
 // Flags mirror SimConfig fields; a --config file provides the base and
 // explicit flags override it.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -36,6 +41,7 @@
 #include "ftmesh/report/table.hpp"
 #include "ftmesh/trace/metrics_recorder.hpp"
 #include "ftmesh/trace/trace_sink.hpp"
+#include "ftmesh/verify/audit.hpp"
 #include "ftmesh/verify/broken_demo.hpp"
 #include "ftmesh/verify/verifier.hpp"
 
@@ -356,6 +362,127 @@ int cmd_verify(const Cli& cli) {
   return all_ok ? 0 : 1;
 }
 
+// Static routing-function audit: exhaustively enumerate reachable routing
+// states per destination and check coverage, VC-role discipline, f-ring
+// conformance and progress bounds against each algorithm's published
+// AuditProfile.  Runs over a matrix of fault-pattern classes so both the
+// fault-free function and its fortified behaviour are covered.
+int cmd_audit(const Cli& cli) {
+  const auto cfg = config_from_cli(cli);
+  const ftmesh::topology::Mesh mesh(cfg.width, cfg.height);
+
+  std::vector<std::string> names;
+  const auto algo_arg = cli.get("algo", cli.get("algorithm", "all"));
+  if (algo_arg == "all") {
+    names = ftmesh::routing::algorithm_names();
+  } else {
+    names = split_list(algo_arg);
+  }
+
+  // ---- fault-pattern classes --------------------------------------------
+  // clean     fault-free mesh
+  // center    one interior block region (f-rings closed)
+  // boundary  one block hugging the west edge (f-rings open / chain case)
+  // random    FaultMap::random with the simulator's --faults/--seed
+  //           derivation, one pattern per entry of --faults
+  using ftmesh::fault::FaultMap;
+  using ftmesh::fault::Rect;
+  std::vector<std::pair<std::string, FaultMap>> patterns;
+  const auto wanted = split_list(cli.get("patterns", "clean,center,boundary,random"));
+  const auto has = [&wanted](const char* p) {
+    return std::find(wanted.begin(), wanted.end(), p) != wanted.end();
+  };
+  if (has("clean")) patterns.emplace_back("clean", FaultMap(mesh));
+  if (has("center") && cfg.width >= 5 && cfg.height >= 5) {
+    const int cx = cfg.width / 2;
+    const int cy = cfg.height / 2;
+    patterns.emplace_back(
+        "center", FaultMap::from_blocks(mesh, {Rect{cx - 1, cy - 1, cx, cy}}));
+  }
+  if (has("boundary") && cfg.width >= 4 && cfg.height >= 5) {
+    const int cy = cfg.height / 2;
+    patterns.emplace_back(
+        "boundary", FaultMap::from_blocks(mesh, {Rect{0, cy - 1, 0, cy}}));
+  }
+  if (has("random")) {
+    std::vector<int> fault_counts;
+    for (const auto& f : split_list(cli.get("faults", "3"))) {
+      fault_counts.push_back(std::stoi(f));
+    }
+    for (const int fault_count : fault_counts) {
+      if (fault_count <= 0) continue;
+      ftmesh::sim::Rng rng = ftmesh::sim::Rng(cfg.seed).derive(0xFA);
+      patterns.emplace_back("random-" + std::to_string(fault_count),
+                            FaultMap::random(mesh, fault_count, rng));
+    }
+  }
+
+  ftmesh::verify::AuditOptions aopts;
+  aopts.threads = static_cast<int>(cli.get_int("threads", 0));
+  aopts.max_violations = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, cli.get_int("max-violations", 16)));
+
+  const bool json = cli.flag("json");
+  ftmesh::report::JsonWriter jw(std::cout);
+  if (json) jw.begin_array();
+
+  bool all_ok = true;
+  for (const auto& [label, map] : patterns) {
+    const ftmesh::fault::FRingSet rings(map);
+    for (const auto& name : names) {
+      std::unique_ptr<ftmesh::routing::RoutingAlgorithm> algo;
+      if (name == "broken-demo") {
+        algo = std::make_unique<ftmesh::verify::BrokenDemoRouting>(mesh, map);
+      } else {
+        ftmesh::routing::RoutingOptions ropts;
+        ropts.total_vcs = cfg.total_vcs;
+        ropts.misroute_limit = cfg.misroute_limit;
+        ropts.xy_escape = cfg.xy_escape;
+        algo = ftmesh::routing::make_algorithm(name, mesh, map, rings, ropts);
+      }
+      const auto report =
+          ftmesh::verify::audit_algorithm(*algo, mesh, map, rings, aopts);
+      all_ok = all_ok && report.ok();
+      if (json) {
+        jw.begin_object();
+        jw.key("algorithm").value(report.algorithm);
+        jw.key("pattern").value(label);
+        jw.key("width").value(report.width);
+        jw.key("height").value(report.height);
+        jw.key("total_vcs").value(report.total_vcs);
+        jw.key("faulty").value(report.faulty);
+        jw.key("deactivated").value(report.deactivated);
+        jw.key("states_explored").value(report.states_explored);
+        jw.key("candidates_checked").value(report.candidates_checked);
+        jw.key("violations").value(report.violation_count);
+        jw.key("ok").value(report.ok());
+        jw.key("witnesses").begin_array();
+        for (const auto& v : report.violations) {
+          jw.begin_object();
+          jw.key("check").value(ftmesh::verify::audit_check_name(v.check));
+          jw.key("at").begin_array().value(v.at.x).value(v.at.y).end_array();
+          jw.key("dst").begin_array().value(v.dst.x).value(v.dst.y).end_array();
+          jw.key("key").value(static_cast<std::uint64_t>(v.key));
+          jw.key("detail").value(v.detail);
+          jw.end_object();
+        }
+        jw.end_array();
+        jw.end_object();
+      } else {
+        std::cout << "pattern " << label << ": ";
+        ftmesh::verify::print_audit_report(std::cout, report);
+      }
+    }
+  }
+  if (json) {
+    jw.end_array();
+    std::cout << "\n";
+  } else {
+    std::cout << (all_ok ? "audit PASSED" : "audit FAILED") << "\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
 int cmd_algorithms() {
   for (const auto& name : ftmesh::routing::algorithm_names()) {
     std::cout << name << "\n";
@@ -365,8 +492,8 @@ int cmd_algorithms() {
 
 void usage() {
   std::cerr << "usage: ftmesh "
-               "<run|sweep|saturation|faults|campaign|verify|algorithms> "
-               "[flags]\n(see the header of tools/ftmesh.cpp)\n";
+               "<run|sweep|saturation|faults|campaign|verify|audit|"
+               "algorithms> [flags]\n(see the header of tools/ftmesh.cpp)\n";
 }
 
 }  // namespace
@@ -385,6 +512,7 @@ int main(int argc, char** argv) {
     if (cmd == "faults") return cmd_faults(cli);
     if (cmd == "campaign") return cmd_campaign(cli);
     if (cmd == "verify") return cmd_verify(cli);
+    if (cmd == "audit") return cmd_audit(cli);
     if (cmd == "algorithms") return cmd_algorithms();
   } catch (const std::exception& e) {
     std::cerr << "ftmesh: " << e.what() << "\n";

@@ -1,21 +1,49 @@
 #!/usr/bin/env sh
 # Runs clang-tidy (config: .clang-tidy at the repo root) over the ftmesh
-# sources using a build tree's compile_commands.json.
+# sources using a build tree's compile_commands.json, one clang-tidy
+# process per core via xargs -P.
 #
-#   tools/run_clang_tidy.sh [build-dir] [source-glob...]
+#   tools/run_clang_tidy.sh [options] [build-dir] [source-glob...]
 #
-# Defaults: build dir "build", sources = every .cpp under src/ftmesh and
-# tools/.  Exits 0 with a notice when clang-tidy is not installed so that
-# optional CI legs and developer machines without LLVM degrade gracefully
-# instead of failing the pipeline.
+# Options:
+#   --fix        pass --fix-errors to clang-tidy (applies suggested fixes;
+#                forces -P1 so parallel processes never edit one header
+#                concurrently)
+#   --jobs N     override the parallelism (default: nproc)
+#   --require    fail (exit 1) when clang-tidy is missing instead of
+#                skipping; used by the gated CI leg so a missing binary
+#                cannot masquerade as a clean run
+#
+# Remaining arguments: the build dir (default "build"), then an optional
+# explicit file list — any further arguments restrict the run to those
+# files (e.g. the files touched by a branch).  Without one, every .cpp
+# under src/ftmesh and tools/ is checked.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+fix=0
+require=0
+jobs=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --fix) fix=1; shift ;;
+    --jobs) jobs=$2; shift 2 ;;
+    --require) require=1; shift ;;
+    --*) echo "run_clang_tidy: unknown option '$1'" >&2; exit 2 ;;
+    *) break ;;
+  esac
+done
+
 build_dir=${1:-"${repo_root}/build"}
 [ $# -gt 0 ] && shift
 
 tidy_bin=${CLANG_TIDY:-clang-tidy}
 if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  if [ "${require}" -eq 1 ]; then
+    echo "run_clang_tidy: '${tidy_bin}' not found and --require set" >&2
+    exit 1
+  fi
   echo "run_clang_tidy: '${tidy_bin}' not found; skipping (install LLVM or set CLANG_TIDY)" >&2
   exit 0
 fi
@@ -26,15 +54,24 @@ if [ ! -f "${build_dir}/compile_commands.json" ]; then
   exit 1
 fi
 
+if [ -z "${jobs}" ]; then
+  jobs=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2)
+fi
+
+extra_flags=""
+if [ "${fix}" -eq 1 ]; then
+  extra_flags="--fix-errors"
+  jobs=1  # concurrent fixers racing on shared headers corrupt them
+fi
+
 if [ $# -gt 0 ]; then
-  files="$*"
+  files=$(printf '%s\n' "$@")
 else
   files=$(find "${repo_root}/src/ftmesh" "${repo_root}/tools" -name '*.cpp' | sort)
 fi
 
-status=0
-for f in ${files}; do
-  echo "== ${f}"
-  "${tidy_bin}" -p "${build_dir}" --quiet "${f}" || status=1
-done
-exit ${status}
+# xargs -P runs ${jobs} clang-tidy processes, one file each; a non-zero
+# exit from any of them makes xargs exit non-zero, which -e propagates.
+# shellcheck disable=SC2086  # extra_flags is intentionally word-split
+printf '%s\n' "${files}" | xargs -P "${jobs}" -I {} -- \
+  "${tidy_bin}" -p "${build_dir}" --quiet ${extra_flags} {}
