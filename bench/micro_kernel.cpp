@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "ftmesh/campaign/stream.hpp"
 #include "ftmesh/core/simulator.hpp"
 #include "ftmesh/trace/trace_sink.hpp"
 
@@ -189,6 +190,43 @@ void BM_CandidateEnumeration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CandidateEnumeration);
+
+void BM_CampaignStreamed(benchmark::State& state) {
+  // A 10^4-cell campaign of deliberately tiny cells, streamed to a null
+  // sink.  The interesting output is not the time but the counters: the
+  // claim window must keep the peak number of simultaneously retained
+  // per-pattern SimResults at O(threads), independent of campaign size.
+  // CI gates peak_retained via bench_compare.py --counter-max.
+  ftmesh::campaign::CampaignSpec spec;
+  spec.base.width = spec.base.height = 4;
+  spec.base.message_length = 2;
+  spec.base.warmup_cycles = 20;
+  spec.base.total_cycles = 80;
+  spec.base.seed = 7;
+  spec.algorithms = {"PHop"};
+  spec.rates.reserve(5000);
+  for (int i = 0; i < 5000; ++i) spec.rates.push_back(1e-5 + 1e-7 * i);
+  spec.fault_counts = {0, 3};
+  spec.patterns = 2;
+
+  struct NullSink : ftmesh::campaign::CellSink {
+    std::size_t cells = 0;
+    void on_cell(const ftmesh::campaign::CellRecord&) override { ++cells; }
+  } sink;
+
+  ftmesh::campaign::StreamStats stats;
+  for (auto _ : state) {
+    sink.cells = 0;
+    ftmesh::campaign::StreamOptions options;
+    options.threads = 4;
+    stats = ftmesh::campaign::run_streamed(spec, options, &sink);
+  }
+  state.counters["cells"] = static_cast<double>(sink.cells);
+  state.counters["runs"] = static_cast<double>(stats.runs_executed);
+  state.counters["peak_retained"] =
+      static_cast<double>(stats.peak_retained_results);
+}
+BENCHMARK(BM_CampaignStreamed)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 

@@ -1,0 +1,48 @@
+#include "ftmesh/campaign/csv.hpp"
+
+#include "ftmesh/report/table.hpp"
+
+namespace ftmesh::campaign {
+
+const std::vector<std::string>& csv_columns() {
+  static const std::vector<std::string> columns = {
+      "algorithm", "rate", "fault_count", "patterns",
+      "accepted_flits_per_node_cycle", "accepted_fraction",
+      "mean_latency", "mean_network_latency", "p99_latency",
+      "mean_hops", "mean_misroutes", "ring_message_fraction",
+      "adaptivity_offered", "adaptivity_free",
+      "delivered", "undelivered", "deadlock",
+      "msgs_aborted", "retransmissions", "recovered_messages",
+      "recovery_latency_mean", "post_fault_throughput"};
+  return columns;
+}
+
+std::vector<std::string> csv_row(const std::string& algorithm, double rate,
+                                 int fault_count, std::size_t patterns,
+                                 const core::SimResult& m) {
+  using report::format_double;
+  return {algorithm,
+          format_double(rate, 6),
+          std::to_string(fault_count),
+          std::to_string(patterns),
+          format_double(m.throughput.accepted_flits_per_node_cycle, 6),
+          format_double(m.throughput.accepted_fraction, 6),
+          format_double(m.latency.mean, 3),
+          format_double(m.latency.mean_network, 3),
+          format_double(m.latency.p99, 3),
+          format_double(m.latency.mean_hops, 4),
+          format_double(m.latency.mean_misroutes, 4),
+          format_double(m.latency.ring_message_fraction, 4),
+          format_double(m.adaptivity.mean_offered, 3),
+          format_double(m.adaptivity.mean_free, 3),
+          std::to_string(m.latency.delivered),
+          std::to_string(m.latency.undelivered),
+          m.deadlock ? "1" : "0",
+          std::to_string(m.reliability.aborted),
+          std::to_string(m.reliability.retransmissions),
+          std::to_string(m.reliability.recovered_messages),
+          format_double(m.reliability.recovery_latency_mean, 3),
+          format_double(m.reliability.post_fault_throughput, 6)};
+}
+
+}  // namespace ftmesh::campaign

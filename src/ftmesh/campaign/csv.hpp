@@ -1,0 +1,27 @@
+#pragma once
+// Canonical campaign CSV schema: the single place that knows the column
+// list and the per-column formatting.  Every producer of campaign rows —
+// the streaming engine, the legacy in-memory writer, checkpoint records
+// and the shard merge tool — goes through csv_row(), which is what makes
+// "sharded + merged == single process, byte for byte" true by
+// construction: a row is formatted exactly once, stored as strings, and
+// replayed verbatim thereafter.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ftmesh/core/simulator.hpp"
+
+namespace ftmesh::campaign {
+
+/// The CSV header cells, in column order.
+const std::vector<std::string>& csv_columns();
+
+/// One formatted CSV row for a finished cell.  `patterns` is the number of
+/// per-pattern runs the mean aggregates over (the legacy `runs.size()`).
+std::vector<std::string> csv_row(const std::string& algorithm, double rate,
+                                 int fault_count, std::size_t patterns,
+                                 const core::SimResult& mean);
+
+}  // namespace ftmesh::campaign

@@ -1,0 +1,73 @@
+#include "ftmesh/campaign/merge.hpp"
+
+#include <optional>
+#include <ostream>
+
+#include "ftmesh/campaign/checkpoint.hpp"
+#include "ftmesh/campaign/csv.hpp"
+#include "ftmesh/campaign/error.hpp"
+#include "ftmesh/report/csv.hpp"
+
+namespace ftmesh::campaign {
+
+MergeReport merge_campaign(const std::vector<std::string>& dirs,
+                           std::ostream& os) {
+  if (dirs.empty()) throw CampaignError("merge needs at least one directory");
+
+  std::optional<Manifest> reference;
+  std::vector<std::optional<StoredCell>> cells;
+  for (const auto& dir : dirs) {
+    const Manifest manifest = read_manifest(dir);
+    if (!reference) {
+      reference = manifest;
+      cells.resize(manifest.cells);
+    } else {
+      if (manifest.spec_hash != reference->spec_hash) {
+        throw CampaignError("shard " + dir +
+                            " belongs to a different campaign (spec hash "
+                            "mismatch)");
+      }
+      if (manifest.cells != reference->cells) {
+        throw CampaignError("shard " + dir + " disagrees on the cell count");
+      }
+    }
+    for (auto& cell : load_and_repair_results(dir, manifest.cells)) {
+      auto& slot = cells[cell.index];
+      if (slot) {
+        if (slot->id != cell.id || slot->row != cell.row) {
+          throw CampaignError("cell " + std::to_string(cell.index) +
+                              " appears in multiple shards with different "
+                              "results");
+        }
+        continue;  // byte-identical duplicate
+      }
+      slot = std::move(cell);
+    }
+  }
+
+  std::size_t missing = 0;
+  std::size_t first_missing = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i]) {
+      if (missing == 0) first_missing = i;
+      ++missing;
+    }
+  }
+  if (missing > 0) {
+    throw CampaignError(
+        std::to_string(missing) + " of " + std::to_string(cells.size()) +
+        " cells missing (first: cell " + std::to_string(first_missing) +
+        ") — are all shards present and finished (or resumed to completion)?");
+  }
+
+  report::CsvWriter csv(os);
+  csv.row(csv_columns());
+  for (const auto& cell : cells) csv.row(cell->row);
+
+  MergeReport report;
+  report.cells = cells.size();
+  report.shards = dirs.size();
+  return report;
+}
+
+}  // namespace ftmesh::campaign

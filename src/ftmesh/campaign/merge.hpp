@@ -1,0 +1,28 @@
+#pragma once
+// Shard merge: combines the checkpoint directories of a sharded campaign
+// into the campaign CSV.  Because every shard's records carry their cell
+// index and their CSV row as formatted strings, merging is validation plus
+// ordered replay — the output is byte-identical to what a single
+// unsharded process would have written.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ftmesh::campaign {
+
+struct MergeReport {
+  std::size_t cells = 0;   ///< rows written
+  std::size_t shards = 0;  ///< input directories
+};
+
+/// Reads every shard directory, checks that all manifests agree on the
+/// spec hash and matrix size, that the union of records covers every cell
+/// exactly once (byte-identical duplicates are tolerated), and writes the
+/// campaign CSV to `os` in cell order.  Throws CampaignError on any gap,
+/// conflict or mismatch.
+MergeReport merge_campaign(const std::vector<std::string>& dirs,
+                           std::ostream& os);
+
+}  // namespace ftmesh::campaign

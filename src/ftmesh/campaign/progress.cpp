@@ -1,0 +1,107 @@
+#include "ftmesh/campaign/progress.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+namespace ftmesh::campaign {
+
+std::string format_progress_line(std::size_t cells_done,
+                                 std::size_t cells_total,
+                                 double cells_per_sec, double eta_seconds) {
+  std::ostringstream os;
+  const double pct = cells_total == 0
+                         ? 100.0
+                         : 100.0 * static_cast<double>(cells_done) /
+                               static_cast<double>(cells_total);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", pct);
+  os << "campaign: " << cells_done << "/" << cells_total << " cells (" << buf
+     << "%)";
+  if (cells_per_sec > 0.0 && std::isfinite(cells_per_sec)) {
+    std::snprintf(buf, sizeof(buf), "%.1f", cells_per_sec);
+    os << " | " << buf << " cells/s";
+    if (eta_seconds >= 0.0 && std::isfinite(eta_seconds)) {
+      if (eta_seconds >= 3600.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fh", eta_seconds / 3600.0);
+      } else if (eta_seconds >= 60.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fm", eta_seconds / 60.0);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.0fs", eta_seconds);
+      }
+      os << " | ETA " << buf;
+    }
+  }
+  return os.str();
+}
+
+bool stderr_is_tty() {
+#if defined(_WIN32)
+  return false;
+#else
+  return ::isatty(2) != 0;
+#endif
+}
+
+ProgressMeter::ProgressMeter(ProgressMode mode, std::ostream* os)
+    : os_(os != nullptr ? os : &std::cerr) {
+  interactive_ = stderr_is_tty();
+  switch (mode) {
+    case ProgressMode::Off:
+      enabled_ = false;
+      break;
+    case ProgressMode::Auto:
+      enabled_ = interactive_;
+      break;
+    case ProgressMode::Force:
+      enabled_ = true;
+      break;
+  }
+  start_ = last_print_ = std::chrono::steady_clock::now();
+}
+
+void ProgressMeter::update(const Progress& p) {
+  if (!enabled_) return;
+  const auto now = std::chrono::steady_clock::now();
+  // Interactive terminals get a smooth refresh; forced (log) output is
+  // throttled harder so a million-cell campaign does not flood stderr.
+  const auto min_gap =
+      interactive_ ? std::chrono::milliseconds(250) : std::chrono::seconds(2);
+  if (printed_ && now - last_print_ < min_gap) return;
+  last_print_ = now;
+  print_line(p, false);
+}
+
+void ProgressMeter::finish(const Progress& p) {
+  if (!enabled_) return;
+  print_line(p, true);
+}
+
+void ProgressMeter::print_line(const Progress& p, bool final_line) {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - start_).count();
+  const double cps =
+      elapsed > 0.0 ? static_cast<double>(p.cells_done) / elapsed : 0.0;
+  const double eta =
+      cps > 0.0
+          ? static_cast<double>(p.cells_total - p.cells_done) / cps
+          : -1.0;
+  const std::string line =
+      format_progress_line(p.cells_done, p.cells_total, cps, eta);
+  if (interactive_) {
+    // Pad over the previous (possibly longer) line before \r-refreshing.
+    *os_ << '\r' << line << "\x1b[K" << (final_line ? "\n" : "");
+  } else {
+    *os_ << line << '\n';
+  }
+  os_->flush();
+  printed_ = true;
+}
+
+}  // namespace ftmesh::campaign

@@ -1,0 +1,61 @@
+#pragma once
+// Stderr progress heartbeat for long campaigns: cells completed / total,
+// completion rate and ETA.  Display only — nothing here feeds back into
+// the simulation, so the wall-clock reads cannot perturb determinism.
+//
+// Modes:
+//   Off    never prints (the default; campaigns stay pipeline-silent)
+//   Auto   prints only when stderr is a TTY (carriage-return refresh)
+//   Force  prints even to non-TTY stderr (newline-separated lines,
+//          throttled harder so logs stay readable)
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace ftmesh::campaign {
+
+struct Progress {
+  std::size_t cells_done = 0;
+  std::size_t cells_total = 0;
+  std::size_t runs_done = 0;
+  std::size_t runs_total = 0;
+};
+
+/// "campaign: 42/96 cells (43.8%) | 12.3 cells/s | ETA 4s" — pure, so the
+/// format is unit-testable without a terminal or a clock.
+std::string format_progress_line(std::size_t cells_done,
+                                 std::size_t cells_total,
+                                 double cells_per_sec, double eta_seconds);
+
+enum class ProgressMode { Off, Auto, Force };
+
+/// True when stderr is an interactive terminal.
+bool stderr_is_tty();
+
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(ProgressMode mode, std::ostream* os = nullptr);
+
+  /// Whether update() will ever print (mode resolved against the TTY).
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Throttled heartbeat; call freely from the engine's progress hook.
+  void update(const Progress& p);
+
+  /// Final line (always printed when enabled), terminated with a newline.
+  void finish(const Progress& p);
+
+ private:
+  void print_line(const Progress& p, bool final_line);
+
+  bool enabled_ = false;
+  bool interactive_ = false;  ///< \r refresh vs newline lines
+  std::ostream* os_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_print_;
+  bool printed_ = false;
+};
+
+}  // namespace ftmesh::campaign

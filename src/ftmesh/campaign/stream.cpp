@@ -1,0 +1,309 @@
+#include "ftmesh/campaign/stream.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "ftmesh/campaign/checkpoint.hpp"
+#include "ftmesh/campaign/csv.hpp"
+#include "ftmesh/campaign/error.hpp"
+#include "ftmesh/core/experiment.hpp"
+#include "ftmesh/core/thread_pool.hpp"
+
+namespace ftmesh::campaign {
+
+namespace {
+
+struct CellState {
+  CellPlan plan;
+  std::vector<core::SimResult> results;  ///< one slot per pattern
+  int filled = 0;
+  bool done = false;
+  bool restored = false;
+  std::vector<std::string> row;  ///< set for restored cells up front
+};
+
+struct RunRef {
+  std::size_t cell_pos = 0;  ///< position in the owned-cells vector
+  int pattern = 0;
+};
+
+core::SimResult simulate_run(const CampaignSpec& spec, const CellPlan& plan,
+                             int pattern) {
+  core::SimConfig cfg = spec.base;
+  cfg.algorithm = plan.algorithm;
+  cfg.injection_rate = plan.rate;
+  cfg.fault_count = plan.fault_count;
+  cfg.seed = core::pattern_seed(spec.base.seed, plan.fault_count, pattern);
+  try {
+    core::Simulator sim(cfg);
+    return sim.run();
+  } catch (const std::runtime_error&) {
+    // Undrawable fault pattern (disconnection after max retries): the
+    // legacy cycles_run == 0 marker; aggregate() skips it.
+    return core::SimResult{};
+  }
+}
+
+int resolve_workers(int threads, std::size_t run_count) {
+  int n = threads;
+  if (n <= 0) n = static_cast<int>(std::thread::hardware_concurrency());
+  n = std::max(1, n);
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(n),
+                            std::max<std::size_t>(run_count, 1)));
+}
+
+}  // namespace
+
+StreamStats run_streamed(const CampaignSpec& spec,
+                         const StreamOptions& options, CellSink* sink) {
+  spec.validate();
+  if (options.shard.count < 1 || options.shard.index < 0 ||
+      options.shard.index >= options.shard.count) {
+    throw CampaignError("bad shard " + std::to_string(options.shard.index) +
+                        "/" + std::to_string(options.shard.count));
+  }
+  const std::uint64_t hash = spec_hash(spec);
+  const auto all_cells = enumerate_cells(spec);
+
+  StreamStats stats;
+  stats.cells_total = all_cells.size();
+
+  // ---- owned cells (this shard's interleaved slice) ---------------------
+  std::vector<CellState> states;
+  for (const auto& plan : all_cells) {
+    if (!options.shard.owns(plan.index)) continue;
+    CellState state;
+    state.plan = plan;
+    states.push_back(std::move(state));
+  }
+  stats.cells_owned = states.size();
+
+  // ---- checkpoint directory: init or resume -----------------------------
+  std::unique_ptr<ResultsLog> log;
+  const bool checkpointed = !options.checkpoint_dir.empty();
+  if (checkpointed) {
+    Manifest manifest;
+    manifest.spec_hash = hash;
+    manifest.cells = all_cells.size();
+    manifest.shard = options.shard;
+    if (options.resume) {
+      const Manifest prior = read_manifest(options.checkpoint_dir);
+      if (prior.spec_hash != hash) {
+        throw CampaignError(
+            "refusing to resume " + options.checkpoint_dir +
+            ": spec hash mismatch (checkpoint was written by a different "
+            "campaign specification)");
+      }
+      if (prior.cells != all_cells.size()) {
+        throw CampaignError("refusing to resume " + options.checkpoint_dir +
+                            ": cell count mismatch");
+      }
+      if (prior.shard.index != options.shard.index ||
+          prior.shard.count != options.shard.count) {
+        throw CampaignError(
+            "refusing to resume " + options.checkpoint_dir + ": shard " +
+            std::to_string(prior.shard.index) + "/" +
+            std::to_string(prior.shard.count) +
+            " in the manifest does not match the requested shard");
+      }
+      const auto stored =
+          load_and_repair_results(options.checkpoint_dir, all_cells.size());
+      // Index the owned cells so stored records can be matched in O(1).
+      std::vector<std::size_t> pos_of_index(all_cells.size(), SIZE_MAX);
+      for (std::size_t p = 0; p < states.size(); ++p) {
+        pos_of_index[states[p].plan.index] = p;
+      }
+      for (const auto& cell : stored) {
+        const std::size_t pos = pos_of_index[cell.index];
+        if (pos == SIZE_MAX) {
+          throw CampaignError("checkpoint record for cell " +
+                              std::to_string(cell.index) +
+                              " which this shard does not own");
+        }
+        CellState& state = states[pos];
+        if (state.restored) continue;  // idempotent on duplicate records
+        if (cell.id != state.plan.id) {
+          throw CampaignError("checkpoint record id mismatch for cell " +
+                              std::to_string(cell.index));
+        }
+        state.restored = true;
+        state.done = true;
+        state.row = cell.row;
+      }
+    } else {
+      init_checkpoint_dir(options.checkpoint_dir, spec, manifest);
+    }
+    log = std::make_unique<ResultsLog>(options.checkpoint_dir);
+  } else if (options.resume) {
+    throw CampaignError("--resume requires a checkpoint directory");
+  }
+
+  // ---- run list (pending cells only, matrix order) ----------------------
+  std::vector<RunRef> runs;
+  std::size_t runs_total = 0;
+  for (std::size_t p = 0; p < states.size(); ++p) {
+    if (states[p].restored) continue;
+    for (int q = 0; q < states[p].plan.patterns; ++q) {
+      runs.push_back(RunRef{p, q});
+    }
+  }
+  runs_total = runs.size();
+
+  const int workers = resolve_workers(options.threads, runs.size());
+  const std::size_t window =
+      options.window_cells > 0
+          ? options.window_cells
+          : std::max<std::size_t>(8, 4 * static_cast<std::size_t>(workers));
+  const int checkpoint_every = std::max(1, options.checkpoint_every);
+
+  // ---- shared streaming state -------------------------------------------
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t next_run = 0;
+  std::size_t emit_cursor = 0;        // states[] positions fully retired
+  std::size_t retained = 0;           // per-pattern results currently held
+  std::size_t cells_since_manifest = 0;
+  std::exception_ptr failure;
+
+  // Retire every completed cell at the front of the reorder window, in
+  // cell order: finalize, checkpoint, hand to the sink, free the runs.
+  // Caller holds `mutex`.
+  const auto emit_ready = [&] {
+    while (emit_cursor < states.size() && states[emit_cursor].done) {
+      CellState& state = states[emit_cursor];
+      CellRecord record;
+      record.plan = state.plan;
+      record.restored = state.restored;
+      if (state.restored) {
+        record.row = std::move(state.row);
+        stats.cells_restored += 1;
+      } else {
+        record.mean = core::aggregate(state.results);
+        record.row =
+            csv_row(state.plan.algorithm, state.plan.rate,
+                    state.plan.fault_count,
+                    static_cast<std::size_t>(state.plan.patterns), record.mean);
+        record.runs = std::move(state.results);
+        state.results = {};
+        if (log) {
+          log->append(StoredCell{state.plan.index, state.plan.id, record.row});
+        }
+        retained -= static_cast<std::size_t>(state.filled);
+        stats.cells_completed += 1;
+      }
+      ++emit_cursor;
+      if (checkpointed) {
+        if (++cells_since_manifest >=
+                static_cast<std::size_t>(checkpoint_every) ||
+            emit_cursor == states.size()) {
+          Manifest manifest;
+          manifest.spec_hash = hash;
+          manifest.cells = all_cells.size();
+          manifest.shard = options.shard;
+          manifest.completed = emit_cursor;
+          write_manifest(options.checkpoint_dir, manifest);
+          cells_since_manifest = 0;
+        }
+      }
+      if (sink != nullptr) sink->on_cell(record);
+      if (options.progress) {
+        options.progress(Progress{emit_cursor, states.size(),
+                                  stats.runs_executed, runs_total});
+      }
+    }
+  };
+
+  // Emit any leading restored cells before the workers start, so a
+  // resumed campaign replays its prefix even when nothing is left to run.
+  {
+    std::unique_lock lock(mutex);
+    emit_ready();
+  }
+
+  const auto worker = [&] {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      cv.wait(lock, [&] {
+        return failure != nullptr || next_run >= runs.size() ||
+               runs[next_run].cell_pos < emit_cursor + window;
+      });
+      if (failure != nullptr || next_run >= runs.size()) return;
+      const RunRef run = runs[next_run++];
+      CellState& cell = states[run.cell_pos];
+      if (cell.results.empty()) {
+        cell.results.resize(static_cast<std::size_t>(cell.plan.patterns));
+      }
+      lock.unlock();
+      core::SimResult result;
+      bool run_failed = false;
+      std::exception_ptr run_error;
+      try {
+        result = simulate_run(spec, cell.plan, run.pattern);
+      } catch (...) {
+        run_failed = true;
+        run_error = std::current_exception();
+      }
+      lock.lock();
+      if (run_failed) {
+        if (failure == nullptr) failure = run_error;
+        cv.notify_all();
+        return;
+      }
+      if (failure != nullptr) return;  // another worker failed meanwhile
+      cell.results[static_cast<std::size_t>(run.pattern)] = std::move(result);
+      ++cell.filled;
+      ++stats.runs_executed;
+      ++retained;
+      stats.peak_retained_results =
+          std::max(stats.peak_retained_results, retained);
+      if (cell.filled == cell.plan.patterns) cell.done = true;
+      if (options.progress) {
+        options.progress(Progress{emit_cursor, states.size(),
+                                  stats.runs_executed, runs_total});
+      }
+      try {
+        emit_ready();
+      } catch (...) {
+        if (failure == nullptr) failure = std::current_exception();
+        cv.notify_all();
+        return;
+      }
+      cv.notify_all();
+    }
+  };
+
+  if (!runs.empty()) {
+    if (workers <= 1) {
+      worker();
+    } else {
+      // The caller is worker 0; the shared persistent pool supplies the
+      // rest.  Completion is tracked locally (same pattern as
+      // parallel_for) so concurrent campaigns never wait on each other.
+      core::ThreadPool& pool = core::ThreadPool::shared();
+      pool.ensure_threads(workers - 1);
+      std::mutex done_mutex;
+      std::condition_variable done_cv;
+      int active = workers - 1;
+      for (int w = 1; w < workers; ++w) {
+        pool.submit([&] {
+          worker();
+          std::lock_guard lock(done_mutex);
+          if (--active == 0) done_cv.notify_one();
+        });
+      }
+      worker();
+      std::unique_lock lock(done_mutex);
+      done_cv.wait(lock, [&] { return active == 0; });
+    }
+  }
+
+  if (failure != nullptr) std::rethrow_exception(failure);
+  return stats;
+}
+
+}  // namespace ftmesh::campaign

@@ -1,117 +1,42 @@
 #include "ftmesh/core/campaign.hpp"
 
 #include <ostream>
-#include <stdexcept>
 
+#include "ftmesh/campaign/csv.hpp"
+#include "ftmesh/campaign/stream.hpp"
 #include "ftmesh/report/csv.hpp"
 #include "ftmesh/report/table.hpp"
-#include "ftmesh/routing/registry.hpp"
 
 namespace ftmesh::core {
 
-void CampaignSpec::validate() const {
-  base.validate();
-  for (const auto& name : algorithms) {
-    if (!routing::is_algorithm_name(name)) {
-      throw std::invalid_argument("campaign: unknown algorithm " + name);
-    }
-  }
-  if (patterns < 1) throw std::invalid_argument("campaign: patterns < 1");
-  for (const int f : fault_counts) {
-    if (f < 0 || f >= base.width * base.height) {
-      throw std::invalid_argument("campaign: fault count out of range");
-    }
-  }
-}
-
 std::vector<CampaignCell> run_campaign(const CampaignSpec& spec) {
-  spec.validate();
-  const auto algorithms = spec.algorithms.empty()
-                              ? std::vector<std::string>{spec.base.algorithm}
-                              : spec.algorithms;
-  const auto rates = spec.rates.empty()
-                         ? std::vector<double>{spec.base.injection_rate}
-                         : spec.rates;
-  const auto faults = spec.fault_counts.empty()
-                          ? std::vector<int>{spec.base.fault_count}
-                          : spec.fault_counts;
-
-  // Flatten the whole matrix into one batch so the pool stays busy across
-  // cells, then reduce per cell.
-  std::vector<CampaignCell> cells;
-  std::vector<SimConfig> configs;
-  for (const auto& algorithm : algorithms) {
-    for (const double rate : rates) {
-      for (const int fault_count : faults) {
-        CampaignCell cell;
-        cell.algorithm = algorithm;
-        cell.rate = rate;
-        cell.fault_count = fault_count;
-        cells.push_back(std::move(cell));
-        SimConfig cfg = spec.base;
-        cfg.algorithm = algorithm;
-        cfg.injection_rate = rate;
-        cfg.fault_count = fault_count;
-        // A fault-free cell needs no pattern averaging.
-        const int patterns = fault_count == 0 ? 1 : spec.patterns;
-        for (const auto& pattern_cfg : fault_pattern_sweep(cfg, patterns)) {
-          configs.push_back(pattern_cfg);
-        }
-      }
+  // Collector sink: the streaming engine hands cells over in matrix order
+  // and frees its own copies; this vector is the only O(cells) storage.
+  struct Collector : campaign::CellSink {
+    std::vector<CampaignCell> cells;
+    void on_cell(const campaign::CellRecord& record) override {
+      CampaignCell cell;
+      cell.algorithm = record.plan.algorithm;
+      cell.rate = record.plan.rate;
+      cell.fault_count = record.plan.fault_count;
+      cell.mean = record.mean;
+      cell.runs = record.runs;
+      cells.push_back(std::move(cell));
     }
-  }
-  // run_batch dispatches the flat cell list longest-expected-first on the
-  // shared persistent pool, but results land at their original indices, so
-  // the cursor walk below (and every CSV row it produces) is independent
-  // of the dispatch order.
-  const auto results = run_batch(configs, spec.threads);
-
-  std::size_t cursor = 0;
-  for (auto& cell : cells) {
-    const int patterns = cell.fault_count == 0 ? 1 : spec.patterns;
-    cell.runs.assign(results.begin() + static_cast<std::ptrdiff_t>(cursor),
-                     results.begin() + static_cast<std::ptrdiff_t>(cursor) +
-                         patterns);
-    cursor += static_cast<std::size_t>(patterns);
-    cell.mean = aggregate(cell.runs);
-  }
-  return cells;
+  } collector;
+  campaign::StreamOptions options;
+  options.threads = spec.threads;
+  campaign::run_streamed(spec, options, &collector);
+  return std::move(collector.cells);
 }
 
 void write_campaign_csv(std::ostream& os,
                         const std::vector<CampaignCell>& cells) {
   report::CsvWriter csv(os);
-  csv.row({"algorithm", "rate", "fault_count", "patterns",
-           "accepted_flits_per_node_cycle", "accepted_fraction",
-           "mean_latency", "mean_network_latency", "p99_latency",
-           "mean_hops", "mean_misroutes", "ring_message_fraction",
-           "adaptivity_offered", "adaptivity_free",
-           "delivered", "undelivered", "deadlock",
-           "msgs_aborted", "retransmissions", "recovered_messages",
-           "recovery_latency_mean", "post_fault_throughput"});
+  csv.row(campaign::csv_columns());
   for (const auto& cell : cells) {
-    const auto& m = cell.mean;
-    csv.row({cell.algorithm, report::format_double(cell.rate, 6),
-             std::to_string(cell.fault_count),
-             std::to_string(cell.runs.size()),
-             report::format_double(m.throughput.accepted_flits_per_node_cycle, 6),
-             report::format_double(m.throughput.accepted_fraction, 6),
-             report::format_double(m.latency.mean, 3),
-             report::format_double(m.latency.mean_network, 3),
-             report::format_double(m.latency.p99, 3),
-             report::format_double(m.latency.mean_hops, 4),
-             report::format_double(m.latency.mean_misroutes, 4),
-             report::format_double(m.latency.ring_message_fraction, 4),
-             report::format_double(m.adaptivity.mean_offered, 3),
-             report::format_double(m.adaptivity.mean_free, 3),
-             std::to_string(m.latency.delivered),
-             std::to_string(m.latency.undelivered),
-             m.deadlock ? "1" : "0",
-             std::to_string(m.reliability.aborted),
-             std::to_string(m.reliability.retransmissions),
-             std::to_string(m.reliability.recovered_messages),
-             report::format_double(m.reliability.recovery_latency_mean, 3),
-             report::format_double(m.reliability.post_fault_throughput, 6)});
+    csv.row(campaign::csv_row(cell.algorithm, cell.rate, cell.fault_count,
+                              cell.runs.size(), cell.mean));
   }
 }
 

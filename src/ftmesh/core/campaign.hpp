@@ -1,28 +1,23 @@
 #pragma once
-// Campaign: a declarative experiment matrix (algorithms x injection rates
-// x fault levels x fault patterns), executed over the thread pool and
-// reduced per cell.  This is the machinery behind every figure in the
-// paper: Figure 1/2 are (algorithms x rates), Figure 4/5 are (algorithms x
-// fault levels) with pattern averaging.
+// Legacy in-memory campaign API: a declarative experiment matrix
+// (algorithms x injection rates x fault levels x fault patterns) executed
+// and returned as one vector of cells.  Since the streaming engine landed
+// this is a thin collector over ftmesh::campaign::run_streamed() — kept
+// because "give me all the cells" is the right shape for tests, examples
+// and the paper-figure benches, none of which run 10^4-cell matrices.
+// Production-scale sweeps (checkpoint/resume, sharding, JSONL streaming,
+// flat memory) live in src/ftmesh/campaign/.
 
 #include <vector>
 
+#include "ftmesh/campaign/spec.hpp"
 #include "ftmesh/core/experiment.hpp"
 
 namespace ftmesh::core {
 
-struct CampaignSpec {
-  SimConfig base;
-  /// Dimensions; an empty vector means "use the base config's value".
-  std::vector<std::string> algorithms;
-  std::vector<double> rates;
-  std::vector<int> fault_counts;
-  int patterns = 1;  ///< random fault sets averaged per cell
-  int threads = 0;   ///< run_batch parallelism (<= 0: all cores)
-
-  /// Throws std::invalid_argument on unknown algorithms or bad counts.
-  void validate() const;
-};
+/// The spec moved to the campaign subsystem; this alias keeps the
+/// historical core::CampaignSpec spelling working.
+using CampaignSpec = campaign::CampaignSpec;
 
 struct CampaignCell {
   std::string algorithm;
@@ -33,10 +28,12 @@ struct CampaignCell {
 };
 
 /// Runs the full matrix; cells are ordered algorithm-major, then rate,
-/// then fault count (deterministic).
+/// then fault count (deterministic).  Retains every per-pattern result in
+/// memory — use campaign::run_streamed() for large matrices.
 std::vector<CampaignCell> run_campaign(const CampaignSpec& spec);
 
-/// CSV with one row per cell (aggregates only).
+/// CSV with one row per cell (aggregates only).  Byte-identical to the
+/// streaming engine's CSV (both go through campaign::csv_row()).
 void write_campaign_csv(std::ostream& os, const std::vector<CampaignCell>& cells);
 
 /// CSV of the per-run time series: one row per (cell, pattern, sample).

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <sstream>
 
+#include "ftmesh/campaign/error.hpp"
 #include "ftmesh/core/campaign.hpp"
 #include "ftmesh/fault/fault_model.hpp"
 
@@ -76,6 +78,62 @@ TEST(Campaign, ValidateRejectsBadInput) {
   spec = tiny_spec();
   spec.fault_counts = {99};
   EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+// The errors carry a machine-readable code so callers (CLI, engine) can
+// distinguish "you typo'd an algorithm" from "that mesh can't hold 99
+// faults" without string matching.
+TEST(Campaign, ValidateErrorsAreTyped) {
+  using ftmesh::campaign::CampaignSpecError;
+  using Code = CampaignSpecError::Code;
+  const auto code_of = [](const CampaignSpec& spec) {
+    try {
+      spec.validate();
+    } catch (const CampaignSpecError& e) {
+      return e.code();
+    }
+    ADD_FAILURE() << "validate() did not throw";
+    return Code::base_config;
+  };
+
+  auto spec = tiny_spec();
+  spec.algorithms = {"NotAnAlgorithm"};
+  EXPECT_EQ(code_of(spec), Code::unknown_algorithm);
+
+  spec = tiny_spec();
+  spec.algorithms = {"Nbc", "Duato", "Nbc"};
+  EXPECT_EQ(code_of(spec), Code::duplicate_algorithm);
+
+  spec = tiny_spec();
+  spec.rates = {0.004, -0.001};
+  EXPECT_EQ(code_of(spec), Code::invalid_rate);
+
+  spec = tiny_spec();
+  spec.rates = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_EQ(code_of(spec), Code::invalid_rate);
+
+  spec = tiny_spec();
+  spec.rates = {std::numeric_limits<double>::infinity()};
+  EXPECT_EQ(code_of(spec), Code::invalid_rate);
+
+  spec = tiny_spec();
+  spec.patterns = -3;
+  EXPECT_EQ(code_of(spec), Code::invalid_patterns);
+
+  spec = tiny_spec();
+  spec.fault_counts = {-1};
+  EXPECT_EQ(code_of(spec), Code::fault_count_out_of_range);
+
+  spec = tiny_spec();  // 6x6 mesh: 36 nodes, so 36 faults leaves no mesh
+  spec.fault_counts = {36};
+  EXPECT_EQ(code_of(spec), Code::fault_count_out_of_range);
+
+  spec = tiny_spec();
+  spec.base.width = 0;
+  EXPECT_EQ(code_of(spec), Code::base_config);
+
+  // A valid spec still passes after all that.
+  EXPECT_NO_THROW(tiny_spec().validate());
 }
 
 TEST(Campaign, CsvHasHeaderPlusOneRowPerCell) {

@@ -135,7 +135,9 @@ def main():
 
     counter_gates = []
     for spec in args.counter_max:
-        parts = spec.split(":")
+        # rsplit: benchmark names can themselves contain ':'
+        # (e.g. BM_CampaignStreamed/iterations:1).
+        parts = spec.rsplit(":", 2)
         if len(parts) != 3:
             print(f"bench_compare: bad --counter-max {spec!r} "
                   "(want NAME:COUNTER:MAX)", file=sys.stderr)

@@ -12,7 +12,10 @@
 //   ftmesh faults     [--faults N] [--seed S]
 //   ftmesh campaign   [--algorithms A,B,..] [--rates r1,r2,..]
 //                     [--fault-counts 0,5,10] [--patterns N] [--out f.csv]
-//                     [--metrics-interval N] [--metrics-out f.csv]
+//                     [--threads N] [--metrics-interval N] [--metrics-out f.csv]
+//                     [--dir DIR] [--resume DIR] [--shard i/N]
+//                     [--checkpoint-every N] [--progress[=force]]
+//   ftmesh campaign-merge [--out f.csv] DIR [DIR...]
 //   ftmesh verify     [--algo A|all|broken-demo] [--faults 0,5,10]
 //                     [--seed S] [--width W] [--height H] [--vcs V]
 //                     [--threads N]
@@ -32,10 +35,15 @@
 #include <sstream>
 
 #include "ftmesh/analysis/saturation.hpp"
+#include "ftmesh/campaign/csv.hpp"
+#include "ftmesh/campaign/merge.hpp"
+#include "ftmesh/campaign/progress.hpp"
+#include "ftmesh/campaign/stream.hpp"
 #include "ftmesh/core/campaign.hpp"
 #include "ftmesh/core/config_io.hpp"
 #include "ftmesh/core/experiment.hpp"
 #include "ftmesh/report/cli.hpp"
+#include "ftmesh/report/csv.hpp"
 #include "ftmesh/report/heatmap.hpp"
 #include "ftmesh/report/json.hpp"
 #include "ftmesh/report/table.hpp"
@@ -276,8 +284,73 @@ std::vector<std::string> split_list(const std::string& text) {
   return out;
 }
 
+// Streaming sink behind `ftmesh campaign`: writes the campaign CSV row by
+// row as cells retire (memory stays flat however large the matrix), and
+// optionally the per-pattern metrics time-series CSV alongside.
+class CampaignCliSink : public ftmesh::campaign::CellSink {
+ public:
+  CampaignCliSink(std::ostream& csv_os, std::ostream* metrics_os)
+      : csv_(csv_os), metrics_os_(metrics_os) {}
+
+  // Headers are written on the first cell (or by finish() for an empty
+  // shard) so a campaign that is refused up front leaves no partial output.
+  void finish() {
+    ensure_headers();
+  }
+
+  void on_cell(const ftmesh::campaign::CellRecord& record) override {
+    ensure_headers();
+    csv_.row(record.row);
+    ++rows_;
+    if (!metrics_) return;
+    using ftmesh::report::format_double;
+    for (std::size_t p = 0; p < record.runs.size(); ++p) {
+      for (const auto& s : record.runs[p].metrics.samples) {
+        metrics_->row({record.plan.algorithm,
+                       format_double(record.plan.rate, 6),
+                       std::to_string(record.plan.fault_count),
+                       std::to_string(p), std::to_string(s.cycle),
+                       std::to_string(s.delivered_messages),
+                       format_double(s.accepted_flits_per_node_cycle, 6),
+                       format_double(s.mean_latency, 3),
+                       format_double(s.cache_hit_rate, 4),
+                       std::to_string(s.flits_in_flight),
+                       std::to_string(s.route_nodes),
+                       std::to_string(s.switch_nodes),
+                       std::to_string(s.inject_nodes),
+                       std::to_string(s.link_regs),
+                       std::to_string(s.ring_vcs_busy)});
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+ private:
+  void ensure_headers() {
+    if (headers_written_) return;
+    headers_written_ = true;
+    csv_.row(ftmesh::campaign::csv_columns());
+    if (metrics_os_ != nullptr) {
+      metrics_ = std::make_unique<ftmesh::report::CsvWriter>(*metrics_os_);
+      metrics_->row({"algorithm", "rate", "fault_count", "pattern", "cycle",
+                     "delivered_messages", "accepted_flits_per_node_cycle",
+                     "mean_latency", "cache_hit_rate", "flits_in_flight",
+                     "route_nodes", "switch_nodes", "inject_nodes",
+                     "link_regs", "ring_vcs_busy"});
+    }
+  }
+
+  bool headers_written_ = false;
+  ftmesh::report::CsvWriter csv_;
+  std::ostream* metrics_os_;
+  std::unique_ptr<ftmesh::report::CsvWriter> metrics_;
+  std::size_t rows_ = 0;
+};
+
 int cmd_campaign(const Cli& cli) {
-  ftmesh::core::CampaignSpec spec;
+  namespace cmp = ftmesh::campaign;
+  cmp::CampaignSpec spec;
   spec.base = config_from_cli(cli);
   spec.algorithms = split_list(cli.get("algorithms", ""));
   for (const auto& r : split_list(cli.get("rates", ""))) {
@@ -287,20 +360,107 @@ int cmd_campaign(const Cli& cli) {
     spec.fault_counts.push_back(std::stoi(f));
   }
   spec.patterns = static_cast<int>(cli.get_int("patterns", 1));
-  const auto cells = ftmesh::core::run_campaign(spec);
-  if (const auto path = cli.get("out", ""); !path.empty()) {
-    std::ofstream os(path);
-    if (!os) throw std::runtime_error("cannot write " + path);
-    ftmesh::core::write_campaign_csv(os, cells);
-    std::cerr << "wrote " << cells.size() << " cells to " << path << "\n";
-  } else {
-    ftmesh::core::write_campaign_csv(std::cout, cells);
+  spec.threads = static_cast<int>(cli.get_int("threads", 0));
+
+  cmp::StreamOptions options;
+  options.threads = spec.threads;
+  if (const auto shard = cli.get("shard", ""); !shard.empty()) {
+    options.shard = cmp::parse_shard(shard);
   }
-  if (const auto path = cli.get("metrics-out", ""); !path.empty()) {
-    std::ofstream os(path);
-    if (!os) throw std::runtime_error("cannot write " + path);
-    ftmesh::core::write_campaign_metrics_csv(os, cells);
-    std::cerr << "wrote per-pattern metrics to " << path << "\n";
+  const auto resume_dir = cli.get("resume", "");
+  const auto dir = cli.get("dir", "");
+  if (!resume_dir.empty()) {
+    options.checkpoint_dir = resume_dir;
+    options.resume = true;
+  } else if (cli.flag("resume")) {
+    if (dir.empty()) {
+      throw std::invalid_argument("--resume needs a checkpoint directory");
+    }
+    options.checkpoint_dir = dir;
+    options.resume = true;
+  } else {
+    options.checkpoint_dir = dir;
+  }
+  options.checkpoint_every =
+      static_cast<int>(cli.get_int("checkpoint-every", 32));
+
+  // --progress: heartbeat on TTY stderr; --progress=force prints even when
+  // stderr is redirected (throttled for logs).
+  cmp::ProgressMode mode = cmp::ProgressMode::Off;
+  if (cli.flag("progress")) {
+    mode = cli.get("progress", "") == "force" ? cmp::ProgressMode::Force
+                                              : cmp::ProgressMode::Auto;
+  }
+  cmp::ProgressMeter meter(mode);
+  if (meter.enabled()) {
+    options.progress = [&meter](const cmp::Progress& p) { meter.update(p); };
+  }
+
+  const auto metrics_path = cli.get("metrics-out", "");
+  if (!metrics_path.empty() && options.resume) {
+    throw std::invalid_argument(
+        "--metrics-out cannot be combined with --resume: per-pattern time "
+        "series of already-completed cells are not checkpointed");
+  }
+
+  std::ofstream csv_file;
+  std::ostream* csv_os = &std::cout;
+  const auto out = cli.get("out", "");
+  if (!out.empty()) {
+    csv_file.open(out);
+    if (!csv_file) throw std::runtime_error("cannot write " + out);
+    csv_os = &csv_file;
+  }
+  std::ofstream metrics_file;
+  std::ostream* metrics_os = nullptr;
+  if (!metrics_path.empty()) {
+    metrics_file.open(metrics_path);
+    if (!metrics_file) throw std::runtime_error("cannot write " + metrics_path);
+    metrics_os = &metrics_file;
+  }
+
+  CampaignCliSink sink(*csv_os, metrics_os);
+  const auto stats = cmp::run_streamed(spec, options, &sink);
+  sink.finish();
+  meter.finish(cmp::Progress{stats.cells_owned, stats.cells_owned,
+                             stats.runs_executed, stats.runs_executed});
+
+  if (!out.empty()) {
+    std::cerr << "wrote " << sink.rows() << " cells to " << out;
+    if (options.shard.count > 1) {
+      std::cerr << " (shard " << options.shard.index << "/"
+                << options.shard.count << " of " << stats.cells_total
+                << " total; combine with ftmesh campaign-merge)";
+    }
+    std::cerr << "\n";
+  }
+  if (!metrics_path.empty()) {
+    std::cerr << "wrote per-pattern metrics to " << metrics_path << "\n";
+  }
+  if (!options.checkpoint_dir.empty()) {
+    std::cerr << "checkpoint: " << options.checkpoint_dir << " ("
+              << stats.cells_restored << " restored, " << stats.cells_completed
+              << " simulated)\n";
+  }
+  return 0;
+}
+
+int cmd_campaign_merge(const Cli& cli) {
+  const std::vector<std::string>& dirs = cli.positional();
+  if (dirs.empty()) {
+    std::cerr << "usage: ftmesh campaign-merge [--out f.csv] DIR [DIR...]\n";
+    return 2;
+  }
+  const auto out = cli.get("out", "");
+  ftmesh::campaign::MergeReport report;
+  if (!out.empty()) {
+    std::ofstream os(out);
+    if (!os) throw std::runtime_error("cannot write " + out);
+    report = ftmesh::campaign::merge_campaign(dirs, os);
+    std::cerr << "merged " << report.shards << " shard(s): " << report.cells
+              << " cells to " << out << "\n";
+  } else {
+    report = ftmesh::campaign::merge_campaign(dirs, std::cout);
   }
   return 0;
 }
@@ -492,8 +652,9 @@ int cmd_algorithms() {
 
 void usage() {
   std::cerr << "usage: ftmesh "
-               "<run|sweep|saturation|faults|campaign|verify|audit|"
-               "algorithms> [flags]\n(see the header of tools/ftmesh.cpp)\n";
+               "<run|sweep|saturation|faults|campaign|campaign-merge|verify|"
+               "audit|algorithms> [flags]\n(see the header of "
+               "tools/ftmesh.cpp)\n";
 }
 
 }  // namespace
@@ -511,6 +672,7 @@ int main(int argc, char** argv) {
     if (cmd == "saturation") return cmd_saturation(cli);
     if (cmd == "faults") return cmd_faults(cli);
     if (cmd == "campaign") return cmd_campaign(cli);
+    if (cmd == "campaign-merge") return cmd_campaign_merge(cli);
     if (cmd == "verify") return cmd_verify(cli);
     if (cmd == "audit") return cmd_audit(cli);
     if (cmd == "algorithms") return cmd_algorithms();
