@@ -30,6 +30,7 @@ void SimConfig::validate() const {
   if (scan_mode != "active" && scan_mode != "full") {
     throw std::invalid_argument("scan_mode must be 'active' or 'full'");
   }
+  if (tiles < 1) throw std::invalid_argument("tiles must be >= 1");
   if (fault_count < 0 || fault_count >= width * height) {
     throw std::invalid_argument("fault_count out of range");
   }

@@ -60,6 +60,15 @@ struct SimConfig {
   // Both are bit-identical; full exists for A/B validation and debugging.
   std::string scan_mode = "active";
   bool route_cache = true;  ///< memoize candidate sets per routing state
+  /// Spatial shards for the cycle kernel: the mesh is cut into this many
+  /// rectangular tiles whose phases can run concurrently.  Infeasible
+  /// requests are reduced to the nearest feasible count; results are
+  /// byte-identical for every value.  See docs/performance.md.
+  int tiles = 1;
+  /// Worker threads for the tiled phases (ThreadPool::shared()):
+  /// 1 = serial, <= 0 = hardware concurrency.  Only effective with
+  /// tiles > 1; never affects results.
+  int step_threads = 1;
   /// Recycle message slots: finished messages retire into a compact log
   /// the cycle they complete and their slot is reused, bounding storage at
   /// O(in-flight) instead of O(delivered).  Byte-identical results either

@@ -74,6 +74,8 @@ void save_config(std::ostream& os, const SimConfig& cfg) {
      << "seed = " << cfg.seed << "\n"
      << "watchdog_patience = " << cfg.watchdog_patience << "\n"
      << "scan_mode = " << cfg.scan_mode << "\n"
+     << "tiles = " << cfg.tiles << "\n"
+     << "step_threads = " << cfg.step_threads << "\n"
      << "route_cache = " << (cfg.route_cache ? 1 : 0) << "\n"
      << "recycle_messages = " << (cfg.recycle_messages ? 1 : 0) << "\n"
      << "collect_vc_usage = " << (cfg.collect_vc_usage ? 1 : 0) << "\n"
@@ -125,6 +127,8 @@ SimConfig load_config(std::istream& is) {
       else if (key == "seed") cfg.seed = std::stoull(value);
       else if (key == "watchdog_patience") cfg.watchdog_patience = std::stoull(value);
       else if (key == "scan_mode") cfg.scan_mode = value;
+      else if (key == "tiles") cfg.tiles = std::stoi(value);
+      else if (key == "step_threads") cfg.step_threads = std::stoi(value);
       else if (key == "route_cache") cfg.route_cache = std::stoi(value) != 0;
       else if (key == "recycle_messages") cfg.recycle_messages = std::stoi(value) != 0;
       else if (key == "collect_vc_usage") cfg.collect_vc_usage = std::stoi(value) != 0;

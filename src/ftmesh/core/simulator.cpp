@@ -36,6 +36,8 @@ Simulator::Simulator(SimConfig cfg)
   ncfg.scan_mode = cfg_.scan_mode == "full" ? router::ScanMode::Full
                                             : router::ScanMode::Active;
   ncfg.route_cache = cfg_.route_cache;
+  ncfg.tiles = cfg_.tiles;
+  ncfg.step_threads = cfg_.step_threads;
   ncfg.recycle_messages = cfg_.recycle_messages;
   ncfg.collect_vc_usage = cfg_.collect_vc_usage;
   ncfg.collect_traffic_map = cfg_.collect_traffic_map;

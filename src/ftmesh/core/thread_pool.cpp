@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 namespace ftmesh::core {
 
@@ -63,6 +64,23 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop_front();
+  }
+  task();
+  {
+    std::lock_guard lock(mutex_);
+    --in_flight_;
+    if (in_flight_ == 0) cv_idle_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -121,8 +139,29 @@ void parallel_for(std::size_t count, int threads,
     });
   }
   run();
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return active == 0; });
+  // Helping wait.  parallel_for nests (campaign workers each stepping a
+  // sharded network), and the helpers above sit in the same shared queue
+  // as everything else — if every pool worker is itself blocked in a
+  // nested wait like this one, a plain cv wait deadlocks: the queued
+  // helpers must *run* to decrement `active`, even when the work counter
+  // is already exhausted and they would return immediately.  So while our
+  // helpers are outstanding, drain pool tasks instead of sleeping; the
+  // timed wait re-polls the queue so newly enqueued tasks from other
+  // blocked callers are picked up too (global progress, at worst one
+  // tick of latency).  A drained task may be an unrelated long-running
+  // one — that stretches this call's latency, never its correctness.
+  for (;;) {
+    {
+      std::lock_guard lock(done_mutex);
+      if (active == 0) return;
+    }
+    if (pool.try_run_one()) continue;
+    std::unique_lock lock(done_mutex);
+    if (done_cv.wait_for(lock, std::chrono::milliseconds(1),
+                         [&] { return active == 0; })) {
+      return;
+    }
+  }
 }
 
 }  // namespace ftmesh::core

@@ -48,6 +48,14 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void wait_idle();
 
+  /// Pops and runs one queued task on the calling thread; returns false
+  /// if the queue was empty.  This is how a parallel_for caller waits
+  /// without deadlocking when its helpers are queued behind other
+  /// blocked callers (nested parallel_for: campaign workers stepping
+  /// sharded networks) — a waiter that drains the queue guarantees
+  /// global progress.
+  bool try_run_one();
+
   /// Current worker count.  Reads an atomic mirror of workers_.size():
   /// callers probe this while ensure_threads() may be growing the pool
   /// from another thread, and vector::size() is not safe to read

@@ -1,5 +1,6 @@
 #include "ftmesh/router/network.hpp"
 
+#include "ftmesh/core/thread_pool.hpp"
 #include "ftmesh/router/channel_id.hpp"
 
 #include <algorithm>
@@ -39,17 +40,11 @@ void compact_worklist(std::vector<NodeId>& list, std::vector<char>& flag,
   std::sort(list.begin(), list.end());
 }
 
-/// Worklist entries whose counter is still positive (the list may carry
-/// stale zero-count entries between compactions; counting through the
-/// counter keeps the metric exact and scan-mode independent).
-template <typename Count>
-std::uint64_t live_entries(const std::vector<NodeId>& list,
-                           const std::vector<Count>& count) {
-  std::uint64_t n = 0;
-  for (const NodeId id : list) {
-    if (count[static_cast<std::size_t>(id)] > 0) ++n;
-  }
-  return n;
+/// Balanced contiguous partition: chunk index of `x` when [0, extent) is
+/// split into `chunks` pieces covering [i*extent/chunks, (i+1)*extent/chunks).
+int chunk_of(int x, int extent, int chunks) {
+  return static_cast<int>(
+      (static_cast<long long>(x + 1) * chunks - 1) / extent);
 }
 
 }  // namespace
@@ -85,51 +80,152 @@ Network::Network(const topology::Mesh& mesh, const fault::FaultMap& faults,
   in_inject_.assign(n, 0);
   in_link_.assign(n * kMeshDirections, 0);
   link_vc_allocated_.assign(static_cast<std::size_t>(vcs), 0);
-  if (config_.route_cache) route_cache_.resize(kRouteCacheSize);
-  // The arbitration seed comes off a derived stream (not the shared one),
-  // so it is a pure function of the network seed.
+  // The arbitration seeds come off derived streams (not the shared one),
+  // so each is a pure function of the network seed.
   arb_seed_ = rng_.derive(0xa7b17ULL)();
+  sel_seed_ = rng_.derive(0x5e1ec7ULL)();
+  shuf_seed_ = rng_.derive(0x5bf1eULL)();
+  setup_tiles();
+}
+
+void Network::setup_tiles() {
+  const int width = mesh_->width();
+  const int height = mesh_->height();
+  const auto n = static_cast<std::size_t>(mesh_->node_count());
+  const int vcs = algorithm_->layout().total();
+  // Reduce the request to a feasible count, then pick the divisor pair
+  // (tx across x, ty across y) with the shortest total cut length —
+  // boundary registers are the only cross-tile traffic, so minimum
+  // perimeter means minimum commit work.
+  int want = std::max(1, config_.tiles);
+  want = std::min(want, width * height);
+  int best_tx = 1;
+  int best_ty = 1;
+  for (; want >= 1; --want) {
+    long long best_cut = -1;
+    for (int tx = 1; tx <= want; ++tx) {
+      if (want % tx != 0) continue;
+      const int ty = want / tx;
+      if (tx > width || ty > height) continue;
+      const long long cut = static_cast<long long>(tx - 1) * height +
+                            static_cast<long long>(ty - 1) * width;
+      if (best_cut < 0 || cut < best_cut) {
+        best_cut = cut;
+        best_tx = tx;
+        best_ty = ty;
+      }
+    }
+    if (best_cut >= 0) break;
+  }
+  tile_grid_x_ = best_tx;
+  tile_grid_y_ = best_ty;
+  tiles_.clear();
+  tiles_.resize(static_cast<std::size_t>(best_tx) *
+                static_cast<std::size_t>(best_ty));
+  tile_of_node_.assign(n, 0);
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    const Coord c = mesh_->coord_of(id);
+    const int tx = chunk_of(c.x, width, best_tx);
+    const int ty = chunk_of(c.y, height, best_ty);
+    const auto tile = static_cast<std::uint32_t>(ty * best_tx + tx);
+    tile_of_node_[static_cast<std::size_t>(id)] = tile;
+    tiles_[tile].nodes.push_back(id);
+  }
+  for (Tile& t : tiles_) {
+    if (config_.route_cache) t.route_cache.resize(kRouteCacheSize);
+    t.d.vc_alloc.assign(static_cast<std::size_t>(vcs), 0);
+  }
+  // Static incoming-register lists, from the downstream side: the register
+  // delivering into `id` from direction d is the neighbour's outgoing
+  // register back towards `id`.
+  link_intra_.assign(n * kMeshDirections, 0);
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    Tile& t = tiles_[tile_of_node_[static_cast<std::size_t>(id)]];
+    const Coord c = mesh_->coord_of(id);
+    for (int d = 0; d < kMeshDirections; ++d) {
+      const auto dir = static_cast<Direction>(d);
+      const auto nb = mesh_->neighbour(c, dir);
+      if (!nb) continue;
+      const NodeId up = mesh_->id_of(*nb);
+      const auto idx =
+          static_cast<std::size_t>(up) * kMeshDirections +
+          static_cast<std::size_t>(port_index(opposite(dir)));
+      t.incoming_all.push_back(idx);
+      if (tile_of_node_[static_cast<std::size_t>(up)] !=
+          tile_of_node_[static_cast<std::size_t>(id)]) {
+        t.boundary_in.push_back(idx);
+      } else {
+        link_intra_[idx] = 1;
+      }
+    }
+  }
 }
 
 // ---- occupancy bookkeeping -----------------------------------------------
 
 void Network::bump_route(NodeId node, int delta) {
-  auto& p = route_pending_[static_cast<std::size_t>(node)];
+  const auto sid = static_cast<std::size_t>(node);
+  auto& p = route_pending_[sid];
   assert(delta >= 0 || p >= static_cast<std::uint16_t>(-delta));
   const bool was_zero = p == 0;
   p = static_cast<std::uint16_t>(static_cast<int>(p) + delta);
-  if (was_zero && p > 0 && !in_route_[static_cast<std::size_t>(node)]) {
-    in_route_[static_cast<std::size_t>(node)] = 1;
-    route_nodes_.push_back(node);
+  Tile& t = tiles_[tile_of_node_[sid]];
+  if (was_zero && p > 0) {
+    ++t.active_route;
+    if (!in_route_[sid]) {
+      in_route_[sid] = 1;
+      t.route_nodes.push_back(node);
+    }
+  } else if (!was_zero && p == 0) {
+    --t.active_route;
   }
 }
 
 void Network::bump_switch(NodeId node, int delta) {
-  auto& p = switch_pending_[static_cast<std::size_t>(node)];
+  const auto sid = static_cast<std::size_t>(node);
+  auto& p = switch_pending_[sid];
   assert(delta >= 0 || p >= static_cast<std::uint16_t>(-delta));
   const bool was_zero = p == 0;
   p = static_cast<std::uint16_t>(static_cast<int>(p) + delta);
-  if (was_zero && p > 0 && !in_switch_[static_cast<std::size_t>(node)]) {
-    in_switch_[static_cast<std::size_t>(node)] = 1;
-    switch_nodes_.push_back(node);
+  Tile& t = tiles_[tile_of_node_[sid]];
+  if (was_zero && p > 0) {
+    ++t.active_switch;
+    if (!in_switch_[sid]) {
+      in_switch_[sid] = 1;
+      t.switch_nodes.push_back(node);
+    }
+  } else if (!was_zero && p == 0) {
+    --t.active_switch;
   }
 }
 
 void Network::bump_inject(NodeId node, int delta) {
-  auto& p = inject_pending_[static_cast<std::size_t>(node)];
+  const auto sid = static_cast<std::size_t>(node);
+  auto& p = inject_pending_[sid];
   assert(delta >= 0 || p >= static_cast<std::uint32_t>(-delta));
   const bool was_zero = p == 0;
   p = static_cast<std::uint32_t>(static_cast<int>(p) + delta);
-  if (was_zero && p > 0 && !in_inject_[static_cast<std::size_t>(node)]) {
-    in_inject_[static_cast<std::size_t>(node)] = 1;
-    inject_nodes_.push_back(node);
+  Tile& t = tiles_[tile_of_node_[sid]];
+  if (was_zero && p > 0) {
+    ++t.active_inject;
+    if (!in_inject_[sid]) {
+      in_inject_[sid] = 1;
+      t.inject_nodes.push_back(node);
+    }
+  } else if (!was_zero && p == 0) {
+    --t.active_inject;
   }
 }
 
-void Network::note_link_full(std::size_t link_idx) {
+void Network::note_link_full(Tile& t, std::size_t link_idx) {
+  ++t.d.full_links;
+  // Only intra-tile registers are flagged and listed: the sender may not
+  // touch another tile's worklist, so a cross-tile register is found by
+  // the downstream tile's boundary_in scan instead.
+  if (!link_intra_[link_idx]) return;
   if (!in_link_[link_idx]) {
     in_link_[link_idx] = 1;
-    link_list_.push_back(link_idx);
+    t.link_list.push_back(link_idx);
   }
 }
 
@@ -152,10 +248,17 @@ void Network::note_buffer_push(NodeId node, const InputVc& ivc, const Flit& f,
 
 void Network::rebuild_active_sets() {
   const int vcs = algorithm_->layout().total();
-  route_nodes_.clear();
-  switch_nodes_.clear();
-  inject_nodes_.clear();
-  link_list_.clear();
+  for (Tile& t : tiles_) {
+    t.route_nodes.clear();
+    t.switch_nodes.clear();
+    t.inject_nodes.clear();
+    t.link_list.clear();
+    t.active_route = 0;
+    t.active_switch = 0;
+    t.active_inject = 0;
+    // Rebuilds happen between cycles; nothing may be pending a commit.
+    assert(t.credits.empty() && t.retires.empty() && t.ejects.empty());
+  }
   std::fill(in_route_.begin(), in_route_.end(), 0);
   std::fill(in_switch_.begin(), in_switch_.end(), 0);
   std::fill(in_inject_.begin(), in_inject_.end(), 0);
@@ -166,6 +269,7 @@ void Network::rebuild_active_sets() {
   std::uint64_t flits = 0;
   for (NodeId id = 0; id < mesh_->node_count(); ++id) {
     const auto sid = static_cast<std::size_t>(id);
+    Tile& t = tiles_[tile_of_node_[sid]];
     const Router& rt = routers_[sid];
     std::uint16_t routable = 0;
     std::uint16_t sendable = 0;
@@ -192,11 +296,13 @@ void Network::rebuild_active_sets() {
     switch_pending_[sid] = sendable;
     if (routable > 0) {
       in_route_[sid] = 1;
-      route_nodes_.push_back(id);
+      t.route_nodes.push_back(id);
+      ++t.active_route;
     }
     if (sendable > 0) {
       in_switch_[sid] = 1;
-      switch_nodes_.push_back(id);
+      t.switch_nodes.push_back(id);
+      ++t.active_switch;
     }
     std::uint32_t busy = 0;
     for (int iv = 0; iv < config_.injection_vcs; ++iv) {
@@ -207,37 +313,50 @@ void Network::rebuild_active_sets() {
     inject_pending_[sid] = static_cast<std::uint32_t>(queues_[sid].size()) + busy;
     if (inject_pending_[sid] > 0) {
       in_inject_[sid] = 1;
-      inject_nodes_.push_back(id);
+      t.inject_nodes.push_back(id);
+      ++t.active_inject;
     }
   }
+  full_links_ = 0;
   for (std::size_t idx = 0; idx < links_.size(); ++idx) {
-    if (links_[idx].full) {
-      in_link_[idx] = 1;
-      link_list_.push_back(idx);
-      ++flits;
-    }
+    if (!links_[idx].full) continue;
+    ++full_links_;
+    ++flits;
+    if (!link_intra_[idx]) continue;  // cross-tile: boundary_in finds it
+    in_link_[idx] = 1;
+    const auto up = idx / kMeshDirections;
+    tiles_[tile_of_node_[up]].link_list.push_back(idx);
   }
   assert(flits == buffered_flits_ && "incremental flit count drifted");
   buffered_flits_ = flits;
 }
 
-std::uint64_t Network::active_route_nodes() const {
-  return live_entries(route_nodes_, route_pending_);
+std::uint64_t Network::active_route_nodes() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Tile& t : tiles_) sum += static_cast<std::uint64_t>(t.active_route);
+  return sum;
 }
 
-std::uint64_t Network::active_switch_nodes() const {
-  return live_entries(switch_nodes_, switch_pending_);
+std::uint64_t Network::active_switch_nodes() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Tile& t : tiles_) sum += static_cast<std::uint64_t>(t.active_switch);
+  return sum;
 }
 
-std::uint64_t Network::active_inject_nodes() const {
-  return live_entries(inject_nodes_, inject_pending_);
+std::uint64_t Network::active_inject_nodes() const noexcept {
+  std::uint64_t sum = 0;
+  for (const Tile& t : tiles_) sum += static_cast<std::uint64_t>(t.active_inject);
+  return sum;
 }
 
 void Network::on_fault_change() {
-  if (!route_cache_.empty()) {
-    for (auto& e : route_cache_) e.valid = false;
-    ++route_cache_invalidations_;
+  bool invalidated = false;
+  for (Tile& t : tiles_) {
+    if (t.route_cache.empty()) continue;
+    for (auto& e : t.route_cache) e.valid = false;
+    invalidated = true;
   }
+  if (invalidated) ++route_cache_invalidations_;
   rebuild_active_sets();
 }
 
@@ -415,12 +534,120 @@ void Network::step() {
   phase_injection();
   phase_routing();
   phase_switching();
+  commit_deferred();
   phase_sampling();
 #if defined(FTMESH_AUDIT) && FTMESH_AUDIT >= 1
   audit_invariants(FTMESH_AUDIT);
 #endif
   ++cycle_;
   if (measuring_) ++measured_cycles_;
+}
+
+// ---- tile drivers and the post-barrier commit ----------------------------
+
+template <typename Fn>
+void Network::for_each_tile(Fn&& fn) {
+  if (config_.step_threads != 1 && tiles_.size() > 1 && !ordered_execution()) {
+    core::parallel_for(tiles_.size(), config_.step_threads,
+                       [&](std::size_t i) { fn(tiles_[i]); });
+    return;
+  }
+  for (Tile& t : tiles_) fn(t);
+}
+
+const std::vector<NodeId>& Network::merged_worklist(
+    std::vector<NodeId> Tile::* list) {
+  merged_nodes_.clear();
+  for (Tile& t : tiles_) {
+    merged_nodes_.insert(merged_nodes_.end(), (t.*list).begin(),
+                         (t.*list).end());
+  }
+  std::sort(merged_nodes_.begin(), merged_nodes_.end());
+  return merged_nodes_;
+}
+
+void Network::reduce_deltas() {
+  for (Tile& t : tiles_) {
+    PhaseDeltas& d = t.d;
+    buffered_flits_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(buffered_flits_) + d.buffered_flits);
+    queued_messages_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(queued_messages_) + d.queued_messages);
+    busy_supplies_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(busy_supplies_) + d.busy_supplies);
+    full_links_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(full_links_) + d.full_links);
+    flits_moved_this_cycle_ += d.flits_moved;
+    total_messages_delivered_ += d.total_messages_delivered;
+    total_flits_delivered_ += d.total_flits_delivered;
+    total_latency_sum_ += d.total_latency_sum;
+    measured_flits_delivered_ += d.measured_flits_delivered;
+    measured_messages_delivered_ += d.measured_messages_delivered;
+    measured_route_decisions_ += d.measured_route_decisions;
+    measured_candidates_offered_ += d.measured_candidates_offered;
+    measured_candidates_free_ += d.measured_candidates_free;
+    total_cache_lookups_ += d.total_cache_lookups;
+    total_cache_hits_ += d.total_cache_hits;
+    route_cache_lookups_ += d.route_cache_lookups;
+    route_cache_hits_ += d.route_cache_hits;
+    for (std::size_t v = 0; v < d.vc_alloc.size(); ++v) {
+      link_vc_allocated_[v] = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(link_vc_allocated_[v]) + d.vc_alloc[v]);
+    }
+    const std::size_t vcs = d.vc_alloc.size();
+    d = PhaseDeltas{};
+    d.vc_alloc.assign(vcs, 0);
+  }
+}
+
+void Network::commit_deferred() {
+  reduce_deltas();
+  // Eject hooks, ascending node id: the crossbar moves at most one flit to
+  // each Local output per cycle, so this order is unique and equals the
+  // legacy serial kernel's visit order.
+  if (eject_hook_) {
+    eject_scratch_.clear();
+    for (Tile& t : tiles_) {
+      eject_scratch_.insert(eject_scratch_.end(), t.ejects.begin(),
+                            t.ejects.end());
+    }
+    std::sort(eject_scratch_.begin(), eject_scratch_.end(),
+              [](const DeferredEject& a, const DeferredEject& b) {
+                return a.node < b.node;
+              });
+    for (const DeferredEject& e : eject_scratch_) {
+      eject_hook_(e.flit, mesh_->coord_of(e.node));
+    }
+  }
+  for (Tile& t : tiles_) t.ejects.clear();
+  // Credit returns: increments commute, so per-tile order is fine.  Every
+  // credit lands here — even a same-tile one — which is what makes a freed
+  // buffer slot visible uniformly on the next cycle instead of depending
+  // on the switch phase's node visit order.
+  for (Tile& t : tiles_) {
+    for (const CreditReturn& cr : t.credits) {
+      routers_[static_cast<std::size_t>(cr.node)]
+          .output(cr.port, cr.vc)
+          .credits++;
+    }
+    t.credits.clear();
+  }
+  // Retirements: stable-id order, so the retired_ log (and the free-list
+  // order feeding slot reuse) is identical for every tiling.
+  retire_scratch_.clear();
+  for (Tile& t : tiles_) {
+    retire_scratch_.insert(retire_scratch_.end(), t.retires.begin(),
+                           t.retires.end());
+    t.retires.clear();
+  }
+  if (retire_scratch_.size() > 1) {
+    std::sort(retire_scratch_.begin(), retire_scratch_.end(),
+              [this](MessageSlot a, MessageSlot b) {
+                return messages_[static_cast<std::size_t>(a)].id <
+                       messages_[static_cast<std::size_t>(b)].id;
+              });
+  }
+  for (const MessageSlot slot : retire_scratch_) retire_slot(slot);
 }
 
 // ---- runtime invariant audit ---------------------------------------------
@@ -480,6 +707,18 @@ void Network::audit_invariants(int level) const {
   std::uint64_t queued = 0;
   std::uint64_t busy = 0;
   std::vector<std::uint32_t> alloc_recount(static_cast<std::size_t>(vcs), 0);
+  std::vector<std::int64_t> active_route_recount(tiles_.size(), 0);
+  std::vector<std::int64_t> active_switch_recount(tiles_.size(), 0);
+  std::vector<std::int64_t> active_inject_recount(tiles_.size(), 0);
+  for (const Tile& t : tiles_) {
+    if (!t.credits.empty() || !t.retires.empty() || !t.ejects.empty()) {
+      fail("deferred commit queue not drained between cycles");
+    }
+    if (t.d.buffered_flits != 0 || t.d.flits_moved != 0 ||
+        t.d.full_links != 0) {
+      fail("per-tile phase deltas not folded between cycles");
+    }
+  }
   for (NodeId id = 0; id < mesh_->node_count(); ++id) {
     const auto sid = static_cast<std::size_t>(id);
     const Router& rt = routers_[sid];
@@ -533,6 +772,8 @@ void Network::audit_invariants(int level) const {
     if (sendable > 0 && in_switch_[sid] == 0) {
       fail("node with sendable flits missing from the switch worklist");
     }
+    if (routable > 0) ++active_route_recount[tile_of_node_[sid]];
+    if (sendable > 0) ++active_switch_recount[tile_of_node_[sid]];
 
     for (int d = 0; d < kMeshDirections; ++d) {
       const auto nb = mesh_->neighbour(mesh_->coord_of(id),
@@ -581,14 +822,30 @@ void Network::audit_invariants(int level) const {
     if (inject_pending_[sid] > 0 && in_inject_[sid] == 0) {
       fail("node with injection work missing from the inject worklist");
     }
+    if (inject_pending_[sid] > 0) ++active_inject_recount[tile_of_node_[sid]];
   }
 
+  std::uint64_t full_recount = 0;
   for (std::size_t idx = 0; idx < links_.size(); ++idx) {
     if (links_[idx].full) {
       ++flits;
-      if (in_link_[idx] == 0) {
-        fail("full link register missing from the link worklist");
+      ++full_recount;
+      if (link_intra_[idx] != 0 && in_link_[idx] == 0) {
+        fail("full intra-tile link register missing from the link worklist");
       }
+    }
+    if (link_intra_[idx] == 0 && in_link_[idx] != 0) {
+      fail("cross-tile link register carries an in-list flag");
+    }
+  }
+  if (full_recount != full_links_) {
+    fail("full-link-register gauge drifted from the link state");
+  }
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    if (tiles_[i].active_route != active_route_recount[i] ||
+        tiles_[i].active_switch != active_switch_recount[i] ||
+        tiles_[i].active_inject != active_inject_recount[i]) {
+      fail("per-tile active-set gauge drifted from the pending counters");
     }
   }
 
@@ -609,13 +866,23 @@ void Network::audit_invariants(int level) const {
   }
 
   // Worklist membership: every node (or link register) carrying an in-list
-  // flag must actually be on its list — the flag is what keeps it from
-  // being re-pushed, so a flag without an entry silently drops work.
-  const auto check_membership = [&fail](const std::vector<NodeId>& list,
-                                        const std::vector<char>& flag,
-                                        const char* what) {
+  // flag must actually be on its owning tile's list — the flag is what
+  // keeps it from being re-pushed, so a flag without an entry silently
+  // drops work (and an entry on a foreign tile's list breaks the
+  // single-writer discipline).
+  const auto check_membership = [&fail, this](
+                                    std::vector<NodeId> Tile::* list,
+                                    const std::vector<char>& flag,
+                                    const char* what) {
     std::vector<char> present(flag.size(), 0);
-    for (const NodeId n : list) present[static_cast<std::size_t>(n)] = 1;
+    for (std::size_t i = 0; i < tiles_.size(); ++i) {
+      for (const NodeId n : tiles_[i].*list) {
+        if (tile_of_node_[static_cast<std::size_t>(n)] != i) {
+          fail(std::string("node on a foreign tile's ") + what + " worklist");
+        }
+        present[static_cast<std::size_t>(n)] = 1;
+      }
+    }
     for (std::size_t n = 0; n < flag.size(); ++n) {
       if (flag[n] != 0 && present[n] == 0) {
         fail(std::string("flagged node absent from the ") + what +
@@ -623,12 +890,14 @@ void Network::audit_invariants(int level) const {
       }
     }
   };
-  check_membership(route_nodes_, in_route_, "route");
-  check_membership(switch_nodes_, in_switch_, "switch");
-  check_membership(inject_nodes_, in_inject_, "inject");
+  check_membership(&Tile::route_nodes, in_route_, "route");
+  check_membership(&Tile::switch_nodes, in_switch_, "switch");
+  check_membership(&Tile::inject_nodes, in_inject_, "inject");
   {
     std::vector<char> present(in_link_.size(), 0);
-    for (const std::size_t idx : link_list_) present[idx] = 1;
+    for (const Tile& t : tiles_) {
+      for (const std::size_t idx : t.link_list) present[idx] = 1;
+    }
     for (std::size_t idx = 0; idx < in_link_.size(); ++idx) {
       if (in_link_[idx] != 0 && present[idx] == 0) {
         fail("flagged link register absent from the link worklist");
@@ -639,7 +908,7 @@ void Network::audit_invariants(int level) const {
 
 // ---- phase 1: arrivals ---------------------------------------------------
 
-void Network::arrive_link(std::size_t link_idx) {
+void Network::arrive_link(Tile& t, std::size_t link_idx) {
   LinkReg& reg = links_[link_idx];
   assert(reg.full);
   const auto id = static_cast<NodeId>(link_idx / kMeshDirections);
@@ -649,6 +918,9 @@ void Network::arrive_link(std::size_t link_idx) {
   const auto nb = mesh_->neighbour(c, dir);
   assert(nb && "flit sent off-mesh");
   const NodeId down_id = mesh_->id_of(*nb);
+  assert(tile_of_node_[static_cast<std::size_t>(down_id)] ==
+             static_cast<std::uint32_t>(&t - tiles_.data()) &&
+         "arrival processed by a tile that does not own the consumer");
   Router& down = routers_[static_cast<std::size_t>(down_id)];
   InputVc& ivc = down.input(port_index(opposite(dir)), reg.vc);
   assert(static_cast<int>(ivc.buf.size()) < config_.buffer_depth &&
@@ -657,32 +929,52 @@ void Network::arrive_link(std::size_t link_idx) {
   ivc.buf.push_back(reg.flit);
   note_buffer_push(down_id, ivc, reg.flit, was_empty);
   reg.full = false;
+  --t.d.full_links;
+}
+
+void Network::arrivals_tile(Tile& t) {
+  // Every full register drains each cycle, so the worklist is consumed
+  // whole; ordering is irrelevant (registers target disjoint input VCs).
+  // Arrivals are partitioned by the *consumer*: a tile drains exactly the
+  // registers delivering into it — its own flagged list plus a scan of the
+  // static boundary list (cross-tile senders may not touch this tile's
+  // list, so those registers are poll-only).
+  if (config_.scan_mode == ScanMode::Active) {
+    for (const std::size_t idx : t.link_list) {
+      in_link_[idx] = 0;
+      arrive_link(t, idx);
+    }
+    t.link_list.clear();
+    for (const std::size_t idx : t.boundary_in) {
+      if (links_[idx].full) arrive_link(t, idx);
+    }
+    return;
+  }
+  for (const std::size_t idx : t.incoming_all) {
+    if (links_[idx].full) arrive_link(t, idx);
+  }
+  for (const std::size_t idx : t.link_list) in_link_[idx] = 0;
+  t.link_list.clear();
 }
 
 void Network::phase_arrivals() {
-  // Every full register drains each cycle, so the worklist is consumed
-  // whole; ordering is irrelevant (registers target disjoint input VCs).
-  if (config_.scan_mode == ScanMode::Active) {
-    for (const std::size_t idx : link_list_) {
-      in_link_[idx] = 0;
-      arrive_link(idx);
-    }
-    link_list_.clear();
-    return;
-  }
-  for (std::size_t idx = 0; idx < links_.size(); ++idx) {
-    if (!links_[idx].full) continue;
-    assert(in_link_[idx] && "full link register missing from worklist");
-    arrive_link(idx);
-  }
-  for (const std::size_t idx : link_list_) in_link_[idx] = 0;
-  link_list_.clear();
+  for_each_tile([this](Tile& t) { arrivals_tile(t); });
 }
 
 // ---- phase 2: injection --------------------------------------------------
 
-void Network::inject_node(NodeId id) {
+void Network::inject_node(Tile& t, NodeId id) {
   if (inject_pending_[static_cast<std::size_t>(id)] == 0) return;
+#ifndef NDEBUG
+  {
+    std::uint32_t busy = 0;
+    for (int iv = 0; iv < config_.injection_vcs; ++iv) {
+      if (supply(id, iv).current != kInvalidMessage) ++busy;
+    }
+    assert(inject_pending_[static_cast<std::size_t>(id)] ==
+           queues_[static_cast<std::size_t>(id)].size() + busy);
+  }
+#endif
   const Coord c = mesh_->coord_of(id);
   if (!faults_->active(c)) return;
   const auto local = port_index(Direction::Local);
@@ -694,8 +986,8 @@ void Network::inject_node(NodeId id) {
       sup.current = queue.front();
       queue.pop_front();
       sup.next_seq = 0;
-      --queued_messages_;
-      ++busy_supplies_;  // inject_pending_ is unchanged: queue -1, busy +1
+      --t.d.queued_messages;
+      ++t.d.busy_supplies;  // inject_pending_ is unchanged: queue -1, busy +1
     }
     InputVc& ivc = router_mut(c).input(local, iv);
     if (static_cast<int>(ivc.buf.size()) >= config_.buffer_depth) continue;
@@ -718,13 +1010,13 @@ void Network::inject_node(NodeId id) {
     }
     const bool was_empty = ivc.buf.empty();
     ivc.buf.push_back(flit);
-    ++buffered_flits_;
+    ++t.d.buffered_flits;
     note_buffer_push(id, ivc, flit, was_empty);
     ++sup.next_seq;
     if (sup.next_seq == m.length) {
       sup.current = kInvalidMessage;
       sup.next_seq = 0;
-      --busy_supplies_;
+      --t.d.busy_supplies;
       bump_inject(id, -1);
     }
   }
@@ -732,21 +1024,30 @@ void Network::inject_node(NodeId id) {
 
 void Network::phase_injection() {
   if (config_.scan_mode == ScanMode::Active) {
-    compact_worklist(inject_nodes_, in_inject_, inject_pending_);
-    for (const NodeId id : inject_nodes_) inject_node(id);
+    if (ordered_execution()) {
+      for (Tile& t : tiles_) {
+        compact_worklist(t.inject_nodes, in_inject_, inject_pending_);
+      }
+      for (const NodeId id : merged_worklist(&Tile::inject_nodes)) {
+        inject_node(tiles_[tile_of_node_[static_cast<std::size_t>(id)]], id);
+      }
+      return;
+    }
+    for_each_tile([this](Tile& t) {
+      compact_worklist(t.inject_nodes, in_inject_, inject_pending_);
+      for (const NodeId id : t.inject_nodes) inject_node(t, id);
+    });
     return;
   }
-  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
-#ifndef NDEBUG
-    std::uint32_t busy = 0;
-    for (int iv = 0; iv < config_.injection_vcs; ++iv) {
-      if (supply(id, iv).current != kInvalidMessage) ++busy;
+  if (ordered_execution()) {
+    for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+      inject_node(tiles_[tile_of_node_[static_cast<std::size_t>(id)]], id);
     }
-    assert(inject_pending_[static_cast<std::size_t>(id)] ==
-           queues_[static_cast<std::size_t>(id)].size() + busy);
-#endif
-    inject_node(id);
+    return;
   }
+  for_each_tile([this](Tile& t) {
+    for (const NodeId id : t.nodes) inject_node(t, id);
+  });
 }
 
 // ---- phase 3: routing ----------------------------------------------------
@@ -760,15 +1061,15 @@ void Network::set_debug_channel_order(std::vector<std::int32_t> ranks) {
   debug_channel_order_ = std::move(ranks);
 }
 
-const routing::CandidateList& Network::route_candidates(NodeId id,
+const routing::CandidateList& Network::route_candidates(Tile& t, NodeId id,
                                                         const HeaderState& m) {
-  if (route_cache_.empty()) {
-    cand_.clear();
-    algorithm_->candidates(mesh_->coord_of(id), m, cand_);
-    return cand_;
+  if (t.route_cache.empty()) {
+    t.cand.clear();
+    algorithm_->candidates(mesh_->coord_of(id), m, t.cand);
+    return t.cand;
   }
-  ++total_cache_lookups_;
-  if (measuring_) ++route_cache_lookups_;
+  ++t.d.total_cache_lookups;
+  if (measuring_) ++t.d.route_cache_lookups;
   const std::uint64_t key = algorithm_->route_state_key(m);
   const NodeId dst = mesh_->id_of(m.dst);
   const std::size_t slot =
@@ -776,10 +1077,10 @@ const routing::CandidateList& Network::route_candidates(NodeId id,
           sim::counter_hash(key, static_cast<std::uint64_t>(id),
                             static_cast<std::uint64_t>(dst))) &
       (kRouteCacheSize - 1);
-  RouteCacheEntry& e = route_cache_[slot];
+  RouteCacheEntry& e = t.route_cache[slot];
   if (e.valid && e.node == id && e.dst == dst && e.key == key) {
-    ++total_cache_hits_;
-    if (measuring_) ++route_cache_hits_;
+    ++t.d.total_cache_hits;
+    if (measuring_) ++t.d.route_cache_hits;
     return e.cands;
   }
   e.valid = true;
@@ -791,7 +1092,7 @@ const routing::CandidateList& Network::route_candidates(NodeId id,
   return e.cands;
 }
 
-void Network::route_node(NodeId id, bool exhaustive) {
+void Network::route_node(Tile& t, NodeId id, bool exhaustive) {
   const int pending = route_pending_[static_cast<std::size_t>(id)];
   if (!exhaustive && pending == 0) return;
   const int vcs = algorithm_->layout().total();
@@ -803,12 +1104,15 @@ void Network::route_node(NodeId id, bool exhaustive) {
   int found = 0;
 #endif
   // Random rotation keeps allocation fair without a full shuffle.  The
-  // offset is a counter-based hash — a pure function of (seed, cycle,
-  // node) — so skipping idle routers cannot shift anyone's draw, which is
-  // what keeps the Full and Active scan modes bit-identical.
+  // offset — like every other draw below — is a counter-based hash, a pure
+  // function of (seed, cycle, node): skipping idle routers, retiling the
+  // mesh or rescheduling threads cannot shift anyone's randomness, which
+  // is what keeps every execution mode bit-identical.
   const int offset = static_cast<int>(
       sim::counter_below(arb_seed_, cycle_, static_cast<std::uint64_t>(id),
                          static_cast<std::uint64_t>(nivc)));
+  sim::CounterRng sel(
+      sim::counter_hash(sel_seed_, cycle_, static_cast<std::uint64_t>(id)));
   for (int k = 0; k < nivc; ++k) {
     if (!exhaustive && remaining == 0) break;
     const int idx = (k + offset) % nivc;
@@ -834,40 +1138,40 @@ void Network::route_node(NodeId id, bool exhaustive) {
       bump_switch(id, +1);
       continue;
     }
-    const routing::CandidateList& cand = route_candidates(id, m);
+    const routing::CandidateList& cand = route_candidates(t, id, m);
     bool allocated = false;
     if (measuring_) {
-      ++measured_route_decisions_;
-      measured_candidates_offered_ += cand.size();
+      ++t.d.measured_route_decisions;
+      t.d.measured_candidates_offered += cand.size();
       for (std::size_t i = 0; i < cand.size(); ++i) {
         const auto& cv = cand[i];
         if (!rt.output(port_index(cv.dir), cv.vc).allocated) {
-          ++measured_candidates_free_;
+          ++t.d.measured_candidates_free;
         }
       }
     }
-    for (std::size_t t = 0; t < cand.tier_count(); ++t) {
-      const auto [begin, end] = cand.tier_range(t);
-      free_cands_.clear();
+    for (std::size_t tier = 0; tier < cand.tier_count(); ++tier) {
+      const auto [begin, end] = cand.tier_range(tier);
+      t.free_cands.clear();
       for (std::size_t i = begin; i < end; ++i) {
         const auto& cv = cand[i];
         assert(cv.dir != Direction::Local);
         assert(mesh_->neighbour(c, cv.dir).has_value());
         if (!rt.output(port_index(cv.dir), cv.vc).allocated) {
-          free_cands_.push_back(cv);
+          t.free_cands.push_back(cv);
         }
       }
-      if (free_cands_.empty()) continue;
+      if (t.free_cands.empty()) continue;
       const auto pick = routing::select_candidate(
           config_.selection,
-          std::span<const routing::CandidateVc>(free_cands_.data(),
-                                                free_cands_.size()),
+          std::span<const routing::CandidateVc>(t.free_cands.data(),
+                                                t.free_cands.size()),
           [&](std::size_t i) {
-            const auto& cv = free_cands_[i];
+            const auto& cv = t.free_cands[i];
             return rt.output(port_index(cv.dir), cv.vc).credits;
           },
-          rng_);
-      const auto& chosen = free_cands_[pick];
+          sel);
+      const auto& chosen = t.free_cands[pick];
 #ifndef NDEBUG
       if (!debug_channel_order_.empty() && port != port_index(Direction::Local)) {
         // The held channel is the upstream router's output feeding this
@@ -888,7 +1192,7 @@ void Network::route_node(NodeId id, bool exhaustive) {
       // indexes its flag arrays by slot, and the owner is always live
       // while the reservation is held.
       rt.output(port_index(chosen.dir), chosen.vc).allocate(front.msg);
-      ++link_vc_allocated_[static_cast<std::size_t>(chosen.vc)];
+      ++t.d.vc_alloc[static_cast<std::size_t>(chosen.vc)];
       ivc.out_dir = chosen.dir;
       ivc.out_vc = chosen.vc;
       ivc.stage = IvcStage::Active;
@@ -913,18 +1217,39 @@ void Network::route_node(NodeId id, bool exhaustive) {
 
 void Network::phase_routing() {
   if (config_.scan_mode == ScanMode::Active) {
-    compact_worklist(route_nodes_, in_route_, route_pending_);
-    for (const NodeId id : route_nodes_) route_node(id, /*exhaustive=*/false);
+    if (ordered_execution()) {
+      for (Tile& t : tiles_) {
+        compact_worklist(t.route_nodes, in_route_, route_pending_);
+      }
+      for (const NodeId id : merged_worklist(&Tile::route_nodes)) {
+        route_node(tiles_[tile_of_node_[static_cast<std::size_t>(id)]], id,
+                   /*exhaustive=*/false);
+      }
+      return;
+    }
+    for_each_tile([this](Tile& t) {
+      compact_worklist(t.route_nodes, in_route_, route_pending_);
+      for (const NodeId id : t.route_nodes) {
+        route_node(t, id, /*exhaustive=*/false);
+      }
+    });
     return;
   }
-  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
-    route_node(id, /*exhaustive=*/true);
+  if (ordered_execution()) {
+    for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+      route_node(tiles_[tile_of_node_[static_cast<std::size_t>(id)]], id,
+                 /*exhaustive=*/true);
+    }
+    return;
   }
+  for_each_tile([this](Tile& t) {
+    for (const NodeId id : t.nodes) route_node(t, id, /*exhaustive=*/true);
+  });
 }
 
 // ---- phase 4: switching --------------------------------------------------
 
-void Network::switch_node(NodeId id) {
+void Network::switch_node(Tile& t, NodeId id) {
   const int sendable = switch_pending_[static_cast<std::size_t>(id)];
   const bool exhaustive = config_.scan_mode == ScanMode::Full;
   if (!exhaustive && sendable == 0) return;
@@ -936,7 +1261,7 @@ void Network::switch_node(NodeId id) {
   // Collect requests in the fixed port-major order (the shuffle below
   // depends on the initial order, so both scan modes must build the same
   // sequence); stop early once every sendable flit has been seen.
-  requests_.clear();
+  t.requests.clear();
   int seen = 0;
   for (int port = 0; port < kPortCount; ++port) {
     if (!exhaustive && seen == sendable) break;
@@ -949,23 +1274,27 @@ void Network::switch_node(NodeId id) {
           rt.output(port_index(ivc.out_dir), ivc.out_vc).credits <= 0) {
         continue;
       }
-      requests_.push_back({static_cast<std::int16_t>(port),
-                           static_cast<std::int16_t>(vc)});
+      t.requests.push_back({static_cast<std::int16_t>(port),
+                            static_cast<std::int16_t>(vc)});
     }
   }
   assert(!exhaustive ||
          (seen == sendable && "switch_pending_ counter is not exact"));
-  if (requests_.empty()) return;
+  if (t.requests.empty()) return;
 
   // Random conflict resolution (paper): shuffle, then greedy matching
   // under the one-flit-per-input-port / per-output-port crossbar limits.
-  for (std::size_t i = requests_.size(); i > 1; --i) {
-    const auto j = rng_.next_below(i);
-    std::swap(requests_[i - 1], requests_[j]);
+  // The shuffle draws from a (seed, cycle, node) counter stream — node-
+  // local randomness, like the routing draws above.
+  sim::CounterRng shuf(
+      sim::counter_hash(shuf_seed_, cycle_, static_cast<std::uint64_t>(id)));
+  for (std::size_t i = t.requests.size(); i > 1; --i) {
+    const auto j = shuf.next_below(i);
+    std::swap(t.requests[i - 1], t.requests[j]);
   }
   bool used_in[kPortCount] = {};
   bool used_out[kPortCount] = {};
-  for (const auto& req : requests_) {
+  for (const auto& req : t.requests) {
     InputVc& ivc = rt.input(req.port, req.vc);
     const int out_port = port_index(ivc.out_dir);
     if (used_in[req.port] || used_out[out_port]) continue;
@@ -974,25 +1303,29 @@ void Network::switch_node(NodeId id) {
 
     const Flit flit = ivc.buf.front();
     ivc.buf.pop_front();
-    --buffered_flits_;
-    ++flits_moved_this_cycle_;
+    --t.d.buffered_flits;
+    ++t.d.flits_moved;
     if (measuring_ && config_.collect_traffic_map) {
       ++node_traffic_[static_cast<std::size_t>(id)];
     }
     const bool tail = is_tail(flit.type);
 
     if (ivc.out_dir == Direction::Local) {
-      if (eject_hook_) eject_hook_(flit, c);
+      // The observation hook and the slot recycle both touch global state,
+      // so they are deferred to the ordered commit after the barrier; the
+      // message's own accounting (only this node's worm touches it) and
+      // the per-tile counters happen here.
+      if (eject_hook_) t.ejects.push_back({id, flit});
       if (tail) {
         Message& m = messages_[flit.msg];
         m.delivered = cycle_;
         m.done = true;
-        ++total_messages_delivered_;
-        total_flits_delivered_ += m.length;
-        total_latency_sum_ += cycle_ - m.created;
+        ++t.d.total_messages_delivered;
+        t.d.total_flits_delivered += m.length;
+        t.d.total_latency_sum += cycle_ - m.created;
         if (measuring_) {
-          measured_flits_delivered_ += m.length;
-          ++measured_messages_delivered_;
+          t.d.measured_flits_delivered += m.length;
+          ++t.d.measured_messages_delivered;
         }
         if (trace_ != nullptr) {
           const HeaderState& h = headers_[flit.msg];
@@ -1000,9 +1333,9 @@ void Network::switch_node(NodeId id) {
                static_cast<std::uint32_t>(h.rs.hops),
                static_cast<std::uint32_t>(h.rs.misroutes));
         }
-        // The tail is out: freeze the accounting and recycle the slot the
-        // same cycle — this is what bounds storage at O(in-flight).
-        retire_slot(flit.msg);
+        // The tail is out: the slot recycles in the commit this same
+        // cycle — storage stays bounded at O(in-flight).
+        t.retires.push_back(flit.msg);
       }
     } else {
       OutputVc& ovc = rt.output(out_port, ivc.out_vc);
@@ -1012,21 +1345,26 @@ void Network::switch_node(NodeId id) {
       reg.flit = flit;
       reg.vc = ivc.out_vc;
       reg.full = true;
-      ++buffered_flits_;
-      note_link_full(static_cast<std::size_t>(id) * kMeshDirections +
-                     static_cast<std::size_t>(out_port));
+      ++t.d.buffered_flits;
+      note_link_full(t, static_cast<std::size_t>(id) * kMeshDirections +
+                            static_cast<std::size_t>(out_port));
       if (tail) {
         ovc.release();
-        --link_vc_allocated_[static_cast<std::size_t>(ivc.out_vc)];
+        --t.d.vc_alloc[static_cast<std::size_t>(ivc.out_vc)];
       }
     }
 
-    // Credit return to the upstream router for the vacated buffer slot.
+    // Credit return to the upstream router for the vacated buffer slot —
+    // deferred to the commit, so a freed slot becomes visible upstream on
+    // the next cycle no matter which tile (or visit order) freed it.
     if (req.port != local) {
       const auto updir = static_cast<Direction>(req.port);
       const auto up = mesh_->neighbour(c, updir);
       assert(up);
-      router_mut(*up).output(port_index(opposite(updir)), req.vc).credits++;
+      t.credits.push_back(
+          {mesh_->id_of(*up),
+           static_cast<std::int16_t>(port_index(opposite(updir))),
+           static_cast<std::int16_t>(req.vc)});
     }
 
     if (tail) {
@@ -1045,11 +1383,30 @@ void Network::switch_node(NodeId id) {
 
 void Network::phase_switching() {
   if (config_.scan_mode == ScanMode::Active) {
-    compact_worklist(switch_nodes_, in_switch_, switch_pending_);
-    for (const NodeId id : switch_nodes_) switch_node(id);
+    if (ordered_execution()) {
+      for (Tile& t : tiles_) {
+        compact_worklist(t.switch_nodes, in_switch_, switch_pending_);
+      }
+      for (const NodeId id : merged_worklist(&Tile::switch_nodes)) {
+        switch_node(tiles_[tile_of_node_[static_cast<std::size_t>(id)]], id);
+      }
+      return;
+    }
+    for_each_tile([this](Tile& t) {
+      compact_worklist(t.switch_nodes, in_switch_, switch_pending_);
+      for (const NodeId id : t.switch_nodes) switch_node(t, id);
+    });
     return;
   }
-  for (NodeId id = 0; id < mesh_->node_count(); ++id) switch_node(id);
+  if (ordered_execution()) {
+    for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+      switch_node(tiles_[tile_of_node_[static_cast<std::size_t>(id)]], id);
+    }
+    return;
+  }
+  for_each_tile([this](Tile& t) {
+    for (const NodeId id : t.nodes) switch_node(t, id);
+  });
 }
 
 // ---- phase 5: sampling ---------------------------------------------------
@@ -1075,10 +1432,13 @@ void Network::phase_sampling() {
     ++vc_usage_samples_;
   }
   if (config_.collect_kernel_stats) {
-    kernel_route_nodes_sum_ += live_entries(route_nodes_, route_pending_);
-    kernel_switch_nodes_sum_ += live_entries(switch_nodes_, switch_pending_);
-    kernel_inject_nodes_sum_ += live_entries(inject_nodes_, inject_pending_);
-    kernel_link_regs_sum_ += link_list_.size();
+    // O(tiles) gauges — exact counts maintained on the zero <-> positive
+    // pending transitions, so sampling every cycle costs nothing even on
+    // huge sharded meshes.
+    kernel_route_nodes_sum_ += active_route_nodes();
+    kernel_switch_nodes_sum_ += active_switch_nodes();
+    kernel_inject_nodes_sum_ += active_inject_nodes();
+    kernel_link_regs_sum_ += full_links_;
     ++kernel_samples_;
   }
 }

@@ -30,6 +30,7 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "ftmesh/fault/fault_model.hpp"
@@ -78,6 +79,19 @@ struct NetworkConfig {
   bool collect_traffic_map = false;
   bool collect_kernel_stats = false;  ///< cache hit rate + active-set sizes
   std::uint64_t watchdog_patience = 2000;
+  /// Spatial shards for the cycle kernel: the mesh is cut into this many
+  /// rectangular tiles, each owning its nodes' worklists, route cache and
+  /// scratch.  Requested counts that do not factor onto the mesh are
+  /// reduced to the nearest feasible count (1 always fits).  Results are
+  /// byte-identical for every tile count — cross-tile effects (credits,
+  /// retirements, eject hooks) are deferred to an ordered commit after the
+  /// phase barrier, and every arbitration draw is a counter hash of
+  /// (seed, cycle, node).  See docs/performance.md, "Sharded kernel".
+  int tiles = 1;
+  /// Worker threads for the per-tile phases, on ThreadPool::shared().
+  /// 1 = serial (no pool, no locks); <= 0 = hardware concurrency.  Only
+  /// effective with tiles > 1; determinism does not depend on it.
+  int step_threads = 1;
 };
 
 class Network {
@@ -380,13 +394,25 @@ class Network {
     return total_cache_hits_;
   }
 
-  // Instantaneous active-set gauges (exact; stale worklist entries are
-  // filtered through the occupancy counters).  O(worklist length).
-  [[nodiscard]] std::uint64_t active_route_nodes() const;
-  [[nodiscard]] std::uint64_t active_switch_nodes() const;
-  [[nodiscard]] std::uint64_t active_inject_nodes() const;
+  // Instantaneous active-set gauges.  Exact counters maintained on the
+  // zero <-> positive transitions of the per-node occupancy counts (and a
+  // dedicated full-register count), summed over the tiles: O(tile count)
+  // per call, independent of worklist length — cheap enough for
+  // --kernel-stats to sample every cycle even under the sharded kernel.
+  [[nodiscard]] std::uint64_t active_route_nodes() const noexcept;
+  [[nodiscard]] std::uint64_t active_switch_nodes() const noexcept;
+  [[nodiscard]] std::uint64_t active_inject_nodes() const noexcept;
   [[nodiscard]] std::uint64_t full_link_registers() const noexcept {
-    return link_list_.size();
+    return full_links_;
+  }
+
+  /// Actual tile grid after feasibility reduction (tx * ty tiles laid over
+  /// the mesh; {1, 1} when sharding is off).
+  [[nodiscard]] std::pair<int, int> tile_grid() const noexcept {
+    return {tile_grid_x_, tile_grid_y_};
+  }
+  [[nodiscard]] std::size_t tile_count() const noexcept {
+    return tiles_.size();
   }
   /// Per-VC-index count of currently reserved output VCs across all links.
   [[nodiscard]] const std::vector<std::uint32_t>& link_vc_allocated()
@@ -441,23 +467,125 @@ class Network {
   };
   static constexpr std::size_t kRouteCacheSize = 4096;  // power of two
 
+  /// A deferred credit return: +1 credit on `node`'s output (port, vc),
+  /// applied after the switching barrier.  Deferring makes the cycle a
+  /// credit sees its freed slot uniform (always the next cycle) instead of
+  /// depending on node visit order — the property that lets tiles run
+  /// concurrently without changing results.
+  struct CreditReturn {
+    topology::NodeId node;
+    std::int16_t port;
+    std::int16_t vc;
+  };
+  /// A deferred destination ejection: the hook runs after the barrier in
+  /// ascending node order (<= 1 ejection per node per cycle, so that order
+  /// is unique and equals the legacy serial visit order).
+  struct DeferredEject {
+    topology::NodeId node;
+    Flit flit;
+  };
+
+  /// Counters a phase body may touch, accumulated tile-locally and folded
+  /// into the real counters after the barrier (single writer per tile, no
+  /// atomics on the hot path).
+  struct PhaseDeltas {
+    std::int64_t buffered_flits = 0;
+    std::int64_t queued_messages = 0;
+    std::int64_t busy_supplies = 0;
+    std::int64_t full_links = 0;
+    std::uint64_t flits_moved = 0;
+    std::uint64_t total_messages_delivered = 0;
+    std::uint64_t total_flits_delivered = 0;
+    std::uint64_t total_latency_sum = 0;
+    std::uint64_t measured_flits_delivered = 0;
+    std::uint64_t measured_messages_delivered = 0;
+    std::uint64_t measured_route_decisions = 0;
+    std::uint64_t measured_candidates_offered = 0;
+    std::uint64_t measured_candidates_free = 0;
+    std::uint64_t total_cache_lookups = 0;
+    std::uint64_t total_cache_hits = 0;
+    std::uint64_t route_cache_lookups = 0;
+    std::uint64_t route_cache_hits = 0;
+    std::vector<std::int32_t> vc_alloc;  // per VC index
+  };
+
+  /// One rectangular shard of the mesh.  A tile owns its nodes' worklists,
+  /// route cache, scratch buffers and deferred-commit queues; during the
+  /// parallel phases exactly one thread works a tile, and everything it
+  /// writes is either owned by the tile or one of these queues.
+  struct Tile {
+    std::vector<topology::NodeId> nodes;  // ascending
+    // Worklists (same discipline as the former global lists).
+    std::vector<topology::NodeId> route_nodes;
+    std::vector<topology::NodeId> switch_nodes;
+    std::vector<topology::NodeId> inject_nodes;
+    /// Full link registers whose *downstream* node is in this tile and
+    /// whose upstream node is too (flagged via in_link_).  Cross-tile
+    /// registers are never listed — the sender may not touch another
+    /// tile's list — and are found through boundary_in instead.
+    std::vector<std::size_t> link_list;
+    /// Static: registers delivering into this tile from another tile
+    /// (checked for .full every cycle; O(tile perimeter)).
+    std::vector<std::size_t> boundary_in;
+    /// Static: every register delivering into this tile (Full scan).
+    std::vector<std::size_t> incoming_all;
+    // Exact gauge counts: nodes with a positive pending counter.
+    std::int64_t active_route = 0;
+    std::int64_t active_switch = 0;
+    std::int64_t active_inject = 0;
+    // Deferred commits (drained after the switching barrier).
+    std::vector<CreditReturn> credits;
+    std::vector<MessageSlot> retires;
+    std::vector<DeferredEject> ejects;
+    PhaseDeltas d;
+    // Route-candidate memoization (empty when disabled) + scratch.
+    std::vector<RouteCacheEntry> route_cache;
+    routing::CandidateList cand;
+    sim::SmallVec<routing::CandidateVc, 16> free_cands;
+    std::vector<Request> requests;
+  };
+
   void phase_arrivals();
   void phase_injection();
   void phase_routing();
   void phase_switching();
   void phase_sampling();
+  void commit_deferred();
 
-  // Per-node bodies shared by both scan modes: identical work per visited
-  // node, so Active (which skips nodes with a zero pending counter) and
-  // Full (which visits everyone) cannot diverge.
-  void arrive_link(std::size_t link_idx);
-  void inject_node(topology::NodeId id);
-  void route_node(topology::NodeId id, bool exhaustive);
-  void switch_node(topology::NodeId id);
+  // Per-node bodies shared by both scan modes and by the serial/parallel
+  // drivers: identical work per visited node, so Active (which skips nodes
+  // with a zero pending counter), Full (which visits everyone) and any
+  // tiling of the node set cannot diverge.
+  void arrive_link(Tile& t, std::size_t link_idx);
+  void inject_node(Tile& t, topology::NodeId id);
+  void route_node(Tile& t, topology::NodeId id, bool exhaustive);
+  void switch_node(Tile& t, topology::NodeId id);
 
-  /// Candidate set for `h`'s header at node `id` — memoized when the route
-  /// cache is enabled, enumerated into scratch otherwise.
-  const routing::CandidateList& route_candidates(topology::NodeId id,
+  void arrivals_tile(Tile& t);
+
+  /// Lays the tile grid over the mesh (reducing an infeasible request),
+  /// assigns nodes and builds the static boundary lists.
+  void setup_tiles();
+  /// Runs `fn` over every tile — on the shared pool when the sharded
+  /// parallel path is enabled, inline otherwise.
+  template <typename Fn>
+  void for_each_tile(Fn&& fn);
+  /// True when phases must run serially in global node order: the trace
+  /// sink observes per-event order, so the ordered driver iterates the
+  /// merged worklists instead of going tile-parallel.  State evolution is
+  /// identical either way.
+  [[nodiscard]] bool ordered_execution() const noexcept {
+    return trace_ != nullptr;
+  }
+  /// Folds every tile's PhaseDeltas into the real counters.
+  void reduce_deltas();
+  /// Merged, ascending, compacted worklist of all tiles (scratch-backed).
+  const std::vector<topology::NodeId>& merged_worklist(
+      std::vector<topology::NodeId> Tile::* list);
+
+  /// Candidate set for `h`'s header at node `id` — memoized in the tile's
+  /// cache when enabled, enumerated into the tile's scratch otherwise.
+  const routing::CandidateList& route_candidates(Tile& t, topology::NodeId id,
                                                  const HeaderState& h);
 
   /// Slot for a live id: identity when recycling is off (slot == id), a
@@ -508,8 +636,11 @@ class Network {
   void bump_route(topology::NodeId node, int delta);
   void bump_switch(topology::NodeId node, int delta);
   void bump_inject(topology::NodeId node, int delta);
-  /// Called exactly when a flit lands on an empty link register.
-  void note_link_full(std::size_t link_idx);
+  /// Called exactly when a flit lands on an empty link register.  `t` is
+  /// the sender's tile (== the caller's): the register is listed on the
+  /// sender's tile only when the downstream node is also in it, otherwise
+  /// the downstream tile discovers it through its boundary_in scan.
+  void note_link_full(Tile& t, std::size_t link_idx);
   /// Applies the occupancy effect of pushing `f` into `ivc` at `node`.
   void note_buffer_push(topology::NodeId node, const InputVc& ivc,
                         const Flit& f, bool was_empty);
@@ -532,7 +663,15 @@ class Network {
   const routing::RoutingAlgorithm* algorithm_;
   NetworkConfig config_;
   sim::Rng rng_;
-  std::uint64_t arb_seed_ = 0;  ///< counter-based arbitration hash seed
+  // Counter-based arbitration seeds, all derived (order-independently)
+  // from the network seed: route-scan rotation offsets, selection-policy
+  // draws, and the crossbar request shuffle.  Every draw in the cycle
+  // kernel is a pure function of (seed, cycle, node [, draw index]) — the
+  // property that keeps Full/Active scans, any tile count and any thread
+  // count bit-identical.
+  std::uint64_t arb_seed_ = 0;
+  std::uint64_t sel_seed_ = 0;
+  std::uint64_t shuf_seed_ = 0;
 
   std::vector<Router> routers_;
   std::vector<LinkReg> links_;  // [node][direction]
@@ -561,21 +700,30 @@ class Network {
   sim::Watchdog watchdog_;
 
   // Active-set state (maintained in both scan modes; see bump_* above).
+  // The pending counters and in-list flags stay global (indexed by node /
+  // register, each touched only by its owning tile mid-phase); the
+  // worklists themselves live on the tiles.
   std::vector<std::uint16_t> route_pending_;
   std::vector<std::uint16_t> switch_pending_;
   std::vector<std::uint32_t> inject_pending_;
-  std::vector<topology::NodeId> route_nodes_;
-  std::vector<topology::NodeId> switch_nodes_;
-  std::vector<topology::NodeId> inject_nodes_;
-  std::vector<std::size_t> link_list_;  // full link registers, [node*4+dir]
   std::vector<char> in_route_;
   std::vector<char> in_switch_;
   std::vector<char> in_inject_;
   std::vector<char> in_link_;
   std::vector<std::uint32_t> link_vc_allocated_;  // per VC index, link ports
+  std::uint64_t full_links_ = 0;  ///< exact count of full link registers
 
-  // Route-candidate memoization (empty vector when disabled).
-  std::vector<RouteCacheEntry> route_cache_;
+  // Spatial shards (always >= 1 tile; tiles_[0] spans the mesh when
+  // sharding is off, which is also the path every serial caller takes).
+  std::vector<Tile> tiles_;
+  std::vector<std::uint32_t> tile_of_node_;
+  /// Per link register: 1 when both endpoints are in the same tile (such
+  /// registers use the in_link_ flag + tile worklist; cross-tile ones are
+  /// discovered through boundary_in).
+  std::vector<char> link_intra_;
+  int tile_grid_x_ = 1;
+  int tile_grid_y_ = 1;
+  std::vector<topology::NodeId> merged_nodes_;  // ordered-driver scratch
 
   bool measuring_ = false;
   std::uint64_t measured_cycles_ = 0;
@@ -613,10 +761,9 @@ class Network {
   /// Cleared on slot reuse.
   std::vector<char> trace_blocked_;
 
-  // per-cycle scratch (kept across calls to avoid reallocation)
-  routing::CandidateList cand_;
-  sim::SmallVec<routing::CandidateVc, 16> free_cands_;
-  std::vector<Request> requests_;
+  // Deferred-commit scratch (kept across cycles to avoid reallocation).
+  std::vector<DeferredEject> eject_scratch_;
+  std::vector<MessageSlot> retire_scratch_;
 };
 
 }  // namespace ftmesh::router

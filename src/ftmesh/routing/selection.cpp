@@ -18,36 +18,4 @@ SelectionPolicy selection_from_string(std::string_view s) {
   throw std::invalid_argument("unknown selection policy: " + std::string(s));
 }
 
-std::size_t select_candidate(SelectionPolicy policy,
-                             std::span<const CandidateVc> candidates,
-                             const std::function<int(std::size_t)>& credits,
-                             sim::Rng& rng) {
-  if (candidates.empty()) throw std::logic_error("select_candidate: empty set");
-  if (candidates.size() == 1) return 0;
-  switch (policy) {
-    case SelectionPolicy::Random:
-      return static_cast<std::size_t>(rng.next_below(candidates.size()));
-    case SelectionPolicy::LeastCongested: {
-      // Highest downstream credit wins; random tie-break keeps the sim
-      // unbiased when several channels are equally empty.
-      int best = -1;
-      std::size_t best_idx = 0;
-      std::size_t ties = 0;
-      for (std::size_t i = 0; i < candidates.size(); ++i) {
-        const int c = credits(i);
-        if (c > best) {
-          best = c;
-          best_idx = i;
-          ties = 1;
-        } else if (c == best) {
-          ++ties;
-          if (rng.next_below(ties) == 0) best_idx = i;
-        }
-      }
-      return best_idx;
-    }
-  }
-  return 0;
-}
-
 }  // namespace ftmesh::routing

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <string_view>
 
 #include "ftmesh/routing/routing_algorithm.hpp"
@@ -26,9 +27,42 @@ SelectionPolicy selection_from_string(std::string_view s);
 
 /// Picks one index into `candidates`.  `credits(i)` reports the downstream
 /// credit count of candidate i (higher = emptier downstream buffer).
+/// Templated over the generator so the sequential sim::Rng and the
+/// counter-based sim::CounterRng (used by the sharded kernel, where every
+/// node draws from its own per-cycle stream) share one implementation.
+template <typename Rng>
 std::size_t select_candidate(SelectionPolicy policy,
                              std::span<const CandidateVc> candidates,
                              const std::function<int(std::size_t)>& credits,
-                             sim::Rng& rng);
+                             Rng& rng) {
+  if (candidates.empty()) {
+    throw std::logic_error("select_candidate: empty set");
+  }
+  if (candidates.size() == 1) return 0;
+  switch (policy) {
+    case SelectionPolicy::Random:
+      return static_cast<std::size_t>(rng.next_below(candidates.size()));
+    case SelectionPolicy::LeastCongested: {
+      // Highest downstream credit wins; random tie-break keeps the sim
+      // unbiased when several channels are equally empty.
+      int best = -1;
+      std::size_t best_idx = 0;
+      std::size_t ties = 0;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const int c = credits(i);
+        if (c > best) {
+          best = c;
+          best_idx = i;
+          ties = 1;
+        } else if (c == best) {
+          ++ties;
+          if (rng.next_below(ties) == 0) best_idx = i;
+        }
+      }
+      return best_idx;
+    }
+  }
+  return 0;
+}
 
 }  // namespace ftmesh::routing

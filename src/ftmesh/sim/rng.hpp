@@ -30,6 +30,36 @@ std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t a,
 std::uint64_t counter_below(std::uint64_t seed, std::uint64_t a,
                             std::uint64_t b, std::uint64_t bound) noexcept;
 
+/// A draw *stream* over counter_hash: the n-th value is
+/// counter_hash(seed, n, 0).  Used for arbitration inside the (optionally
+/// sharded) cycle kernel — each (cycle, node) gets its own seed, so a
+/// node's draws are a pure function of its local state and can never be
+/// perturbed by scan order, tiling or thread scheduling.  Satisfies the
+/// UniformRandomBitGenerator shape so it is interchangeable with Rng at
+/// the arbitration call sites.
+class CounterRng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit CounterRng(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return counter_hash(seed_, n_++, 0); }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return counter_below(seed_, n_++, 0, bound);
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t n_ = 0;
+};
+
 /// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
 class Rng {
  public:

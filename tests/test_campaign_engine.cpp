@@ -87,6 +87,23 @@ TEST(CampaignEngine, MatchesLegacyRunnerByteForByte) {
   }
 }
 
+TEST(CampaignEngine, ShardedKernelDoesNotChangeTheCsv) {
+  // The spatially sharded Network::step (base.tiles / base.step_threads) is
+  // an execution detail of each cell's simulation: any tiling must leave
+  // every campaign CSV byte untouched.  (The keys do enter the spec hash —
+  // like scan_mode, a replayed checkpoint re-runs the exact config.)
+  const auto spec = engine_spec();
+  const std::string expected = legacy_csv(spec);
+  for (const int tiles : {2, 4}) {
+    auto sharded = spec;
+    sharded.base.tiles = tiles;
+    sharded.base.step_threads = 4;
+    campaign::StreamOptions options;
+    options.threads = 2;
+    EXPECT_EQ(streamed_csv(sharded, options), expected) << "tiles=" << tiles;
+  }
+}
+
 TEST(CampaignEngine, CellIdsAreStableUniqueAndContentAddressed) {
   const auto spec = engine_spec();
   const auto cells = campaign::enumerate_cells(spec);

@@ -13,6 +13,12 @@
 // The matrix deliberately includes a dynamic fault schedule so the
 // cache-invalidation and active-set-rebuild paths are exercised, not just
 // the steady state.
+//
+// The sharded kernel adds two more axes: the tile count (the mesh cut into
+// rectangular shards with deferred boundary commits) and the step thread
+// count (tiles dispatched on the shared pool).  Both must be invisible in
+// reports and traces; the multi-threaded cases double as the TSan target
+// for the parallel step path.
 
 #include <gtest/gtest.h>
 
@@ -162,6 +168,57 @@ TEST_P(GoldenDeterminism, FullScanWithoutCacheMatchesActiveWithCache) {
   cfg.route_cache = false;
   const std::string reference = report_for(cfg);
   ASSERT_EQ(fast, reference);
+}
+
+TEST_P(GoldenDeterminism, ShardedReportsAreByteIdentical) {
+  // The sharded kernel (router/network.hpp, NetworkConfig::tiles): every
+  // tile count and thread count must reproduce the single-tile report byte
+  // for byte — cross-tile effects are deferred to an ordered commit and
+  // every arbitration draw is a counter hash of (seed, cycle, node), so
+  // neither the tiling nor the thread schedule can leak into results.  The
+  // dynamic-schedule scenario covers the post-reconfiguration rebuild
+  // (worklists must land on their owning tiles again).
+  auto cfg = config();
+  cfg.tiles = 1;
+  cfg.step_threads = 1;
+  const std::string single = report_for(cfg);
+  for (const int tiles : {2, 4}) {
+    for (const int threads : {1, 4}) {
+      cfg.tiles = tiles;
+      cfg.step_threads = threads;
+      ASSERT_EQ(single, report_for(cfg))
+          << "tiles=" << tiles << " threads=" << threads;
+    }
+  }
+}
+
+TEST_P(GoldenDeterminism, ShardedTracesAreByteIdentical) {
+  // With a trace sink attached the kernel switches to the ordered serial
+  // driver, but keeps the per-tile state (worklists, route caches): the
+  // JSONL stream must match the single-tile run event for event.
+  auto cfg = config();
+  cfg.tiles = 1;
+  const std::string single = trace_for(cfg);
+  ASSERT_FALSE(single.empty());
+  for (const int tiles : {2, 4}) {
+    cfg.tiles = tiles;
+    cfg.step_threads = 4;  // ignored while tracing; must not change results
+    ASSERT_EQ(single, trace_for(cfg)) << "tiles=" << tiles;
+  }
+}
+
+TEST_P(GoldenDeterminism, ShardedFullScanMatchesSingleTileActive) {
+  // Cross-axis corner: many tiles + exhaustive scan + threads against the
+  // plain single-tile active-scan kernel.
+  auto cfg = config();
+  cfg.scan_mode = "active";
+  cfg.tiles = 1;
+  cfg.step_threads = 1;
+  const std::string reference = report_for(cfg);
+  cfg.scan_mode = "full";
+  cfg.tiles = 4;
+  cfg.step_threads = 4;
+  ASSERT_EQ(reference, report_for(cfg));
 }
 
 std::string param_name(const ::testing::TestParamInfo<std::tuple<int, int>>& info) {

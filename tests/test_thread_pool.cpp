@@ -64,4 +64,23 @@ TEST(ThreadPool, ThreadCountIsSafeAgainstConcurrentGrowth) {
   EXPECT_EQ(pool.thread_count(), 8);
 }
 
+// Regression: nested parallel_for from threads that are themselves pool
+// workers (a threaded campaign where each cell steps a sharded network)
+// used to deadlock when the pool was small — every worker blocked in its
+// inner wait, while the inner helper tasks (which must run to decrement
+// the completion count, even with the work counter already exhausted)
+// sat unrunnable in the queue.  The helping wait drains the queue from
+// the waiters, so this must always complete.  The repro is only
+// deterministic while the shared pool is still small, but the fix makes
+// the shape safe at any pool size.
+TEST(ThreadPool, NestedParallelForFromPoolWorkersCompletes) {
+  std::atomic<int> total{0};
+  parallel_for(2, 2, [&](std::size_t) {
+    parallel_for(4, 2, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
 }  // namespace

@@ -30,8 +30,15 @@ absolute bound: current[NAME].counters[COUNTER] <= MAX.  Counters such
 as peak_slots are machine-independent, so this pins structural claims
 (the slot table stays O(in-flight)) without a baseline.
 
+Both inputs must come from a Release build of the benchmark library:
+Google Benchmark stamps context.library_build_type into the JSON, and a
+debug-build run is 10-50x off the checked-in numbers, so comparing one
+is never meaningful.  Non-release input is refused (exit 2) unless
+--allow-non-release is given; a file whose context lacks the stamp only
+draws a warning, so hand-trimmed fixtures keep working.
+
 Exit status: 0 = within budget, 1 = regression or missing benchmark,
-2 = bad invocation / unreadable input.
+2 = bad invocation / unreadable input / non-release input.
 """
 
 import argparse
@@ -54,7 +61,39 @@ _NON_COUNTER_KEYS = frozenset([
 ])
 
 
-def load_runs(path):
+def check_build_type(path, doc, allow_non_release):
+    """Refuse benchmark JSON measured from a non-release build (debug
+    numbers are meaningless for gating).
+
+    bench/micro_kernel.cpp stamps context.ftmesh_build_type with the
+    build type of the code under measurement (NDEBUG); that key is
+    authoritative.  context.library_build_type only describes how the
+    benchmark *library* was compiled — distro packages ship it without
+    NDEBUG, so it reads "debug" even under -O2 — and is used as a
+    fallback for JSON produced before the custom stamp existed."""
+    ctx = doc.get("context", {})
+    build_type = ctx.get("ftmesh_build_type")
+    source = "ftmesh_build_type"
+    if build_type is None:
+        build_type = ctx.get("library_build_type")
+        source = "library_build_type (fallback)"
+    if build_type is None:
+        print(f"bench_compare: WARNING: {path} has no build-type stamp; "
+              "cannot confirm it came from a Release build",
+              file=sys.stderr)
+        return
+    if build_type.lower() != "release":
+        msg = (f"bench_compare: {path} was measured from a "
+               f"{build_type!r} build ({source}), not release")
+        if allow_non_release:
+            print(msg + " (allowed by --allow-non-release)", file=sys.stderr)
+            return
+        print(msg + "; re-run from a Release build or pass "
+              "--allow-non-release", file=sys.stderr)
+        sys.exit(2)
+
+
+def load_runs(path, allow_non_release=False):
     """Returns ({name: real_time}, {name: {counter: value}}) from a
     benchmark JSON file."""
     try:
@@ -63,6 +102,7 @@ def load_runs(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    check_build_type(path, doc, allow_non_release)
     times = {}
     counters = {}
     for b in doc.get("benchmarks", []):
@@ -116,6 +156,12 @@ def main():
         help="absolute user-counter gate on the current run: "
         "current[NAME].COUNTER <= MAX (repeatable; machine-independent)",
     )
+    ap.add_argument(
+        "--allow-non-release",
+        action="store_true",
+        help="accept benchmark JSON from a non-release build "
+        "(numbers will be meaningless; for plumbing tests only)",
+    )
     args = ap.parse_args()
     watched = args.bench if args.bench else DEFAULT_WATCHED
 
@@ -149,8 +195,8 @@ def main():
                   file=sys.stderr)
             sys.exit(2)
 
-    base, _ = load_runs(args.baseline)
-    cur, cur_counters = load_runs(args.current)
+    base, _ = load_runs(args.baseline, args.allow_non_release)
+    cur, cur_counters = load_runs(args.current, args.allow_non_release)
 
     failed = False
     width = max(len(n) for n in sorted(set(base) | set(cur)))

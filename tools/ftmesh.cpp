@@ -5,6 +5,7 @@
 //                     [--cycles N] [--seed S] [--json] [--save-config f]
 //                     [--fault-schedule SPEC] [--max-retries N]
 //                     [--backoff N] [--patience N] [--drain]
+//                     [--tiles N] [--step-threads N]
 //                     [--trace f] [--trace-format jsonl|chrome]
 //                     [--metrics-interval N] [--metrics-out f.csv]
 //   ftmesh sweep      [--algorithm A] [--from R0] [--to R1] [--steps N] ...
@@ -86,6 +87,9 @@ SimConfig config_from_cli(const Cli& cli) {
   cfg.fault_retry_backoff = static_cast<std::uint64_t>(cli.get_int(
       "backoff", static_cast<std::int64_t>(cfg.fault_retry_backoff)));
   cfg.scan_mode = cli.get("scan-mode", cfg.scan_mode);
+  cfg.tiles = static_cast<int>(cli.get_int("tiles", cfg.tiles));
+  cfg.step_threads =
+      static_cast<int>(cli.get_int("step-threads", cfg.step_threads));
   cfg.route_cache =
       cli.get_int("route-cache", cfg.route_cache ? 1 : 0) != 0;
   cfg.recycle_messages =
