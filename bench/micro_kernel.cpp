@@ -147,6 +147,20 @@ void BM_NetworkStepSaturatedFaulty(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkStepSaturatedFaulty);
 
+void BM_NetworkStepLinkFaults(benchmark::State& state) {
+  // Saturated load over a mixed node+link fault pattern: isolated dead
+  // links form degenerate (inverted-box) regions that deactivate no
+  // routers, so every cycle pays the candidate-masking filter and the
+  // link-aware victim scan on top of the usual f-ring detours.
+  auto cfg = kernel_config(-1.0, 4);
+  cfg.link_fault_count = 4;
+  Simulator sim(cfg);
+  for (int i = 0; i < 2000; ++i) sim.step();
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_NetworkStepLinkFaults);
+
 SimConfig sharded_config(int mesh, int tiles, int threads) {
   SimConfig cfg;
   cfg.width = cfg.height = mesh;

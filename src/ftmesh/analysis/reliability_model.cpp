@@ -1,0 +1,129 @@
+#include "ftmesh/analysis/reliability_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ftmesh::analysis {
+
+using topology::Coord;
+using topology::Direction;
+using topology::Mesh;
+using topology::NodeId;
+
+namespace {
+
+constexpr std::array<Direction, 4> kDirs = {
+    Direction::XPlus, Direction::XMinus, Direction::YPlus, Direction::YMinus};
+
+/// Index of the undirected link (c, c.step(d)) in a node_count*2 table:
+/// each node owns its X+ (slot 0) and Y+ (slot 1) links.
+std::size_t link_slot(const Mesh& mesh, Coord c, Direction d) noexcept {
+  if (d == Direction::XMinus || d == Direction::YMinus) {
+    c = c.step(d);
+    d = opposite(d);
+  }
+  return static_cast<std::size_t>(mesh.id_of(c)) * 2 +
+         (d == Direction::YPlus ? 1 : 0);
+}
+
+}  // namespace
+
+ReliabilityModel::ReliabilityModel(const Mesh& mesh, double node_fault_prob,
+                                   double link_fault_prob)
+    : mesh_(&mesh), p_(node_fault_prob), q_(link_fault_prob) {
+  if (!(p_ >= 0.0 && p_ <= 1.0) || !(q_ >= 0.0 && q_ <= 1.0)) {
+    throw std::invalid_argument(
+        "reliability model: fault probabilities must be in [0, 1]");
+  }
+}
+
+double ReliabilityModel::node_isolation_probability(Coord v) const {
+  if (!mesh_->contains(v)) {
+    throw std::invalid_argument("reliability model: node off the mesh");
+  }
+  double prob = 1.0 - p_;  // the node itself survives...
+  for (const Direction d : kDirs) {
+    if (!mesh_->neighbour(v, d)) continue;
+    // ...but each incident neighbour is unreachable: the link died, or it
+    // survived and the neighbour itself is faulty.
+    prob *= q_ + (1.0 - q_) * p_;
+  }
+  return prob;
+}
+
+double ReliabilityModel::disconnection_estimate() const {
+  double survive = 1.0;
+  for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+    survive *= 1.0 - node_isolation_probability(mesh_->coord_of(id));
+  }
+  return 1.0 - survive;
+}
+
+MonteCarloReliability ReliabilityModel::monte_carlo(int trials,
+                                                    sim::Rng rng) const {
+  if (trials < 1) {
+    throw std::invalid_argument("reliability model: trials must be >= 1");
+  }
+  const auto n = static_cast<std::size_t>(mesh_->node_count());
+  std::vector<char> node_dead(n);
+  std::vector<char> dead_link(n * 2);
+  std::vector<char> seen(n);
+  std::vector<NodeId> stack;
+  stack.reserve(n);
+
+  MonteCarloReliability mc;
+  mc.trials = trials;
+  for (int t = 0; t < trials; ++t) {
+    // Draw in a fixed order (all nodes, then all links) so the sample is a
+    // pure function of the rng state, independent of the classifier below.
+    for (std::size_t i = 0; i < n; ++i) {
+      node_dead[i] = rng.next_double() < p_ ? 1 : 0;
+    }
+    for (std::size_t i = 0; i < n * 2; ++i) {
+      dead_link[i] = rng.next_double() < q_ ? 1 : 0;
+    }
+    std::fill(seen.begin(), seen.end(), 0);
+    NodeId root = -1;
+    int healthy = 0;
+    for (NodeId id = 0; id < mesh_->node_count(); ++id) {
+      if (node_dead[static_cast<std::size_t>(id)] == 0) {
+        ++healthy;
+        if (root < 0) root = id;
+      }
+    }
+    if (healthy == 0) {
+      ++mc.disconnected;
+      continue;
+    }
+    stack.clear();
+    stack.push_back(root);
+    seen[static_cast<std::size_t>(root)] = 1;
+    int reached = 1;
+    while (!stack.empty()) {
+      const Coord c = mesh_->coord_of(stack.back());
+      stack.pop_back();
+      for (const Direction d : kDirs) {
+        const auto nb = mesh_->neighbour(c, d);
+        if (!nb) continue;
+        const NodeId nid = mesh_->id_of(*nb);
+        if (seen[static_cast<std::size_t>(nid)] != 0) continue;
+        if (node_dead[static_cast<std::size_t>(nid)] != 0) continue;
+        if (dead_link[link_slot(*mesh_, c, d)] != 0) continue;
+        seen[static_cast<std::size_t>(nid)] = 1;
+        ++reached;
+        stack.push_back(nid);
+      }
+    }
+    if (reached != healthy) ++mc.disconnected;
+  }
+  mc.estimate = static_cast<double>(mc.disconnected) /
+                static_cast<double>(mc.trials);
+  mc.std_error = std::sqrt(mc.estimate * (1.0 - mc.estimate) /
+                           static_cast<double>(mc.trials));
+  return mc;
+}
+
+}  // namespace ftmesh::analysis

@@ -1,0 +1,71 @@
+#pragma once
+// A probabilistic network-(dis)connection model for the 2-D mesh under
+// independent node and link faults, after the combinatorial reliability
+// analysis of mesh/torus interconnects (arXiv 1301.5993): at the small
+// fault probabilities where wormhole fault-tolerant routing is studied,
+// network disconnection is dominated by *single-node isolation* — a
+// healthy node whose every incident neighbour is unreachable (the link is
+// dead, or the link is alive but the neighbour is faulty).
+//
+// With node-fault probability p and (physical) link-fault probability q,
+// each i.i.d.:
+//
+//   P_iso(v)        = (1 - p) * prod_{u in N(v)} (q + (1 - q) * p)
+//   P[disconnected] ~ 1 - prod_v (1 - P_iso(v))
+//
+// The product form treats the per-node isolation events as independent; it
+// is a first-order estimate, exact as p, q -> 0 and within a few percent
+// for the p, q <= 0.05 regime the paper's fault counts correspond to.
+// Corner and edge nodes have fewer neighbours, so meshes are markedly
+// easier to disconnect than the degree-4 interior suggests — the estimate
+// keeps the per-node degree rather than assuming regularity.
+//
+// monte_carlo() cross-validates the closed form by direct sampling: draw a
+// fault pattern, BFS the healthy subgraph over healthy links, classify.
+// "Disconnected" is graph-theoretic — the healthy subgraph has zero nodes
+// or more than one component — deliberately ignoring the simulator's
+// stricter admissibility (>= 2 active nodes), which exists for traffic
+// generation, not reliability.
+
+#include "ftmesh/sim/rng.hpp"
+#include "ftmesh/topology/mesh.hpp"
+
+namespace ftmesh::analysis {
+
+/// One Monte-Carlo validation run of the disconnection estimate.
+struct MonteCarloReliability {
+  int trials = 0;
+  int disconnected = 0;   ///< trials whose healthy subgraph split (or died)
+  double estimate = 0.0;  ///< disconnected / trials
+  double std_error = 0.0; ///< binomial standard error of `estimate`
+};
+
+class ReliabilityModel {
+ public:
+  /// p = node-fault probability, q = physical-link-fault probability;
+  /// both must be in [0, 1].  Throws std::invalid_argument otherwise.
+  ReliabilityModel(const topology::Mesh& mesh, double node_fault_prob,
+                   double link_fault_prob);
+
+  [[nodiscard]] double node_fault_prob() const noexcept { return p_; }
+  [[nodiscard]] double link_fault_prob() const noexcept { return q_; }
+
+  /// P_iso(v): the node is healthy but cut off from every neighbour.
+  [[nodiscard]] double node_isolation_probability(topology::Coord v) const;
+
+  /// First-order probability that the network is disconnected,
+  /// 1 - prod_v (1 - P_iso(v)).
+  [[nodiscard]] double disconnection_estimate() const;
+
+  /// Samples `trials` i.i.d. fault patterns from `rng` and classifies each
+  /// by BFS over the healthy subgraph.  Deterministic in (trials, rng).
+  [[nodiscard]] MonteCarloReliability monte_carlo(int trials,
+                                                  sim::Rng rng) const;
+
+ private:
+  const topology::Mesh* mesh_;
+  double p_;
+  double q_;
+};
+
+}  // namespace ftmesh::analysis

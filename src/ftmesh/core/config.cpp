@@ -34,6 +34,10 @@ void SimConfig::validate() const {
   if (fault_count < 0 || fault_count >= width * height) {
     throw std::invalid_argument("fault_count out of range");
   }
+  if (link_fault_count < 0 ||
+      link_fault_count > height * (width - 1) + width * (height - 1)) {
+    throw std::invalid_argument("link_fault_count out of range");
+  }
   if (warmup_cycles >= total_cycles) {
     throw std::invalid_argument("warmup must end before total_cycles");
   }

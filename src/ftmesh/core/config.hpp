@@ -40,6 +40,9 @@ struct SimConfig {
 
   // faults: explicit blocks win over a random fault count
   int fault_count = 0;
+  /// Random dead physical links drawn alongside fault_count nodes
+  /// (ignored when fault_blocks is set — blocks have no link grammar).
+  int link_fault_count = 0;
   std::vector<fault::Rect> fault_blocks;
 
   // dynamic faults (inject/): runtime fault events + message recovery.

@@ -65,6 +65,7 @@ void save_config(std::ostream& os, const SimConfig& cfg) {
      << "injection_rate = " << cfg.injection_rate << "\n"
      << "message_length = " << cfg.message_length << "\n"
      << "fault_count = " << cfg.fault_count << "\n"
+     << "link_fault_count = " << cfg.link_fault_count << "\n"
      << "fault_blocks = " << blocks_to_string(cfg.fault_blocks) << "\n"
      << "fault_schedule = " << cfg.fault_schedule << "\n"
      << "fault_max_retries = " << cfg.fault_max_retries << "\n"
@@ -118,6 +119,7 @@ SimConfig load_config(std::istream& is) {
       else if (key == "injection_rate") cfg.injection_rate = std::stod(value);
       else if (key == "message_length") cfg.message_length = static_cast<std::uint32_t>(std::stoul(value));
       else if (key == "fault_count") cfg.fault_count = std::stoi(value);
+      else if (key == "link_fault_count") cfg.link_fault_count = std::stoi(value);
       else if (key == "fault_blocks") cfg.fault_blocks = blocks_from_string(value);
       else if (key == "fault_schedule") cfg.fault_schedule = value;
       else if (key == "fault_max_retries") cfg.fault_max_retries = std::stoi(value);

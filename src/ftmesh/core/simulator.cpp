@@ -10,10 +10,10 @@ Simulator::Simulator(SimConfig cfg)
   if (!cfg_.fault_blocks.empty()) {
     faults_ = std::make_unique<fault::FaultMap>(
         fault::FaultMap::from_blocks(mesh_, cfg_.fault_blocks));
-  } else if (cfg_.fault_count > 0) {
+  } else if (cfg_.fault_count > 0 || cfg_.link_fault_count > 0) {
     auto fault_rng = root.derive(0xFA);
-    faults_ = std::make_unique<fault::FaultMap>(
-        fault::FaultMap::random(mesh_, cfg_.fault_count, fault_rng));
+    faults_ = std::make_unique<fault::FaultMap>(fault::FaultMap::random(
+        mesh_, cfg_.fault_count, cfg_.link_fault_count, fault_rng));
   } else {
     faults_ = std::make_unique<fault::FaultMap>(mesh_);
   }

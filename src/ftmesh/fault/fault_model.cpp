@@ -13,7 +13,9 @@ using topology::Mesh;
 FaultMap::FaultMap(const Mesh& mesh)
     : mesh_(&mesh),
       status_(static_cast<std::size_t>(mesh.node_count()), NodeStatus::Healthy),
-      region_of_(static_cast<std::size_t>(mesh.node_count()), -1) {}
+      region_of_(static_cast<std::size_t>(mesh.node_count()), -1),
+      link_dead_(static_cast<std::size_t>(mesh.node_count()) * 2, 0),
+      link_region_of_(static_cast<std::size_t>(mesh.node_count()) * 2, -1) {}
 
 void FaultMap::apply_blocks(const std::vector<Rect>& blocks,
                             const std::vector<Coord>& faulty) {
@@ -47,11 +49,47 @@ void FaultMap::apply_blocks(const std::vector<Rect>& blocks,
   }
 }
 
+void FaultMap::apply_state(const CoalesceResult& co,
+                           const std::vector<Coord>& faulty,
+                           const std::vector<Link>& dead_links) {
+  apply_blocks(co.boxes, faulty);  // degenerate boxes deactivate nothing
+  dead_links_ = dead_links;
+  for (std::size_t i = 0; i < dead_links.size(); ++i) {
+    const auto idx = link_index(dead_links[i].node, dead_links[i].dir);
+    link_dead_[idx] = 1;
+    link_region_of_[idx] = co.link_region[i];
+  }
+}
+
 FaultMap FaultMap::from_faulty_nodes(const Mesh& mesh,
                                      const std::vector<Coord>& faulty) {
+  return from_state(mesh, faulty, {});
+}
+
+FaultMap FaultMap::from_state(const Mesh& mesh, const std::vector<Coord>& faulty,
+                              const std::vector<Link>& dead_links) {
+  std::vector<Link> links;
+  links.reserve(dead_links.size());
+  for (const auto& l : dead_links) {
+    const Link cl = canonical_link(l.node, l.dir);
+    if (cl.dir != Direction::XPlus && cl.dir != Direction::YPlus) {
+      throw std::invalid_argument("dead link direction must be a mesh link");
+    }
+    if (!mesh.contains(cl.node) || !mesh.contains(cl.node.step(cl.dir))) {
+      throw std::invalid_argument("dead link off the mesh");
+    }
+    links.push_back(cl);
+  }
+  std::sort(links.begin(), links.end(), [](const Link& a, const Link& b) {
+    if (a.node.y != b.node.y) return a.node.y < b.node.y;
+    if (a.node.x != b.node.x) return a.node.x < b.node.x;
+    return static_cast<int>(a.dir) < static_cast<int>(b.dir);
+  });
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+
   FaultMap map(mesh);
-  map.apply_blocks(coalesce_blocks(mesh, faulty), faulty);
-  if (map.active_count() == 0 || !map.connected()) {
+  map.apply_state(coalesce_faults(mesh, faulty, links), faulty, links);
+  if (!map.admissible()) {
     throw std::invalid_argument("fault pattern disconnects the network");
   }
   return map;
@@ -69,9 +107,32 @@ FaultMap FaultMap::from_blocks(const Mesh& mesh, const std::vector<Rect>& blocks
 
 FaultMap FaultMap::random(const Mesh& mesh, int fault_count, sim::Rng& rng,
                           int max_attempts) {
+  return random(mesh, fault_count, 0, rng, max_attempts);
+}
+
+FaultMap FaultMap::random(const Mesh& mesh, int fault_count,
+                          int link_fault_count, sim::Rng& rng,
+                          int max_attempts) {
   if (fault_count < 0 || fault_count >= mesh.node_count()) {
     throw std::invalid_argument("fault_count out of range");
   }
+  // Every physical link of the mesh, canonical, row-major per axis.
+  std::vector<Link> all_links;
+  for (int y = 0; y < mesh.height(); ++y) {
+    for (int x = 0; x + 1 < mesh.width(); ++x) {
+      all_links.push_back({{x, y}, Direction::XPlus});
+    }
+  }
+  for (int y = 0; y + 1 < mesh.height(); ++y) {
+    for (int x = 0; x < mesh.width(); ++x) {
+      all_links.push_back({{x, y}, Direction::YPlus});
+    }
+  }
+  if (link_fault_count < 0 ||
+      static_cast<std::size_t>(link_fault_count) > all_links.size()) {
+    throw std::invalid_argument("link_fault_count out of range");
+  }
+
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     // Partial Fisher-Yates draw of `fault_count` distinct node ids.
     std::vector<topology::NodeId> ids(static_cast<std::size_t>(mesh.node_count()));
@@ -84,13 +145,29 @@ FaultMap FaultMap::random(const Mesh& mesh, int fault_count, sim::Rng& rng,
       std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
       faulty.push_back(mesh.coord_of(ids[static_cast<std::size_t>(i)]));
     }
+    // Then `link_fault_count` distinct links from the same stream.
+    std::vector<Link> pool = all_links;
+    std::vector<Link> links;
+    links.reserve(static_cast<std::size_t>(link_fault_count));
+    for (int i = 0; i < link_fault_count; ++i) {
+      const auto j = static_cast<std::size_t>(i) +
+                     rng.next_below(pool.size() - static_cast<std::size_t>(i));
+      std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+      links.push_back(pool[static_cast<std::size_t>(i)]);
+    }
+    std::sort(links.begin(), links.end(), [](const Link& a, const Link& b) {
+      if (a.node.y != b.node.y) return a.node.y < b.node.y;
+      if (a.node.x != b.node.x) return a.node.x < b.node.x;
+      return static_cast<int>(a.dir) < static_cast<int>(b.dir);
+    });
     FaultMap map(mesh);
-    map.apply_blocks(coalesce_blocks(mesh, faulty), faulty);
-    if (map.active_count() > 1 && map.connected()) return map;
+    map.apply_state(coalesce_faults(mesh, faulty, links), faulty, links);
+    if (map.admissible()) return map;
   }
   throw FaultPatternError(
       "could not draw a connected fault pattern with " +
-          std::to_string(fault_count) + " faults after " +
+          std::to_string(fault_count) + " faults and " +
+          std::to_string(link_fault_count) + " link faults after " +
           std::to_string(max_attempts) + " attempts",
       max_attempts);
 }
@@ -140,6 +217,7 @@ bool FaultMap::connected() const {
     for (const auto d : topology::kAllMeshDirections) {
       const auto nb = mesh_->neighbour(c, d);
       if (!nb) continue;
+      if (link_dead_[link_index(c, d)]) continue;
       const auto idx = static_cast<std::size_t>(mesh_->id_of(*nb));
       if (seen[idx] || status_[idx] != NodeStatus::Healthy) continue;
       seen[idx] = 1;

@@ -49,10 +49,21 @@ class FaultMap {
   explicit FaultMap(const topology::Mesh& mesh);
 
   /// Builds a map from explicit faulty nodes; coalesces them into block
-  /// regions.  Throws std::invalid_argument if the resulting pattern
-  /// disconnects the healthy nodes.
+  /// regions.  Throws std::invalid_argument if the resulting pattern is
+  /// inadmissible (see `admissible`).
   static FaultMap from_faulty_nodes(const topology::Mesh& mesh,
                                     const std::vector<topology::Coord>& faulty);
+
+  /// Builds a map from explicit faulty nodes plus dead physical links (both
+  /// directional channels of each listed link).  Links are canonicalized and
+  /// deduplicated; an isolated dead link becomes a degenerate region whose
+  /// f-ring detours around the link while both endpoint routers stay in
+  /// service (partial router degradation).  Throws std::invalid_argument on
+  /// off-mesh links or an inadmissible resulting pattern.  This is the
+  /// general factory the dynamic Reconfigurator round-trips through.
+  static FaultMap from_state(const topology::Mesh& mesh,
+                             const std::vector<topology::Coord>& faulty,
+                             const std::vector<Link>& dead_links);
 
   /// Builds a map from explicit rectangular blocks (every node in each block
   /// is marked faulty).  Used by the Figure-6 experiment.
@@ -64,6 +75,13 @@ class FaultMap {
   /// nodes connected.  Deterministic in (mesh, fault_count, rng state).
   static FaultMap random(const topology::Mesh& mesh, int fault_count,
                          sim::Rng& rng, int max_attempts = 1000);
+
+  /// Like `random` but additionally draws `link_fault_count` distinct random
+  /// dead links (after the node draw, from the same stream), retrying whole
+  /// patterns until admissible.
+  static FaultMap random(const topology::Mesh& mesh, int fault_count,
+                         int link_fault_count, sim::Rng& rng,
+                         int max_attempts = 1000);
 
   [[nodiscard]] const topology::Mesh& mesh() const noexcept { return *mesh_; }
 
@@ -105,18 +123,78 @@ class FaultMap {
   /// reconfigurator edits this set and rebuilds a map from it.
   [[nodiscard]] std::vector<topology::Coord> faulty_nodes() const;
 
+  // ---- link/channel health ----------------------------------------------
+  // A dead physical link kills both directional channels.  Health is stored
+  // per canonical link (node id * 2 + axis, axis 0 = XPlus, 1 = YPlus); the
+  // negative-direction query is normalized onto the neighbour's entry.
+
+  /// True when the directional channel from `c` toward `d` is usable:
+  /// `d == Local`, or the neighbour exists and the physical link is healthy.
+  /// Node health is *not* consulted — that is `blocked()`'s job.
+  [[nodiscard]] bool link_alive(topology::Coord c,
+                                topology::Direction d) const noexcept {
+    if (d == topology::Direction::Local) return true;
+    if (!mesh_->contains(c.step(d))) return false;
+    return !link_dead_[link_index(c, d)];
+  }
+
+  /// The region id owning the dead link out of `c` toward `d`, if any.
+  /// Degenerate (isolated-link) regions contain no node, so region_at of
+  /// either endpoint cannot find them; this is the dedicated lookup.
+  [[nodiscard]] std::optional<int> link_region(
+      topology::Coord c, topology::Direction d) const noexcept {
+    if (d == topology::Direction::Local || !mesh_->contains(c.step(d))) {
+      return std::nullopt;
+    }
+    const int r = link_region_of_[link_index(c, d)];
+    if (r < 0) return std::nullopt;
+    return r;
+  }
+
+  [[nodiscard]] int dead_link_count() const noexcept {
+    return static_cast<int>(dead_links_.size());
+  }
+
+  /// All dead physical links, canonical and sorted (y, x, axis).  The
+  /// reconfigurator edits this set and rebuilds a map from it.
+  [[nodiscard]] const std::vector<Link>& dead_links() const noexcept {
+    return dead_links_;
+  }
+
+  /// The unified admissibility predicate: at least two nodes in service and
+  /// every healthy node reachable from every other over healthy nodes and
+  /// healthy links.  Every construction path (static CLI factories, random
+  /// draws, and the dynamic Reconfigurator) accepts exactly the patterns
+  /// this accepts.
+  [[nodiscard]] bool admissible() const {
+    return active_count() >= 2 && connected();
+  }
+
   /// True when every healthy node can reach every other healthy node
-  /// through healthy nodes only.
+  /// through healthy nodes and healthy links only.
   [[nodiscard]] bool connected() const;
 
  private:
   void apply_blocks(const std::vector<Rect>& blocks,
                     const std::vector<topology::Coord>& faulty);
+  void apply_state(const CoalesceResult& co,
+                   const std::vector<topology::Coord>& faulty,
+                   const std::vector<Link>& dead_links);
+
+  [[nodiscard]] std::size_t link_index(topology::Coord c,
+                                       topology::Direction d) const noexcept {
+    const Link l = canonical_link(c, d);
+    return static_cast<std::size_t>(mesh_->id_of(l.node)) * 2 +
+           (l.dir == topology::Direction::YPlus ? 1 : 0);
+  }
 
   const topology::Mesh* mesh_;
   std::vector<NodeStatus> status_;
   std::vector<int> region_of_;  // -1 = none
   std::vector<FaultRegion> regions_;
+  std::vector<char> link_dead_;      // node_count * 2, canonical indexing
+  std::vector<int> link_region_of_;  // parallel to link_dead_; -1 = none
+  std::vector<Link> dead_links_;     // canonical, sorted
   int faulty_count_ = 0;
   int deactivated_count_ = 0;
 };

@@ -46,4 +46,75 @@ std::vector<Rect> coalesce_blocks(const topology::Mesh& mesh,
   return rects;
 }
 
+CoalesceResult coalesce_faults(const topology::Mesh& mesh,
+                               const std::vector<topology::Coord>& faulty,
+                               const std::vector<Link>& dead_links) {
+  (void)mesh;
+  // One component per element to start; spans are *normalized* rectangles
+  // (a link's span covers both endpoints) so the Chebyshev gap is measured
+  // on real node geometry — the inverted final box would overstate gaps by
+  // one along the link axis.
+  struct Component {
+    Rect span;
+    int nodes = 0;
+    std::vector<std::size_t> links;  // indices into dead_links
+  };
+  std::vector<Component> comps;
+  comps.reserve(faulty.size() + dead_links.size());
+  for (const auto c : faulty) {
+    comps.push_back({Rect{c.x, c.y, c.x, c.y}, 1, {}});
+  }
+  for (std::size_t i = 0; i < dead_links.size(); ++i) {
+    const auto [a, dir] = dead_links[i];
+    const auto b = a.step(dir);
+    comps.push_back({Rect{a.x, a.y, b.x, b.y}, 0, {i}});
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < comps.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < comps.size() && !changed; ++j) {
+        if (comps[i].span.chebyshev_gap(comps[j].span) <= 1) {
+          comps[i].span = comps[i].span.hull(comps[j].span);
+          comps[i].nodes += comps[j].nodes;
+          comps[i].links.insert(comps[i].links.end(), comps[j].links.begin(),
+                                comps[j].links.end());
+          comps.erase(comps.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Canonical order on the normalized spans keeps region ids stable no
+  // matter how the merge loop happened to visit elements.
+  std::sort(comps.begin(), comps.end(),
+            [](const Component& a, const Component& b) {
+              if (a.span.y0 != b.span.y0) return a.span.y0 < b.span.y0;
+              if (a.span.x0 != b.span.x0) return a.span.x0 < b.span.x0;
+              if (a.span.y1 != b.span.y1) return a.span.y1 < b.span.y1;
+              return a.span.x1 < b.span.x1;
+            });
+
+  CoalesceResult out;
+  out.boxes.reserve(comps.size());
+  out.link_region.assign(dead_links.size(), -1);
+  for (const auto& comp : comps) {
+    Rect box = comp.span;
+    if (comp.nodes == 0 && comp.links.size() == 1) {
+      // Isolated link: invert the box along the link axis.  boundary_walk
+      // of the inverted box is the six-node cycle through both (healthy)
+      // endpoints, and contains() holds for no node.
+      const auto [a, dir] = dead_links[comp.links.front()];
+      const auto b = a.step(dir);
+      box = Rect{b.x, b.y, a.x, a.y};
+    }
+    const int id = static_cast<int>(out.boxes.size());
+    for (const auto li : comp.links) out.link_region[li] = id;
+    out.boxes.push_back(box);
+  }
+  return out;
+}
+
 }  // namespace ftmesh::fault

@@ -14,6 +14,26 @@
 
 namespace ftmesh::fault {
 
+/// A physical mesh link in canonical form: the bidirectional channel pair
+/// between `node` and `node.step(dir)` with `dir` restricted to the positive
+/// directions (XPlus/YPlus).  A physical link failure kills both directional
+/// channels at once.
+struct Link {
+  topology::Coord node;
+  topology::Direction dir = topology::Direction::XPlus;
+
+  friend constexpr bool operator==(const Link&, const Link&) = default;
+};
+
+/// Canonicalizes an (endpoint, direction) pair: negative directions are
+/// re-expressed as the positive-direction link of the neighbouring node.
+constexpr Link canonical_link(topology::Coord c, topology::Direction d) noexcept {
+  if (d == topology::Direction::XMinus || d == topology::Direction::YMinus) {
+    return {c.step(d), opposite(d)};
+  }
+  return {c, d};
+}
+
 /// A closed axis-aligned rectangle of nodes [x0..x1] x [y0..y1].
 struct Rect {
   int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
@@ -51,5 +71,29 @@ struct FaultRegion {
 /// nodes, and f-rings of distinct regions may share nodes but always exist).
 std::vector<Rect> coalesce_blocks(const topology::Mesh& mesh,
                                   const std::vector<topology::Coord>& faulty);
+
+/// Result of coalescing a mixed node + link fault set.
+struct CoalesceResult {
+  /// Region boxes in canonical order.  A box with x0 > x1 or y0 > y1 is
+  /// *degenerate*: it stands for one isolated dead link and is inverted along
+  /// the link axis so that its boundary walk is exactly the six-node cycle
+  /// around the link while `contains` holds for no node (the endpoint
+  /// routers stay in service with one port down).
+  std::vector<Rect> boxes;
+  /// For each input dead link, the index into `boxes` of its region.
+  std::vector<int> link_region;
+};
+
+/// Coalesces faulty nodes *and* dead links into block regions.  Merging uses
+/// the normalized span of each element (a node's unit rectangle; the 1x2 or
+/// 2x1 rectangle covering a dead link's endpoints) with the same
+/// gap-<=-1-to-fixpoint rule as coalesce_blocks.  A component that is a
+/// single isolated link is emitted as a degenerate inverted box (partial
+/// router degradation: no node deactivated); any component containing a
+/// node or two or more links is emitted as the normal rectangular hull
+/// (its swallowed nodes are deactivated by the caller).
+CoalesceResult coalesce_faults(const topology::Mesh& mesh,
+                               const std::vector<topology::Coord>& faulty,
+                               const std::vector<Link>& dead_links);
 
 }  // namespace ftmesh::fault

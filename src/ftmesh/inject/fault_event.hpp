@@ -1,5 +1,6 @@
 #pragma once
-// A runtime fault event: one node fails or is repaired at a scheduled cycle.
+// A runtime fault event: one node or physical link fails or is repaired at
+// a scheduled cycle.
 //
 // Events are the unit of the dynamic fault model (inject/): a FaultSchedule
 // orders them in time, the Reconfigurator applies them to the live FaultMap
@@ -14,13 +15,23 @@
 namespace ftmesh::inject {
 
 enum class FaultEventKind : std::uint8_t {
-  Fail = 0,    ///< the node becomes faulty
-  Repair = 1,  ///< a previously faulty node returns to service
+  Fail = 0,        ///< the node becomes faulty
+  Repair = 1,      ///< a previously faulty node returns to service
+  FailLink = 2,    ///< the physical link (node, node.step(dir)) fails
+  RepairLink = 3,  ///< a previously dead link returns to service
 };
 
 struct FaultEvent {
   FaultEventKind kind = FaultEventKind::Fail;
   topology::Coord node{};
+  /// FailLink/RepairLink only: the link is (node, node.step(dir)).
+  topology::Direction dir = topology::Direction::XPlus;
+  /// Fail/FailLink only: when > 0, the matching repair event is scheduled
+  /// this many cycles after the failure *applies*.  The injector couples
+  /// the repair to the failure's outcome, so a rejected failure never
+  /// leaves a stray repair that could prematurely revive an unrelated
+  /// earlier fault.
+  double repair_after = 0.0;
 };
 
 }  // namespace ftmesh::inject

@@ -62,10 +62,25 @@ bool FaultInjector::tick(router::Network& net) {
     ++log_.events_applied;
     log_.rings_reused += out.rings_reused;
     log_.rings_rebuilt += out.rings_rebuilt;
-    if (ev.kind == FaultEventKind::Fail) {
-      ++log_.node_failures;
-    } else {
-      ++log_.node_repairs;
+    switch (ev.kind) {
+      case FaultEventKind::Fail: ++log_.node_failures; break;
+      case FaultEventKind::Repair: ++log_.node_repairs; break;
+      case FaultEventKind::FailLink: ++log_.link_failures; break;
+      case FaultEventKind::RepairLink: ++log_.link_repairs; break;
+    }
+    // Coupled transient repair: scheduled only now that the failure has
+    // committed, so a rejected failure can never strand a stray repair.
+    // repair_after > 0 keeps the new event strictly in the future, so the
+    // while (due) loop above cannot pop it in the same pass.
+    if (ev.repair_after > 0.0 &&
+        (ev.kind == FaultEventKind::Fail ||
+         ev.kind == FaultEventKind::FailLink)) {
+      FaultEvent repair = ev;
+      repair.kind = ev.kind == FaultEventKind::Fail
+                        ? FaultEventKind::Repair
+                        : FaultEventKind::RepairLink;
+      repair.repair_after = 0.0;
+      schedule_.add(now + ev.repair_after, repair);
     }
     log_.last_event_cycle = net.cycle();
     changed = true;

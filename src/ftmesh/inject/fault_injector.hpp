@@ -37,6 +37,8 @@ struct InjectLog {
   int events_rejected = 0;
   int node_failures = 0;
   int node_repairs = 0;
+  int link_failures = 0;
+  int link_repairs = 0;
   int rings_reused = 0;
   int rings_rebuilt = 0;
   std::uint64_t messages_flushed = 0;  ///< victims purged from the network

@@ -1,19 +1,21 @@
 #include "ftmesh/inject/fault_schedule.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
-#include <stdexcept>
+#include <limits>
 #include <vector>
 
 namespace ftmesh::inject {
 
 using topology::Coord;
+using topology::Direction;
 using topology::Mesh;
 
 namespace {
 
 [[noreturn]] void bad(const std::string& item, const std::string& why) {
-  throw std::invalid_argument("fault schedule item '" + item + "': " + why);
+  throw FaultScheduleError("fault schedule item '" + item + "': " + why);
 }
 
 std::string strip(const std::string& s) {
@@ -44,15 +46,38 @@ double parse_number(const std::string& item, const std::string& text) {
   char* end = nullptr;
   const double v = std::strtod(t.c_str(), &end);
   if (end != t.c_str() + t.size()) bad(item, "bad number '" + t + "'");
+  // strtod happily parses "nan", "inf" and overflows to HUGE_VAL; none of
+  // those is a usable cycle, count or coordinate.
+  if (!std::isfinite(v)) bad(item, "non-finite number '" + t + "'");
   return v;
 }
 
-Coord parse_coord(const std::string& item, const std::string& text,
-                  const Mesh& mesh) {
-  const auto parts = split(text, ',');
-  if (parts.size() != 2) bad(item, "expected coordinates 'x,y'");
-  const Coord c{static_cast<int>(parse_number(item, parts[0])),
-                static_cast<int>(parse_number(item, parts[1]))};
+int parse_int(const std::string& item, const std::string& text) {
+  const double v = parse_number(item, text);
+  // Both checks guard the static_cast below: a fractional or out-of-range
+  // double -> int conversion is undefined behaviour, not a rounded value.
+  if (v != std::floor(v)) bad(item, "expected an integer, got '" + strip(text) + "'");
+  if (v < static_cast<double>(std::numeric_limits<int>::min()) ||
+      v > static_cast<double>(std::numeric_limits<int>::max())) {
+    bad(item, "integer out of range '" + strip(text) + "'");
+  }
+  return static_cast<int>(v);
+}
+
+Direction parse_direction(const std::string& item, const std::string& text) {
+  std::string t = strip(text);
+  for (auto& ch : t) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+  if (t == "E" || t == "X+") return Direction::XPlus;
+  if (t == "W" || t == "X-") return Direction::XMinus;
+  if (t == "N" || t == "Y+") return Direction::YPlus;
+  if (t == "S" || t == "Y-") return Direction::YMinus;
+  bad(item, "unknown direction '" + strip(text) +
+                "' (expected E/W/N/S or X+/X-/Y+/Y-)");
+}
+
+Coord parse_coord(const std::string& item,
+                  const std::vector<std::string>& parts, const Mesh& mesh) {
+  const Coord c{parse_int(item, parts[0]), parse_int(item, parts[1])};
   if (!mesh.contains(c)) bad(item, "node off the mesh");
   return c;
 }
@@ -74,10 +99,12 @@ RandomSpec parse_random(const std::string& item, const std::string& body) {
     const std::size_t eq = entry.find('=');
     if (eq == std::string::npos) bad(item, "expected key=value, got '" + entry + "'");
     const std::string key = strip(entry.substr(0, eq));
-    const double val = parse_number(item, entry.substr(eq + 1));
     if (key == "count") {
-      rs.count = static_cast<int>(val);
-    } else if (key == "rate") {
+      rs.count = parse_int(item, entry.substr(eq + 1));
+      continue;
+    }
+    const double val = parse_number(item, entry.substr(eq + 1));
+    if (key == "rate") {
       rs.rate = val;
     } else if (key == "start") {
       rs.start = val;
@@ -94,11 +121,41 @@ RandomSpec parse_random(const std::string& item, const std::string& body) {
   if (rs.rate < 0.0) bad(item, "rate must be >= 0");
   if (rs.start < 0.0) bad(item, "start must be >= 0");
   if (rs.repair_after < 0.0) bad(item, "repair_after must be >= 0");
-  if (rs.rate == 0.0) {
+  if (rs.rate > 0.0) {
+    // Silently ignoring the window would run a different experiment from
+    // the one the spec asked for.
+    if (have_end) bad(item, "end= conflicts with rate>0 (pick one)");
+  } else {
     if (!have_end) bad(item, "need rate=R or an end=B window");
     if (rs.end < rs.start) bad(item, "empty window: end < start");
   }
   return rs;
+}
+
+/// Shared body of the random/random-link processes: draws `count` event
+/// times, pairing each with the next element of a distinct-target pool
+/// (partial Fisher-Yates), and emits a Fail-kind event carrying the
+/// repair_after coupling.  Targets are distinct within one item so a
+/// duplicate draw cannot be silently rejected at apply time.
+template <typename Target, typename Emit>
+void build_random(const std::string& item, const RandomSpec& rs,
+                  std::vector<Target> pool, sim::Rng& rng, Emit&& emit) {
+  if (static_cast<std::size_t>(rs.count) > pool.size()) {
+    bad(item, "count exceeds the target population (" +
+                  std::to_string(pool.size()) + ")");
+  }
+  double t = rs.start;
+  for (int i = 0; i < rs.count; ++i) {
+    if (rs.rate > 0.0) {
+      t += rng.exponential(rs.rate);
+    } else {
+      t = rs.start + rng.next_double() * (rs.end - rs.start);
+    }
+    const auto j = static_cast<std::size_t>(i) +
+                   rng.next_below(pool.size() - static_cast<std::size_t>(i));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+    emit(t, pool[static_cast<std::size_t>(i)]);
+  }
 }
 
 void build(const std::string& spec, const Mesh& mesh, sim::Rng& rng,
@@ -106,46 +163,87 @@ void build(const std::string& spec, const Mesh& mesh, sim::Rng& rng,
   for (const auto& raw : split(spec, ';')) {
     const std::string item = strip(raw);
     if (item.empty()) continue;
-    if (item.rfind("random:", 0) == 0) {
-      const RandomSpec rs = parse_random(item, item.substr(7));
-      double t = rs.start;
-      for (int i = 0; i < rs.count; ++i) {
-        if (rs.rate > 0.0) {
-          t += rng.exponential(rs.rate);
-        } else {
-          t = rs.start + rng.next_double() * (rs.end - rs.start);
-        }
-        const Coord node{
-            static_cast<int>(rng.next_below(static_cast<std::uint64_t>(mesh.width()))),
-            static_cast<int>(rng.next_below(static_cast<std::uint64_t>(mesh.height())))};
-        if (out != nullptr) {
-          out->add(t, FaultEvent{FaultEventKind::Fail, node});
-          if (rs.repair_after > 0.0) {
-            out->add(t + rs.repair_after, FaultEvent{FaultEventKind::Repair, node});
-          }
+    if (item.rfind("random-link:", 0) == 0) {
+      const RandomSpec rs = parse_random(item, item.substr(12));
+      std::vector<std::pair<Coord, Direction>> pool;
+      for (int y = 0; y < mesh.height(); ++y) {
+        for (int x = 0; x + 1 < mesh.width(); ++x) {
+          pool.emplace_back(Coord{x, y}, Direction::XPlus);
         }
       }
+      for (int y = 0; y + 1 < mesh.height(); ++y) {
+        for (int x = 0; x < mesh.width(); ++x) {
+          pool.emplace_back(Coord{x, y}, Direction::YPlus);
+        }
+      }
+      build_random(item, rs, std::move(pool), rng,
+                   [&](double t, const std::pair<Coord, Direction>& link) {
+                     if (out != nullptr) {
+                       out->add(t, FaultEvent{FaultEventKind::FailLink,
+                                              link.first, link.second,
+                                              rs.repair_after});
+                     }
+                   });
+      continue;
+    }
+    if (item.rfind("random:", 0) == 0) {
+      const RandomSpec rs = parse_random(item, item.substr(7));
+      std::vector<Coord> pool;
+      pool.reserve(static_cast<std::size_t>(mesh.node_count()));
+      for (int y = 0; y < mesh.height(); ++y) {
+        for (int x = 0; x < mesh.width(); ++x) pool.push_back({x, y});
+      }
+      build_random(item, rs, std::move(pool), rng,
+                   [&](double t, const Coord& node) {
+                     if (out != nullptr) {
+                       out->add(t, FaultEvent{FaultEventKind::Fail, node,
+                                              Direction::XPlus,
+                                              rs.repair_after});
+                     }
+                   });
       continue;
     }
     const std::size_t at = item.find('@');
     if (at == std::string::npos) {
-      bad(item, "expected fail@CYCLE:x,y, repair@CYCLE:x,y or random:...");
+      bad(item,
+          "expected fail@CYCLE:x,y, repair@CYCLE:x,y, fail-link@CYCLE:x,y,DIR, "
+          "repair-link@CYCLE:x,y,DIR, random:... or random-link:...");
     }
     const std::string kind = strip(item.substr(0, at));
     FaultEventKind k{};
+    bool link = false;
     if (kind == "fail") {
       k = FaultEventKind::Fail;
     } else if (kind == "repair") {
       k = FaultEventKind::Repair;
+    } else if (kind == "fail-link") {
+      k = FaultEventKind::FailLink;
+      link = true;
+    } else if (kind == "repair-link") {
+      k = FaultEventKind::RepairLink;
+      link = true;
     } else {
       bad(item, "unknown event kind '" + kind + "'");
     }
     const std::size_t colon = item.find(':', at);
-    if (colon == std::string::npos) bad(item, "missing ':x,y'");
+    if (colon == std::string::npos) {
+      bad(item, link ? "missing ':x,y,DIR'" : "missing ':x,y'");
+    }
     const double cycle = parse_number(item, item.substr(at + 1, colon - at - 1));
     if (cycle < 0.0) bad(item, "cycle must be >= 0");
-    const Coord node = parse_coord(item, item.substr(colon + 1), mesh);
-    if (out != nullptr) out->add(cycle, FaultEvent{k, node});
+    const auto parts = split(item.substr(colon + 1), ',');
+    FaultEvent ev;
+    ev.kind = k;
+    if (link) {
+      if (parts.size() != 3) bad(item, "expected 'x,y,DIR'");
+      ev.node = parse_coord(item, parts, mesh);
+      ev.dir = parse_direction(item, parts[2]);
+      if (!mesh.contains(ev.node.step(ev.dir))) bad(item, "link off the mesh");
+    } else {
+      if (parts.size() != 2) bad(item, "expected coordinates 'x,y'");
+      ev.node = parse_coord(item, parts, mesh);
+    }
+    if (out != nullptr) out->add(cycle, ev);
   }
 }
 

@@ -3,24 +3,40 @@
 //
 // Spec grammar (`;`-separated items, whitespace ignored):
 //
-//   fail@CYCLE:x,y        one node fails at the given cycle
-//   repair@CYCLE:x,y      a faulty node returns to service at the cycle
-//   random:KEY=VAL,...    a seeded random arrival process with keys
-//       count=N           number of failure events to draw (default 1)
+//   fail@CYCLE:x,y            one node fails at the given cycle
+//   repair@CYCLE:x,y          a faulty node returns to service at the cycle
+//   fail-link@CYCLE:x,y,DIR   the physical link out of (x,y) toward DIR
+//                             fails (both directional channels); DIR is one
+//                             of E/W/N/S or X+/X-/Y+/Y-
+//   repair-link@CYCLE:x,y,DIR a dead link returns to service
+//   random:KEY=VAL,...        a seeded random node-failure process
+//   random-link:KEY=VAL,...   the same process drawing links instead
+//     shared keys:
+//       count=N           number of failure events to draw (default 1);
+//                         targets are drawn *distinct* within one item, so
+//                         count is capped by the node (or link) population
 //       rate=R            failures per cycle; exponential inter-arrival
 //                         times starting at `start` (default 0 = off)
 //       start=A           first cycle events may occur (default 0)
-//       end=B             with rate=0, failure times are uniform in [A, B]
-//       repair_after=D    each random failure is repaired D cycles later
-//                         (default 0 = never repaired)
+//       end=B             with rate=0, failure times are uniform in [A, B];
+//                         conflicts with rate>0 (rejected, not ignored)
+//       repair_after=D    each failure that *applies* is repaired D cycles
+//                         later (default 0 = never repaired).  The repair
+//                         is scheduled by the injector only when the
+//                         failure actually commits, so a rejected failure
+//                         cannot strand a stray repair.
 //
-// Example: "fail@2000:4,4; random:count=3,rate=0.001,start=1000".
+// Example: "fail@2000:4,4; fail-link@2500:3,3,E; random:count=3,rate=0.001".
 //
-// Random events pick nodes uniformly over the mesh, so a drawn event may
-// turn out inadmissible at apply time (already faulty, disconnecting);
-// the Reconfigurator rejects those and the run continues — matching a field
-// failure process, which does not consult the routing algorithm either.
+// Malformed items — unknown kinds or keys, non-finite or out-of-int-range
+// numbers, off-mesh targets, conflicting keys, empty windows — throw
+// FaultScheduleError at parse time.  Random events pick targets uniformly,
+// so a drawn event may still be inadmissible at apply time (already faulty,
+// disconnecting); the Reconfigurator rejects those and the run continues —
+// matching a field failure process, which does not consult the routing
+// algorithm either.
 
+#include <stdexcept>
 #include <string>
 
 #include "ftmesh/inject/fault_event.hpp"
@@ -30,14 +46,21 @@
 
 namespace ftmesh::inject {
 
+/// Parse error for fault-schedule specs.  Derives from
+/// std::invalid_argument so existing catch sites keep working.
+class FaultScheduleError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 class FaultSchedule {
  public:
   FaultSchedule() = default;
 
-  /// Parses `spec` against `mesh`, drawing random-process times and nodes
-  /// from `rng`.  Throws std::invalid_argument on malformed specs
-  /// (unknown item kind, bad numbers, coordinates off the mesh, empty
-  /// random window).  An empty/blank spec yields an empty schedule.
+  /// Parses `spec` against `mesh`, drawing random-process times and targets
+  /// from `rng`.  Throws FaultScheduleError (an std::invalid_argument) on
+  /// malformed specs (unknown item kind, bad numbers, targets off the mesh,
+  /// empty random window).  An empty/blank spec yields an empty schedule.
   static FaultSchedule from_spec(const std::string& spec,
                                  const topology::Mesh& mesh, sim::Rng rng);
 

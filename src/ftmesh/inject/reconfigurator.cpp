@@ -17,24 +17,55 @@ ReconfigOutcome Reconfigurator::apply(const FaultEvent& ev) {
     return out;
   }
   auto faulty = map_->faulty_nodes();
-  const auto it = std::find(faulty.begin(), faulty.end(), ev.node);
-  if (ev.kind == FaultEventKind::Fail) {
-    if (it != faulty.end()) {
-      out.reason = "node already faulty";
-      return out;
+  auto links = map_->dead_links();
+  switch (ev.kind) {
+    case FaultEventKind::Fail: {
+      const auto it = std::find(faulty.begin(), faulty.end(), ev.node);
+      if (it != faulty.end()) {
+        out.reason = "node already faulty";
+        return out;
+      }
+      faulty.push_back(ev.node);
+      break;
     }
-    faulty.push_back(ev.node);
-  } else {
-    if (it == faulty.end()) {
-      out.reason = "repair of a node that is not faulty";
-      return out;
+    case FaultEventKind::Repair: {
+      const auto it = std::find(faulty.begin(), faulty.end(), ev.node);
+      if (it == faulty.end()) {
+        out.reason = "repair of a node that is not faulty";
+        return out;
+      }
+      faulty.erase(it);
+      break;
     }
-    faulty.erase(it);
+    case FaultEventKind::FailLink:
+    case FaultEventKind::RepairLink: {
+      if (!mesh.contains(ev.node.step(ev.dir)) ||
+          ev.dir == topology::Direction::Local) {
+        out.reason = "link off the mesh";
+        return out;
+      }
+      const fault::Link canon = fault::canonical_link(ev.node, ev.dir);
+      const auto it = std::find(links.begin(), links.end(), canon);
+      if (ev.kind == FaultEventKind::FailLink) {
+        if (it != links.end()) {
+          out.reason = "link already faulty";
+          return out;
+        }
+        links.push_back(canon);
+      } else {
+        if (it == links.end()) {
+          out.reason = "repair of a link that is not faulty";
+          return out;
+        }
+        links.erase(it);
+      }
+      break;
+    }
   }
   try {
-    // from_faulty_nodes re-coalesces blocks and enforces the admissibility
-    // condition (healthy nodes stay connected, at least one survives).
-    FaultMap trial = FaultMap::from_faulty_nodes(mesh, faulty);
+    // from_state re-coalesces blocks and enforces the admissibility
+    // condition (healthy nodes stay connected, at least two survive).
+    FaultMap trial = FaultMap::from_state(mesh, faulty, links);
     *map_ = std::move(trial);  // in-place commit: observer pointers stay valid
   } catch (const std::invalid_argument& e) {
     out.reason = e.what();

@@ -32,9 +32,11 @@ class Reconfigurator {
   Reconfigurator(fault::FaultMap& map, fault::FRingSet& rings)
       : map_(&map), rings_(&rings) {}
 
-  /// Validates and applies `ev`.  Rejected events (off-mesh node, failing
-  /// an already-faulty node, repairing a healthy one, or a failure that
-  /// would disconnect the active nodes) leave the map and rings untouched.
+  /// Validates and applies `ev`.  Rejected events (off-mesh node or link,
+  /// failing an already-faulty node/link, repairing a healthy one, or a
+  /// failure that would disconnect the active nodes) leave the map and
+  /// rings untouched.  Link events address the physical link
+  /// (node, node.step(dir)); both directional channels fail together.
   ReconfigOutcome apply(const FaultEvent& ev);
 
  private:

@@ -175,6 +175,8 @@ void write_result_json(std::ostream& os, const core::SimConfig& cfg,
     w.key("fault_events_rejected").value(rel.fault_events_rejected);
     w.key("node_failures").value(rel.node_failures);
     w.key("node_repairs").value(rel.node_repairs);
+    w.key("link_failures").value(rel.link_failures);
+    w.key("link_repairs").value(rel.link_repairs);
     w.key("rings_reused").value(rel.rings_reused);
     w.key("rings_rebuilt").value(rel.rings_rebuilt);
     w.key("recovered_messages").value(rel.recovered_messages);

@@ -1065,7 +1065,7 @@ const routing::CandidateList& Network::route_candidates(Tile& t, NodeId id,
                                                         const HeaderState& m) {
   if (t.route_cache.empty()) {
     t.cand.clear();
-    algorithm_->candidates(mesh_->coord_of(id), m, t.cand);
+    algorithm_->enumerate(mesh_->coord_of(id), m, t.cand);
     return t.cand;
   }
   ++t.d.total_cache_lookups;
@@ -1088,7 +1088,7 @@ const routing::CandidateList& Network::route_candidates(Tile& t, NodeId id,
   e.dst = dst;
   e.key = key;
   e.cands.clear();
-  algorithm_->candidates(mesh_->coord_of(id), m, e.cands);
+  algorithm_->enumerate(mesh_->coord_of(id), m, e.cands);
   return e.cands;
 }
 
@@ -1476,15 +1476,20 @@ std::vector<MessageSlot> Network::collect_fault_victims() const {
       const auto nb = mesh_->neighbour(c, dir);
       if (!nb) continue;
       const bool nb_dead = faults_->blocked(*nb);
-      if (!dead && !nb_dead) continue;
-      // Flits in flight on a link incident to a dead node.
+      // Partial-router degradation: a dead channel between two healthy
+      // routers strands only the traffic crossing it, never the routers'
+      // other traffic.
+      const bool link_dead = !faults_->link_alive(c, dir);
+      if (!dead && !nb_dead && !link_dead) continue;
+      // Flits in flight on a link incident to a dead node or dead itself.
       const LinkReg& reg =
           links_[static_cast<std::size_t>(id) * kMeshDirections +
                  static_cast<std::size_t>(d)];
       if (reg.full) out.push_back(reg.flit.msg);
-      if (!dead && nb_dead) {
-        // A healthy router's reservation pointing into the dead neighbour:
-        // the owner's path crosses the fault even if no flit is there yet.
+      if (!dead && (nb_dead || link_dead)) {
+        // A healthy router's reservation pointing into the dead neighbour
+        // or over the dead channel: the owner's path crosses the fault
+        // even if no flit is there yet.
         for (int vc = 0; vc < vcs; ++vc) {
           const OutputVc& ovc = rt.output(port_index(dir), vc);
           if (ovc.allocated) out.push_back(ovc.owner);
@@ -1707,7 +1712,7 @@ std::string Network::debug_stuck_report(std::size_t max_lines) const {
             !(c == h.dst)) {
           os << " wants:";
           routing::CandidateList cl;
-          algorithm_->candidates(c, h, cl);
+          algorithm_->enumerate(c, h, cl);
           for (std::size_t i = 0; i < cl.size(); ++i) {
             const auto& cv = cl[i];
             const auto& ovc = rt.output(port_index(cv.dir), cv.vc);
@@ -1745,7 +1750,7 @@ std::vector<MessageId> Network::find_deadlock_cycle() const {
         const HeaderState& m = headers_[front.msg];
         if (c == m.dst) continue;
         cand.clear();
-        algorithm_->candidates(c, m, cand);
+        algorithm_->enumerate(c, m, cand);
         auto& out = edges[front.msg];
         for (std::size_t i = 0; i < cand.size(); ++i) {
           const auto& cv = cand[i];

@@ -35,8 +35,15 @@ std::optional<int> BoppanaChalasani::blocking_region(Coord at, Coord dst) const 
   for (int i = 0; i < n; ++i) {
     const Direction dir = minimal[static_cast<std::size_t>(i)];
     const Coord next = at.step(dir);
-    if (!faults().blocked(next)) continue;
-    const auto region = faults().region_at(next);
+    std::optional<int> region;
+    if (faults().blocked(next)) {
+      region = faults().region_at(next);
+    } else if (!faults().link_alive(at, dir)) {
+      // Healthy neighbour behind a dead channel: the blocker is a
+      // degenerate (isolated-link) region, which contains no node, so it
+      // needs the dedicated per-link lookup.
+      region = faults().link_region(at, dir);
+    }
     if (!region) continue;
     const bool dim_match =
         row_type ? (dir == Direction::XPlus || dir == Direction::XMinus)
@@ -101,8 +108,11 @@ void BoppanaChalasani::candidates(Coord at, const router::HeaderState& msg,
           static_cast<int>(msg.rs.ring.entry_distance);
   if (n > 0 && may_exit) {
     // Healthy minimal progress exists: route (or leave the ring) via the
-    // base algorithm.
-    base_->candidates(at, msg, out);
+    // base algorithm.  enumerate (not candidates): the escape scan below
+    // must see the dead-link-masked list, or a masked dimension-order
+    // escape would count as present and leave the state with neither an
+    // escape candidate nor a ring tier.
+    base_->enumerate(at, msg, out);
     // Escape guarantee under faults: a fault can leave the base with
     // adaptive candidates only (its dimension-order escape pointing into
     // the fault while the other minimal direction is healthy).  Duato's

@@ -61,7 +61,10 @@ int RoutingAlgorithm::usable_minimal(Coord at, Coord dst,
   int m = 0;
   for (int i = 0; i < n; ++i) {
     const Coord next = at.step(minimal[static_cast<std::size_t>(i)]);
-    if (!faults_->blocked(next)) dirs[static_cast<std::size_t>(m++)] = minimal[static_cast<std::size_t>(i)];
+    if (!faults_->blocked(next) &&
+        faults_->link_alive(at, minimal[static_cast<std::size_t>(i)])) {
+      dirs[static_cast<std::size_t>(m++)] = minimal[static_cast<std::size_t>(i)];
+    }
   }
   return m;
 }

@@ -80,6 +80,25 @@ class CandidateList {
     return {begin, end};
   }
 
+  /// Tier-preserving in-place filter: drops candidates for which `keep`
+  /// returns false and shifts tier boundaries left to match.  Tiers that
+  /// lose all their candidates remain as empty ranges, exactly as if the
+  /// algorithm had emitted them empty.
+  template <typename Keep>
+  void filter(Keep&& keep) {
+    std::size_t w = 0;
+    std::size_t ti = 0;
+    for (std::size_t i = 0; i <= items_.size(); ++i) {
+      while (ti < tiers_.size() && tiers_[ti] == i) {
+        tiers_[ti] = static_cast<std::uint32_t>(w);
+        ++ti;
+      }
+      if (i == items_.size()) break;
+      if (keep(items_[i])) items_[w++] = items_[i];
+    }
+    items_.truncate(w);
+  }
+
   /// True when the inline small-buffer storage is still in use (the common
   /// case: the widest candidate set an algorithm emits on a 2-D mesh is
   /// well under the inline capacities).  Exposed for tests.
@@ -123,6 +142,20 @@ class RoutingAlgorithm {
   /// Must not offer directions off the mesh or into blocked nodes.
   virtual void candidates(topology::Coord at, const router::HeaderState& msg,
                           CandidateList& out) const = 0;
+
+  /// The consumer-facing entry point: `candidates` with every pair whose
+  /// directional channel is dead masked out (tier structure preserved).
+  /// The router pipeline, verifier and audit engine all route through this
+  /// so a link failure constrains every algorithm uniformly; with no dead
+  /// links it is exactly `candidates`.
+  void enumerate(topology::Coord at, const router::HeaderState& msg,
+                 CandidateList& out) const {
+    candidates(at, msg, out);
+    if (faults_->dead_link_count() == 0) return;
+    out.filter([&](const CandidateVc& c) {
+      return faults_->link_alive(at, c.dir);
+    });
+  }
 
   /// Initialises per-message routing state at injection time.
   virtual void on_inject(router::HeaderState& msg) const { (void)msg; }

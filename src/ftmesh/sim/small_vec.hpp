@@ -53,6 +53,11 @@ class SmallVec {
   /// Drops all elements; heap capacity (if any) is retained for reuse.
   void clear() noexcept { size_ = 0; }
 
+  /// Shrinks to the first `n` elements; no-op when already smaller.
+  void truncate(std::size_t n) noexcept {
+    if (n < size_) size_ = n;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }

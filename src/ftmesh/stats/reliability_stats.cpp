@@ -17,6 +17,8 @@ ReliabilitySummary summarize_reliability(const router::Network& net,
   out.fault_events_rejected = log.events_rejected;
   out.node_failures = log.node_failures;
   out.node_repairs = log.node_repairs;
+  out.link_failures = log.link_failures;
+  out.link_repairs = log.link_repairs;
   out.rings_reused = log.rings_reused;
   out.rings_rebuilt = log.rings_rebuilt;
 

@@ -35,6 +35,8 @@ struct ReliabilitySummary {
   int fault_events_rejected = 0;
   int node_failures = 0;
   int node_repairs = 0;
+  int link_failures = 0;
+  int link_repairs = 0;
   int rings_reused = 0;   ///< f-rings carried over by incremental rebuilds
   int rings_rebuilt = 0;  ///< f-rings reconstructed from scratch
 

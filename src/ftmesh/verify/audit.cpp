@@ -231,7 +231,7 @@ struct DstAudit {
     state_key.push_back(key.key);
 
     cand.clear();
-    algo->candidates(at, msg, cand);
+    algo->enumerate(at, msg, cand);
     std::vector<routing::CandidateVc> cs;
     cs.reserve(cand.size());
     for (std::size_t i = 0; i < cand.size(); ++i) cs.push_back(cand[i]);

@@ -76,7 +76,7 @@ struct DstSearch {
     state_mask.resize(state_mask.size() + words, 0);
 
     cand.clear();
-    algo->candidates(at, msg, cand);
+    algo->enumerate(at, msg, cand);
     std::vector<routing::CandidateVc> cs;
     cs.reserve(cand.size());
     bool any_escape = false;

@@ -229,4 +229,160 @@ TEST(FaultMap, ManyRandomPatternsStayConnected) {
   }
 }
 
+// ---- link faults ---------------------------------------------------------
+
+using ftmesh::fault::canonical_link;
+using ftmesh::fault::Link;
+using ftmesh::topology::Direction;
+
+TEST(LinkFaults, CanonicalLinkNormalizesNegativeDirections) {
+  const Link a = canonical_link({3, 4}, Direction::XMinus);
+  EXPECT_EQ(a.node, (Coord{2, 4}));
+  EXPECT_EQ(a.dir, Direction::XPlus);
+  const Link b = canonical_link({3, 4}, Direction::YMinus);
+  EXPECT_EQ(b.node, (Coord{3, 3}));
+  EXPECT_EQ(b.dir, Direction::YPlus);
+  const Link c = canonical_link({3, 4}, Direction::XPlus);
+  EXPECT_EQ(c.node, (Coord{3, 4}));
+  EXPECT_EQ(c.dir, Direction::XPlus);
+}
+
+TEST(LinkFaults, IsolatedLinkDegradesNoRouter) {
+  const Mesh m(10, 10);
+  const auto map = FaultMap::from_state(m, {}, {{{4, 4}, Direction::XPlus}});
+  // Partial-router degradation: both endpoints stay healthy and routable;
+  // only the channel between them dies, in both orientations.
+  EXPECT_TRUE(map.active({4, 4}));
+  EXPECT_TRUE(map.active({5, 4}));
+  EXPECT_FALSE(map.link_alive({4, 4}, Direction::XPlus));
+  EXPECT_FALSE(map.link_alive({5, 4}, Direction::XMinus));
+  EXPECT_TRUE(map.link_alive({4, 4}, Direction::XMinus));
+  EXPECT_TRUE(map.link_alive({4, 4}, Direction::YPlus));
+  EXPECT_EQ(map.dead_link_count(), 1);
+  // The degenerate inverted-box region exists for f-ring purposes but
+  // contains no node.
+  ASSERT_EQ(map.regions().size(), 1u);
+  EXPECT_TRUE(map.link_region({4, 4}, Direction::XPlus).has_value());
+  EXPECT_EQ(map.region_at({4, 4}), std::nullopt);
+  EXPECT_EQ(map.region_at({5, 4}), std::nullopt);
+}
+
+TEST(LinkFaults, LinkAdjacentToFaultyNodeJoinsItsRegion) {
+  const Mesh m(10, 10);
+  // Dead link (5,4)-(6,4) sits within Chebyshev gap 1 of faulty node (4,4):
+  // one region whose hull spans both.
+  const auto map =
+      FaultMap::from_state(m, {{4, 4}}, {{{5, 4}, Direction::XPlus}});
+  ASSERT_EQ(map.regions().size(), 1u);
+  EXPECT_EQ(map.regions()[0].box, (Rect{4, 4, 6, 4}));
+  EXPECT_EQ(map.link_region({5, 4}, Direction::XPlus), std::optional<int>(0));
+}
+
+TEST(LinkFaults, FarLinkStaysItsOwnRegion) {
+  const Mesh m(10, 10);
+  const auto map =
+      FaultMap::from_state(m, {{2, 2}}, {{{7, 7}, Direction::YPlus}});
+  EXPECT_EQ(map.regions().size(), 2u);
+  EXPECT_TRUE(map.active({7, 7}));
+  EXPECT_TRUE(map.active({7, 8}));
+}
+
+TEST(LinkFaults, DeadLinksRoundTripThroughFromState) {
+  const Mesh m(8, 8);
+  const std::vector<Link> in = {{{1, 1}, Direction::XPlus},
+                                {{5, 5}, Direction::YPlus}};
+  const auto map = FaultMap::from_state(m, {{3, 6}}, in);
+  const auto rebuilt =
+      FaultMap::from_state(m, map.faulty_nodes(), map.dead_links());
+  EXPECT_EQ(rebuilt.dead_links(), map.dead_links());
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      EXPECT_EQ(rebuilt.status({x, y}), map.status({x, y}));
+    }
+  }
+}
+
+TEST(LinkFaults, OffMeshLinkThrows) {
+  const Mesh m(4, 4);
+  EXPECT_THROW(FaultMap::from_state(m, {}, {{{3, 0}, Direction::XPlus}}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultMap::from_state(m, {}, {{{0, 0}, Direction::Local}}),
+               std::invalid_argument);
+}
+
+TEST(LinkFaults, DisconnectingLinkCutThrows) {
+  const Mesh m(2, 2);
+  // Severing both links into (0,0) isolates it: inadmissible.
+  EXPECT_THROW(
+      FaultMap::from_state(m, {},
+                           {{{0, 0}, Direction::XPlus},
+                            {{0, 0}, Direction::YPlus}}),
+      std::invalid_argument);
+}
+
+TEST(LinkFaults, AdjacentDeadLinksCoalesceIntoABlock) {
+  // Only an *isolated* dead link stays a degenerate partial-router region;
+  // two dead links within Chebyshev gap 1 coalesce into a rectangular
+  // block (the conservative block-model approximation), swallowing the
+  // healthy endpoints as Deactivated.
+  const Mesh m(3, 3);
+  const auto map = FaultMap::from_state(
+      m, {}, {{{0, 0}, Direction::XPlus}, {{1, 0}, Direction::XPlus}});
+  ASSERT_EQ(map.regions().size(), 1u);
+  EXPECT_EQ(map.regions()[0].box, (Rect{0, 0, 2, 0}));
+  EXPECT_EQ(map.status({1, 0}), NodeStatus::Deactivated);
+  EXPECT_FALSE(map.active({0, 0}));
+  EXPECT_EQ(map.dead_link_count(), 2);
+}
+
+TEST(LinkFaults, ConnectivityIsLinkAware) {
+  const Mesh m(3, 3);
+  // Two well-separated dead links leave every node healthy and reachable.
+  const auto map = FaultMap::from_state(
+      m, {}, {{{0, 0}, Direction::XPlus}, {{1, 2}, Direction::XPlus}});
+  EXPECT_EQ(map.regions().size(), 2u);
+  EXPECT_TRUE(map.active({0, 0}));
+  EXPECT_TRUE(map.active({1, 2}));
+  EXPECT_EQ(map.dead_link_count(), 2);
+  EXPECT_TRUE(map.admissible());
+}
+
+TEST(Admissibility, UnifiedPredicateRequiresTwoActiveNodes) {
+  const Mesh m(2, 2);
+  // Failing 3 of 4 nodes leaves a single active node: both construction
+  // paths must agree this is inadmissible (the predicates used to differ).
+  EXPECT_THROW(FaultMap::from_state(m, {{0, 0}, {1, 0}, {0, 1}}, {}),
+               std::invalid_argument);
+  Rng rng(7);
+  EXPECT_THROW(FaultMap::random(m, 3, rng), std::exception);
+}
+
+TEST(LinkFaults, RandomDrawsRequestedLinkCount) {
+  const Mesh m(10, 10);
+  Rng rng(11);
+  const auto map = FaultMap::random(m, 3, 4, rng);
+  EXPECT_EQ(map.faulty_nodes().size(), 3u);
+  EXPECT_EQ(map.dead_link_count(), 4);
+  EXPECT_TRUE(map.admissible());
+}
+
+TEST(LinkFaults, RandomLinkPatternsAreDeterministic) {
+  const Mesh m(10, 10);
+  Rng a(99), b(99);
+  const auto m1 = FaultMap::random(m, 2, 3, a);
+  const auto m2 = FaultMap::random(m, 2, 3, b);
+  EXPECT_EQ(m1.dead_links(), m2.dead_links());
+  EXPECT_EQ(m1.faulty_nodes(), m2.faulty_nodes());
+}
+
+TEST(LinkFaults, NodeOnlyRandomMatchesLegacyOverload) {
+  // The 5-arg overload with zero links must reproduce the 4-arg draw
+  // exactly: existing seeds (campaign cells, goldens) depend on it.
+  const Mesh m(10, 10);
+  Rng a(33), b(33);
+  const auto m1 = FaultMap::random(m, 8, a);
+  const auto m2 = FaultMap::random(m, 8, 0, b);
+  EXPECT_EQ(m1.faulty_nodes(), m2.faulty_nodes());
+}
+
 }  // namespace

@@ -82,6 +82,18 @@ const Scenario kScenarios[] = {
        // the post-event active-set rebuild.
        cfg.fault_schedule = "fail@700:3,3; fail@1100:5,2; repair@1600:3,3";
      }},
+    {"transient-link",
+     [](SimConfig& cfg) {
+       // A full transient link-fault cycle — channel dies, crossing worms
+       // are flushed and retransmitted over the detour, the link repairs,
+       // routing goes minimal again — layered over a static dead link and
+       // a node fault so degenerate (inverted-box) regions, candidate
+       // masking and partial-router purges all run under every kernel
+       // configuration.
+       cfg.link_fault_count = 1;
+       cfg.fault_schedule =
+           "fail-link@700:3,3,E; fail@1000:5,5; repair-link@1500:3,3,E";
+     }},
 };
 
 const char* const kAlgorithms[] = {"Duato", "Boura-FT", "NHop"};
@@ -232,7 +244,7 @@ std::string param_name(const ::testing::TestParamInfo<std::tuple<int, int>>& inf
 
 INSTANTIATE_TEST_SUITE_P(Corpus, GoldenDeterminism,
                          ::testing::Combine(::testing::Range(0, 3),
-                                            ::testing::Range(0, 3)),
+                                            ::testing::Range(0, 4)),
                          param_name);
 
 }  // namespace

@@ -78,6 +78,104 @@ TEST(FaultSchedule, RejectsMalformedSpecs) {
       FaultSchedule::validate_spec("fail@10:1,1; random:count=2,rate=0.01", m));
 }
 
+TEST(FaultSchedule, RejectsNonFiniteAndNonIntegralNumbers) {
+  // parse_number used to accept nan/inf/overflow and fractional values,
+  // then static_cast them to int — undefined behaviour, caught only by
+  // UBSan.  All of these must now be typed parse errors.
+  const Mesh m(8, 8);
+  for (const char* spec : {
+           "fail@100:nan,1",               // nan coordinate
+           "fail@100:inf,1",               // inf coordinate
+           "fail@inf:1,1",                 // inf cycle
+           "fail@100:1e300,1",             // out of int range
+           "fail@100:-1e300,1",            // out of int range (negative)
+           "fail@100:1.5,1",               // fractional coordinate
+           "random:count=nan,rate=0.01",   // nan count
+           "random:count=2.5,rate=0.01",   // fractional count
+           "random:count=1e12,rate=0.01",  // count out of int range
+           "random:count=2,rate=nan",      // nan rate
+           "random:count=2,rate=0,start=0,end=inf",  // inf window
+       }) {
+    EXPECT_THROW(FaultSchedule::validate_spec(spec, m),
+                 ftmesh::inject::FaultScheduleError)
+        << spec;
+  }
+}
+
+TEST(FaultSchedule, RejectsEndWithPositiveRate) {
+  // end= used to be silently ignored when rate>0 — a different experiment
+  // than the spec asked for.  It is now a conflict error.
+  const Mesh m(8, 8);
+  EXPECT_THROW(FaultSchedule::validate_spec(
+                   "random:count=2,rate=0.01,start=0,end=100", m),
+               ftmesh::inject::FaultScheduleError);
+  EXPECT_NO_THROW(
+      FaultSchedule::validate_spec("random:count=2,rate=0.01,start=0", m));
+  EXPECT_NO_THROW(
+      FaultSchedule::validate_spec("random:count=2,rate=0,start=0,end=100", m));
+}
+
+TEST(FaultSchedule, RejectsCountBeyondPopulation) {
+  const Mesh m(3, 3);  // 9 nodes, 12 physical links
+  EXPECT_THROW(
+      FaultSchedule::validate_spec("random:count=10,rate=0.01", m),
+      ftmesh::inject::FaultScheduleError);
+  EXPECT_THROW(
+      FaultSchedule::validate_spec("random-link:count=13,rate=0.01", m),
+      ftmesh::inject::FaultScheduleError);
+  EXPECT_NO_THROW(
+      FaultSchedule::validate_spec("random-link:count=12,rate=0.01", m));
+}
+
+TEST(FaultSchedule, ParsesLinkEvents) {
+  const Mesh m(8, 8);
+  auto s = FaultSchedule::from_spec(
+      "fail-link@100:3,3,E; repair-link@200:3,3,x+; fail-link@300:2,2,N", m,
+      Rng(1));
+  EXPECT_EQ(s.total_events(), 3u);
+  auto ev = s.pop();
+  EXPECT_EQ(ev.kind, FaultEventKind::FailLink);
+  EXPECT_EQ(ev.node, (Coord{3, 3}));
+  EXPECT_EQ(ev.dir, ftmesh::topology::Direction::XPlus);
+  ev = s.pop();
+  EXPECT_EQ(ev.kind, FaultEventKind::RepairLink);
+  EXPECT_EQ(ev.dir, ftmesh::topology::Direction::XPlus);
+  ev = s.pop();
+  EXPECT_EQ(ev.kind, FaultEventKind::FailLink);
+  EXPECT_EQ(ev.dir, ftmesh::topology::Direction::YPlus);
+}
+
+TEST(FaultSchedule, RejectsMalformedLinkEvents) {
+  const Mesh m(8, 8);
+  for (const char* spec : {
+           "fail-link@100:3,3",     // missing direction
+           "fail-link@100:3,3,Q",   // unknown direction
+           "fail-link@100:7,3,E",   // neighbour off the mesh
+           "fail-link@100:0,0,W",   // neighbour off the mesh (negative)
+           "repair-link@100:3,3",   // missing direction
+           "random-link:count=0",   // no events
+       }) {
+    EXPECT_THROW(FaultSchedule::validate_spec(spec, m),
+                 ftmesh::inject::FaultScheduleError)
+        << spec;
+  }
+}
+
+TEST(FaultSchedule, RandomLinkDrawsDistinctLinks) {
+  const Mesh m(6, 6);
+  auto s = FaultSchedule::from_spec(
+      "random-link:count=5,rate=0,start=10,end=90,repair_after=25", m, Rng(4));
+  EXPECT_EQ(s.total_events(), 5u);
+  std::set<std::tuple<int, int, int>> links;
+  while (!s.empty()) {
+    const auto ev = s.pop();
+    EXPECT_EQ(ev.kind, FaultEventKind::FailLink);
+    EXPECT_DOUBLE_EQ(ev.repair_after, 25.0);
+    links.insert({ev.node.x, ev.node.y, static_cast<int>(ev.dir)});
+  }
+  EXPECT_EQ(links.size(), 5u);
+}
+
 TEST(FaultSchedule, RandomProcessRespectsWindowAndCount) {
   const Mesh m(10, 10);
   auto s = FaultSchedule::from_spec("random:count=5,rate=0.01,start=300", m,
@@ -93,26 +191,24 @@ TEST(FaultSchedule, RandomProcessRespectsWindowAndCount) {
   }
 }
 
-TEST(FaultSchedule, RepairAfterSchedulesMatchingRepairs) {
+TEST(FaultSchedule, RepairAfterRidesOnTheFailure) {
+  // Repairs are no longer pre-enqueued as separate events: the injector
+  // schedules each one only when its failure applies, so a rejected
+  // failure cannot strand a stray repair.  The schedule therefore holds
+  // exactly `count` Fail events, each carrying the coupling delay.
   const Mesh m(10, 10);
   auto s = FaultSchedule::from_spec(
       "random:count=3,rate=0,start=100,end=200,repair_after=50", m, Rng(3));
-  EXPECT_EQ(s.total_events(), 6u);
-  int fails = 0, repairs = 0;
-  std::set<std::pair<int, int>> failed, repaired;
+  EXPECT_EQ(s.total_events(), 3u);
+  std::set<std::pair<int, int>> failed;
   while (!s.empty()) {
     const auto ev = s.pop();
-    if (ev.kind == FaultEventKind::Fail) {
-      ++fails;
-      failed.insert({ev.node.x, ev.node.y});
-    } else {
-      ++repairs;
-      repaired.insert({ev.node.x, ev.node.y});
-    }
+    EXPECT_EQ(ev.kind, FaultEventKind::Fail);
+    EXPECT_DOUBLE_EQ(ev.repair_after, 50.0);
+    failed.insert({ev.node.x, ev.node.y});
   }
-  EXPECT_EQ(fails, 3);
-  EXPECT_EQ(repairs, 3);
-  EXPECT_EQ(failed, repaired);
+  // Targets within one random item are drawn distinct.
+  EXPECT_EQ(failed.size(), 3u);
 }
 
 TEST(FaultSchedule, DeterministicForSameSeed) {
@@ -192,6 +288,68 @@ TEST(Reconfigurator, CommitsInPlaceSoObserversSeeTheChange) {
   ASSERT_TRUE(rc.apply({FaultEventKind::Fail, {3, 3}}).applied);
   EXPECT_TRUE(observer->blocked({3, 3}));
   EXPECT_EQ(observer, &map);
+}
+
+TEST(Reconfigurator, AppliesLinkFailAndRepair) {
+  const Mesh m(10, 10);
+  FaultMap map(m);
+  FRingSet rings(map);
+  Reconfigurator rc(map, rings);
+  using ftmesh::topology::Direction;
+
+  auto out = rc.apply({FaultEventKind::FailLink, {4, 4}, Direction::XPlus});
+  EXPECT_TRUE(out.applied) << out.reason;
+  EXPECT_FALSE(map.link_alive({4, 4}, Direction::XPlus));
+  EXPECT_FALSE(map.link_alive({5, 4}, Direction::XMinus));
+  EXPECT_TRUE(map.active({4, 4}));
+  EXPECT_TRUE(map.active({5, 4}));
+  ASSERT_EQ(rings.ring_count(), 1u);
+
+  // The repair may address the link from either endpoint.
+  out = rc.apply({FaultEventKind::RepairLink, {5, 4}, Direction::XMinus});
+  EXPECT_TRUE(out.applied) << out.reason;
+  EXPECT_TRUE(map.link_alive({4, 4}, Direction::XPlus));
+  EXPECT_EQ(map.dead_link_count(), 0);
+  EXPECT_EQ(rings.ring_count(), 0u);
+}
+
+TEST(Reconfigurator, RejectsInadmissibleLinkEvents) {
+  const Mesh m(10, 10);
+  FaultMap map(m);
+  FRingSet rings(map);
+  Reconfigurator rc(map, rings);
+  using ftmesh::topology::Direction;
+
+  ASSERT_TRUE(
+      rc.apply({FaultEventKind::FailLink, {4, 4}, Direction::XPlus}).applied);
+  // Same physical link again, from the other endpoint.
+  auto out = rc.apply({FaultEventKind::FailLink, {5, 4}, Direction::XMinus});
+  EXPECT_FALSE(out.applied);
+  EXPECT_EQ(out.reason, "link already faulty");
+  // Repairing a healthy link.
+  out = rc.apply({FaultEventKind::RepairLink, {1, 1}, Direction::XPlus});
+  EXPECT_FALSE(out.applied);
+  EXPECT_EQ(out.reason, "repair of a link that is not faulty");
+  // Link off the mesh.
+  out = rc.apply({FaultEventKind::FailLink, {9, 4}, Direction::XPlus});
+  EXPECT_FALSE(out.applied);
+  EXPECT_EQ(map.dead_link_count(), 1);
+}
+
+TEST(Reconfigurator, RejectsDisconnectingLinkCut) {
+  const Mesh m(2, 2);
+  FaultMap map(m);
+  FRingSet rings(map);
+  Reconfigurator rc(map, rings);
+  using ftmesh::topology::Direction;
+  ASSERT_TRUE(
+      rc.apply({FaultEventKind::FailLink, {0, 0}, Direction::XPlus}).applied);
+  // The second cut would isolate (0,0).
+  const auto out =
+      rc.apply({FaultEventKind::FailLink, {0, 0}, Direction::YPlus});
+  EXPECT_FALSE(out.applied);
+  EXPECT_FALSE(out.reason.empty());
+  EXPECT_EQ(map.dead_link_count(), 1);
 }
 
 // ------------------------------------------------ incremental ring rebuild
@@ -316,6 +474,65 @@ TEST(IncrementalRebuild, RandomEventSequencesMatchScratchBuild) {
   }
 }
 
+// ------------------------------------------- injector: coupled repairs
+
+TEST(FaultInjector, RejectedFailureStrandsNoRepair) {
+  // Two Fail events for the same node, both carrying repair_after.  The
+  // old parser pre-enqueued both Repairs; the rejected second Fail then
+  // left a stray Repair that prematurely revived the node.  Coupling the
+  // repair to the failure's commit yields exactly one repair.
+  const Mesh m(8, 8);
+  FaultMap map(m);
+  FRingSet rings(map);
+  auto algo = ftmesh::routing::make_algorithm("Minimal-Adaptive", m, map, rings);
+  ftmesh::router::Network net(m, map, *algo, {}, Rng(7));
+
+  FaultSchedule sched;
+  sched.add(1, FaultEvent{FaultEventKind::Fail, {4, 4},
+                          ftmesh::topology::Direction::XPlus, 10.0});
+  sched.add(2, FaultEvent{FaultEventKind::Fail, {4, 4},
+                          ftmesh::topology::Direction::XPlus, 3.0});
+  ftmesh::inject::FaultInjector inj(std::move(sched), map, rings, {});
+
+  bool repaired_early = false;
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    inj.tick(net);
+    if (cycle > 2 && cycle < 11 && map.active({4, 4})) repaired_early = true;
+    net.step();
+  }
+  // The stray repair (at cycle 2+3=5) must not have fired...
+  EXPECT_FALSE(repaired_early);
+  // ...and the coupled repair (applied at 1, due at 11) must have.
+  EXPECT_TRUE(map.active({4, 4}));
+  EXPECT_EQ(inj.log().node_failures, 1);
+  EXPECT_EQ(inj.log().node_repairs, 1);
+  EXPECT_EQ(inj.log().events_rejected, 1);
+}
+
+TEST(FaultInjector, CountsLinkEventsSeparately) {
+  const Mesh m(8, 8);
+  FaultMap map(m);
+  FRingSet rings(map);
+  auto algo = ftmesh::routing::make_algorithm("Minimal-Adaptive", m, map, rings);
+  ftmesh::router::Network net(m, map, *algo, {}, Rng(7));
+
+  FaultSchedule sched;
+  sched.add(0, FaultEvent{FaultEventKind::FailLink, {3, 3},
+                          ftmesh::topology::Direction::XPlus, 4.0});
+  sched.add(0, FaultEvent{FaultEventKind::Fail, {6, 6}});
+  ftmesh::inject::FaultInjector inj(std::move(sched), map, rings, {});
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    inj.tick(net);
+    net.step();
+  }
+  EXPECT_EQ(inj.log().link_failures, 1);
+  EXPECT_EQ(inj.log().link_repairs, 1);
+  EXPECT_EQ(inj.log().node_failures, 1);
+  EXPECT_EQ(inj.log().node_repairs, 0);
+  EXPECT_TRUE(map.link_alive({3, 3}, ftmesh::topology::Direction::XPlus));
+  EXPECT_TRUE(map.blocked({6, 6}));
+}
+
 // ----------------------------------- verifier satellite: post-event safety
 
 TEST(PostEventVerification, AllAlgorithmsStayDeadlockFreeAfterEvents) {
@@ -435,6 +652,59 @@ TEST(DynamicRun, DeterministicForSameSeed) {
                       r.reliability.node_failures};
   };
   EXPECT_EQ(run(31), run(31));
+}
+
+TEST(DynamicRun, TransientLinkFaultFailsRecoversAndRepairs) {
+  // End-to-end transient link fault: the channel dies mid-traffic, crossing
+  // worms are flushed and retransmitted over the f-ring detour, then the
+  // link repairs and the network re-routes minimally again.
+  auto cfg = dynamic_config();
+  cfg.injection_rate = 0.005;
+  cfg.fault_schedule = "fail-link@1500:4,4,E; repair-link@3000:4,4,E";
+  Simulator sim(cfg);
+  ASSERT_NE(sim.injector(), nullptr);
+  const auto r0 = sim.run();
+  EXPECT_FALSE(r0.deadlock);
+  sim.drain();
+  const auto r = sim.snapshot();
+  ASSERT_TRUE(r.reliability.enabled);
+  EXPECT_EQ(r.reliability.fault_events_applied, 2);
+  EXPECT_EQ(r.reliability.link_failures, 1);
+  EXPECT_EQ(r.reliability.link_repairs, 1);
+  EXPECT_EQ(r.reliability.node_failures, 0);
+  // Both routers stayed up the whole run; only channel traffic was hit.
+  EXPECT_EQ(r.reliability.in_flight_end, 0u);
+  EXPECT_EQ(r.reliability.generated,
+            r.reliability.delivered + r.reliability.aborted);
+  // The link is healthy again at the end.
+  EXPECT_TRUE(sim.faults().link_alive({4, 4},
+                                      ftmesh::topology::Direction::XPlus));
+  EXPECT_EQ(sim.faults().dead_link_count(), 0);
+}
+
+TEST(DynamicRun, RandomLinkScheduleAllAlgorithmsSurvive) {
+  for (const auto& name : ftmesh::routing::algorithm_names()) {
+    SimConfig cfg = dynamic_config();
+    cfg.algorithm = name;
+    cfg.total_cycles = 3000;
+    cfg.fault_schedule =
+        "random-link:count=2,rate=0.002,start=800,repair_after=600";
+    Simulator sim(cfg);
+    sim.run();
+    sim.drain();
+    const auto r = sim.snapshot();
+    EXPECT_FALSE(r.deadlock) << name;
+    ASSERT_TRUE(r.reliability.enabled) << name;
+    EXPECT_EQ(r.reliability.in_flight_end, 0u) << name;
+    EXPECT_EQ(r.reliability.generated,
+              r.reliability.delivered + r.reliability.aborted)
+        << name;
+    // Repairs couple to applied failures; ones falling past the drain
+    // horizon simply never execute.
+    EXPECT_LE(r.reliability.link_repairs, r.reliability.link_failures)
+        << name;
+    EXPECT_EQ(r.reliability.node_failures, 0) << name;
+  }
 }
 
 TEST(DynamicRun, RetryBudgetBoundsRetransmissions) {

@@ -2,7 +2,8 @@
 // saturation points, and inspect fault patterns without writing C++.
 //
 //   ftmesh run        [--config f] [--algorithm A] [--rate R] [--faults N]
-//                     [--cycles N] [--seed S] [--json] [--save-config f]
+//                     [--link-faults N] [--cycles N] [--seed S] [--json]
+//                     [--save-config f]
 //                     [--fault-schedule SPEC] [--max-retries N]
 //                     [--backoff N] [--patience N] [--drain]
 //                     [--tiles N] [--step-threads N]
@@ -18,12 +19,14 @@
 //                     [--checkpoint-every N] [--progress[=force]]
 //   ftmesh campaign-merge [--out f.csv] DIR [DIR...]
 //   ftmesh verify     [--algo A|all|broken-demo] [--faults 0,5,10]
-//                     [--seed S] [--width W] [--height H] [--vcs V]
-//                     [--threads N]
+//                     [--link-faults N] [--seed S] [--width W] [--height H]
+//                     [--vcs V] [--threads N]
 //   ftmesh audit      [--algo A|all|broken-demo] [--patterns clean,center,
-//                     boundary,random] [--faults N,..] [--seed S]
-//                     [--width W] [--height H] [--vcs V] [--threads N]
-//                     [--max-violations N] [--json]
+//                     boundary,link,link-edge,random] [--faults N,..]
+//                     [--link-faults N] [--seed S] [--width W] [--height H]
+//                     [--vcs V] [--threads N] [--max-violations N] [--json]
+//   ftmesh reliability [--width W] [--height H] [--node-prob P]
+//                     [--link-prob Q] [--trials N] [--seed S] [--json]
 //   ftmesh algorithms
 //
 // Flags mirror SimConfig fields; a --config file provides the base and
@@ -35,6 +38,7 @@
 #include <memory>
 #include <sstream>
 
+#include "ftmesh/analysis/reliability_model.hpp"
 #include "ftmesh/analysis/saturation.hpp"
 #include "ftmesh/campaign/csv.hpp"
 #include "ftmesh/campaign/merge.hpp"
@@ -73,6 +77,8 @@ SimConfig config_from_cli(const Cli& cli) {
       static_cast<std::uint32_t>(cli.get_int("length", cfg.message_length));
   cfg.total_vcs = static_cast<int>(cli.get_int("vcs", cfg.total_vcs));
   cfg.fault_count = static_cast<int>(cli.get_int("faults", cfg.fault_count));
+  cfg.link_fault_count =
+      static_cast<int>(cli.get_int("link-faults", cfg.link_fault_count));
   cfg.total_cycles =
       static_cast<std::uint64_t>(cli.get_int("cycles", static_cast<std::int64_t>(cfg.total_cycles)));
   cfg.warmup_cycles = static_cast<std::uint64_t>(
@@ -493,14 +499,18 @@ int cmd_verify(const Cli& cli) {
   ftmesh::verify::VerifyOptions vopts;
   vopts.threads = static_cast<int>(cli.get_int("threads", 0));
 
+  const int link_faults =
+      static_cast<int>(cli.get_int("link-faults", cfg.link_fault_count));
+
   bool all_ok = true;
   for (const int fault_count : fault_counts) {
     // Same derivation as the simulator so a verified pattern is exactly the
-    // pattern a run with the same --faults/--seed would use.
+    // pattern a run with the same --faults/--link-faults/--seed would use.
     ftmesh::sim::Rng rng = ftmesh::sim::Rng(cfg.seed).derive(0xFA);
     const auto map =
-        fault_count > 0
-            ? ftmesh::fault::FaultMap::random(mesh, fault_count, rng)
+        fault_count > 0 || link_faults > 0
+            ? ftmesh::fault::FaultMap::random(mesh, fault_count, link_faults,
+                                              rng)
             : ftmesh::fault::FaultMap(mesh);
     const ftmesh::fault::FRingSet rings(map);
 
@@ -547,12 +557,18 @@ int cmd_audit(const Cli& cli) {
   // clean     fault-free mesh
   // center    one interior block region (f-rings closed)
   // boundary  one block hugging the west edge (f-rings open / chain case)
-  // random    FaultMap::random with the simulator's --faults/--seed
-  //           derivation, one pattern per entry of --faults
+  // link      one isolated interior dead link (degenerate inverted-box
+  //           region: partial-router degradation, nothing deactivated)
+  // link-edge a dead link on the mesh boundary (open f-chain case)
+  // random    FaultMap::random with the simulator's --faults/--link-faults/
+  //           --seed derivation, one pattern per entry of --faults
   using ftmesh::fault::FaultMap;
   using ftmesh::fault::Rect;
+  using ftmesh::topology::Coord;
+  using ftmesh::topology::Direction;
   std::vector<std::pair<std::string, FaultMap>> patterns;
-  const auto wanted = split_list(cli.get("patterns", "clean,center,boundary,random"));
+  const auto wanted = split_list(
+      cli.get("patterns", "clean,center,boundary,link,link-edge,random"));
   const auto has = [&wanted](const char* p) {
     return std::find(wanted.begin(), wanted.end(), p) != wanted.end();
   };
@@ -568,16 +584,30 @@ int cmd_audit(const Cli& cli) {
     patterns.emplace_back(
         "boundary", FaultMap::from_blocks(mesh, {Rect{0, cy - 1, 0, cy}}));
   }
+  if (has("link") && cfg.width >= 5 && cfg.height >= 5) {
+    const Coord a{cfg.width / 2 - 1, cfg.height / 2};
+    patterns.emplace_back(
+        "link", FaultMap::from_state(mesh, {}, {{a, Direction::XPlus}}));
+  }
+  if (has("link-edge") && cfg.width >= 4 && cfg.height >= 4) {
+    const Coord a{cfg.width / 2 - 1, 0};
+    patterns.emplace_back(
+        "link-edge", FaultMap::from_state(mesh, {}, {{a, Direction::XPlus}}));
+  }
   if (has("random")) {
     std::vector<int> fault_counts;
     for (const auto& f : split_list(cli.get("faults", "3"))) {
       fault_counts.push_back(std::stoi(f));
     }
+    const int link_faults =
+        static_cast<int>(cli.get_int("link-faults", cfg.link_fault_count));
     for (const int fault_count : fault_counts) {
-      if (fault_count <= 0) continue;
+      if (fault_count <= 0 && link_faults <= 0) continue;
       ftmesh::sim::Rng rng = ftmesh::sim::Rng(cfg.seed).derive(0xFA);
-      patterns.emplace_back("random-" + std::to_string(fault_count),
-                            FaultMap::random(mesh, fault_count, rng));
+      std::string label = "random-" + std::to_string(fault_count);
+      if (link_faults > 0) label += "+" + std::to_string(link_faults) + "L";
+      patterns.emplace_back(
+          label, FaultMap::random(mesh, fault_count, link_faults, rng));
     }
   }
 
@@ -647,6 +677,55 @@ int cmd_audit(const Cli& cli) {
   return all_ok ? 0 : 1;
 }
 
+// Probabilistic network-(dis)connection estimate under i.i.d. node and
+// link faults, cross-validated by Monte-Carlo sampling (--trials 0 skips
+// the sampling pass).
+int cmd_reliability(const Cli& cli) {
+  const int width = static_cast<int>(cli.get_int("width", 8));
+  const int height = static_cast<int>(cli.get_int("height", 8));
+  const double p = cli.get_double("node-prob", 0.01);
+  const double q = cli.get_double("link-prob", 0.01);
+  const int trials = static_cast<int>(cli.get_int("trials", 10000));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  const ftmesh::topology::Mesh mesh(width, height);
+  const ftmesh::analysis::ReliabilityModel model(mesh, p, q);
+  const double estimate = model.disconnection_estimate();
+  ftmesh::analysis::MonteCarloReliability mc;
+  if (trials > 0) {
+    mc = model.monte_carlo(trials, ftmesh::sim::Rng(seed).derive(0x5E));
+  }
+
+  if (cli.flag("json")) {
+    ftmesh::report::JsonWriter jw(std::cout);
+    jw.begin_object();
+    jw.key("width").value(width);
+    jw.key("height").value(height);
+    jw.key("node_fault_prob").value(p);
+    jw.key("link_fault_prob").value(q);
+    jw.key("disconnection_estimate").value(estimate);
+    if (trials > 0) {
+      jw.key("mc_trials").value(mc.trials);
+      jw.key("mc_disconnected").value(mc.disconnected);
+      jw.key("mc_estimate").value(mc.estimate);
+      jw.key("mc_std_error").value(mc.std_error);
+    }
+    jw.end_object();
+    std::cout << "\n";
+    return 0;
+  }
+  std::cout << width << "x" << height << " mesh, p(node)=" << p
+            << ", p(link)=" << q << "\n"
+            << "analytic P[disconnected] = " << estimate << "\n";
+  if (trials > 0) {
+    std::cout << "monte-carlo (" << mc.trials
+              << " trials): " << mc.estimate << " +/- " << mc.std_error
+              << " (" << mc.disconnected << " disconnected)\n";
+  }
+  return 0;
+}
+
 int cmd_algorithms() {
   for (const auto& name : ftmesh::routing::algorithm_names()) {
     std::cout << name << "\n";
@@ -657,7 +736,7 @@ int cmd_algorithms() {
 void usage() {
   std::cerr << "usage: ftmesh "
                "<run|sweep|saturation|faults|campaign|campaign-merge|verify|"
-               "audit|algorithms> [flags]\n(see the header of "
+               "audit|reliability|algorithms> [flags]\n(see the header of "
                "tools/ftmesh.cpp)\n";
 }
 
@@ -679,6 +758,7 @@ int main(int argc, char** argv) {
     if (cmd == "campaign-merge") return cmd_campaign_merge(cli);
     if (cmd == "verify") return cmd_verify(cli);
     if (cmd == "audit") return cmd_audit(cli);
+    if (cmd == "reliability") return cmd_reliability(cli);
     if (cmd == "algorithms") return cmd_algorithms();
   } catch (const std::exception& e) {
     std::cerr << "ftmesh: " << e.what() << "\n";
