@@ -5,9 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <bit>
+#include <vector>
 
 #include "ftmesh/campaign/stream.hpp"
 #include "ftmesh/core/simulator.hpp"
+#include "ftmesh/routing/candidate_score.hpp"
 #include "ftmesh/trace/trace_sink.hpp"
 
 namespace {
@@ -196,6 +199,51 @@ BENCHMARK_CAPTURE(BM_NetworkStepSharded, t4x1, 4, 1)
 BENCHMARK_CAPTURE(BM_NetworkStepSharded, t4x4, 4, 4)
     ->Unit(benchmark::kMicrosecond);
 
+void BM_NetworkStepShardedAlloc(benchmark::State& state, bool shard_alloc) {
+  // Allocator-bound variant of the sharded kernel: saturated 64x64 mesh
+  // with *short* messages (length 4), so worms retire and are recreated at
+  // the highest possible rate and slot churn dominates the step.  Both
+  // captures run the identical simulation (reports are byte-identical
+  // across the allocator flag); `shard` allocates from per-tile free lists
+  // inside the tile-parallel injection phase, `serial` replays the
+  // pre-sharding allocator — every slot assigned from the single global
+  // LIFO in a serial prologue.  CI holds the shard:serial pair ratio.
+  auto cfg = sharded_config(64, 4, 4);
+  cfg.message_length = 4;
+  cfg.shard_alloc = shard_alloc;
+  Simulator sim(cfg);
+  for (int i = 0; i < 500; ++i) sim.step();  // fill the mesh
+  for (auto _ : state) sim.step();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          64);
+}
+BENCHMARK_CAPTURE(BM_NetworkStepShardedAlloc, shard_t4x4, true)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_NetworkStepShardedAlloc, serial_t4x4, false)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NetworkLongRunPeakSlotsSharded(benchmark::State& state) {
+  // The plateau gate for the sharded allocator: same moderate load as
+  // BM_NetworkLongRunPeakSlots but with the mesh cut into 4 tiles and
+  // per-tile free lists on.  The peak may exceed the serial allocator's by
+  // at most the slots parked on tile lists (tiles x trim threshold); CI
+  // holds the counter with bench_compare.py --counter-max so tile-local
+  // churn can never silently reopen the O(delivered) leak.
+  auto cfg = kernel_config(0.001, 0);
+  cfg.tiles = 4;
+  Simulator sim(cfg);
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    sim.step();
+    peak = std::max(peak, sim.network().message_slots());
+  }
+  state.counters["peak_slots"] = static_cast<double>(peak);
+  state.counters["messages_retired"] =
+      static_cast<double>(sim.network().retired().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100);
+}
+BENCHMARK(BM_NetworkLongRunPeakSlotsSharded);
+
 void BM_ShardedScalingCurve(benchmark::State& state) {
   // Mesh-size x tile-count scaling curve (docs/performance.md): args are
   // {mesh edge, tiles, step threads}.  Deliberately named outside the CI
@@ -245,6 +293,89 @@ void BM_FRingConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FRingConstruction);
+
+// ---- candidate-scoring kernel (routing/candidate_score.hpp) -------------
+//
+// The route stage must turn per-candidate output-VC occupancy into the
+// ordered free subset of each tier.  These two benchmarks price exactly
+// that inner loop over randomized occupancy (so the scalar version's
+// branches mispredict like they do under real load): the `Scalar` capture
+// replays the pre-vectorization branchy scan, the plain one the shipped
+// mask fold + ctz walk.  Both produce the identical output sequence; CI
+// holds the mask:scalar pair ratio.
+constexpr std::size_t kScorePatterns = 4096;
+constexpr std::size_t kScoreCands = 24;  // 4 directions x 6 VCs
+constexpr std::size_t kScoreTiers = 3;   // 8 candidates per tier
+
+std::vector<ftmesh::routing::CandidateScoreScratch> score_patterns() {
+  std::vector<ftmesh::routing::CandidateScoreScratch> ps(kScorePatterns);
+  ftmesh::sim::Rng rng(17);
+  for (auto& p : ps) {
+    for (std::size_t i = 0; i < ftmesh::routing::kMaxScoredCandidates; ++i) {
+      p.busy[i] = static_cast<std::uint8_t>(rng.next_below(2));
+    }
+    ftmesh::routing::pad_busy(p, kScoreCands);
+  }
+  return ps;
+}
+
+void BM_CandidateScoreScalar(benchmark::State& state) {
+  const auto patterns = score_patterns();
+  ftmesh::sim::SmallVec<std::uint8_t, 16> free_cands;
+  std::size_t k = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const auto& p = patterns[k++ & (kScorePatterns - 1)];
+    for (std::size_t tier = 0; tier < kScoreTiers; ++tier) {
+      const std::size_t begin = tier * (kScoreCands / kScoreTiers);
+      const std::size_t end = begin + kScoreCands / kScoreTiers;
+      free_cands.clear();
+      for (std::size_t i = begin; i < end; ++i) {
+        if (p.busy[i] == 0) {
+          free_cands.push_back(static_cast<std::uint8_t>(i));
+        }
+      }
+      if (!free_cands.empty()) {
+        sink += free_cands.size() + free_cands[0];
+        break;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kScoreCands);
+}
+BENCHMARK(BM_CandidateScoreScalar);
+
+void BM_CandidateScore(benchmark::State& state) {
+  const auto patterns = score_patterns();
+  ftmesh::sim::SmallVec<std::uint8_t, 16> free_cands;
+  std::size_t k = 0;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const auto& p = patterns[k++ & (kScorePatterns - 1)];
+    const std::uint64_t mask =
+        ftmesh::routing::free_mask_from_busy(p, kScoreCands);
+    for (std::size_t tier = 0; tier < kScoreTiers; ++tier) {
+      const std::size_t begin = tier * (kScoreCands / kScoreTiers);
+      const std::size_t end = begin + kScoreCands / kScoreTiers;
+      const std::uint64_t window =
+          ftmesh::routing::tier_window(mask, begin, end);
+      if (window == 0) continue;
+      free_cands.clear();
+      for (std::uint64_t bits = window; bits != 0; bits &= bits - 1) {
+        free_cands.push_back(
+            static_cast<std::uint8_t>(std::countr_zero(bits)));
+      }
+      sink += free_cands.size() + free_cands[0];
+      break;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kScoreCands);
+}
+BENCHMARK(BM_CandidateScore);
 
 void BM_CandidateEnumeration(benchmark::State& state) {
   const ftmesh::topology::Mesh mesh(10, 10);

@@ -77,6 +77,12 @@ struct SimConfig {
   /// O(in-flight) instead of O(delivered).  Byte-identical results either
   /// way; off = the legacy append-only message table (A/B validation).
   bool recycle_messages = true;
+  /// Shard the slot allocator: retired slots return to a per-tile free
+  /// list (global pool only as bounded spillover), so the tiled injection
+  /// phase allocates without touching shared state.  Requires nothing of
+  /// the caller; results are byte-identical either way.  Off = the serial
+  /// single-LIFO allocator (A/B validation and the perf baseline).
+  bool shard_alloc = true;
 
   // optional statistics
   bool collect_vc_usage = false;

@@ -79,6 +79,7 @@ void save_config(std::ostream& os, const SimConfig& cfg) {
      << "step_threads = " << cfg.step_threads << "\n"
      << "route_cache = " << (cfg.route_cache ? 1 : 0) << "\n"
      << "recycle_messages = " << (cfg.recycle_messages ? 1 : 0) << "\n"
+     << "shard_alloc = " << (cfg.shard_alloc ? 1 : 0) << "\n"
      << "collect_vc_usage = " << (cfg.collect_vc_usage ? 1 : 0) << "\n"
      << "collect_traffic_map = " << (cfg.collect_traffic_map ? 1 : 0) << "\n"
      << "collect_kernel_stats = " << (cfg.collect_kernel_stats ? 1 : 0) << "\n"
@@ -133,6 +134,7 @@ SimConfig load_config(std::istream& is) {
       else if (key == "step_threads") cfg.step_threads = std::stoi(value);
       else if (key == "route_cache") cfg.route_cache = std::stoi(value) != 0;
       else if (key == "recycle_messages") cfg.recycle_messages = std::stoi(value) != 0;
+      else if (key == "shard_alloc") cfg.shard_alloc = std::stoi(value) != 0;
       else if (key == "collect_vc_usage") cfg.collect_vc_usage = std::stoi(value) != 0;
       else if (key == "collect_traffic_map") cfg.collect_traffic_map = std::stoi(value) != 0;
       else if (key == "collect_kernel_stats") cfg.collect_kernel_stats = std::stoi(value) != 0;

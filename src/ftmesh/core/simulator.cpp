@@ -39,6 +39,7 @@ Simulator::Simulator(SimConfig cfg)
   ncfg.tiles = cfg_.tiles;
   ncfg.step_threads = cfg_.step_threads;
   ncfg.recycle_messages = cfg_.recycle_messages;
+  ncfg.shard_alloc = cfg_.shard_alloc;
   ncfg.collect_vc_usage = cfg_.collect_vc_usage;
   ncfg.collect_traffic_map = cfg_.collect_traffic_map;
   ncfg.collect_kernel_stats = cfg_.collect_kernel_stats;

@@ -2,8 +2,10 @@
 
 #include "ftmesh/core/thread_pool.hpp"
 #include "ftmesh/router/channel_id.hpp"
+#include "ftmesh/routing/candidate_score.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <functional>
 #include <map>
@@ -21,24 +23,17 @@ using topology::NodeId;
 
 namespace {
 
-/// Drops worklist entries whose pending counter fell back to zero (their
-/// in-list flag is cleared so they can re-enter) and sorts the survivors.
-/// Ascending node order is what makes the Active scan consume the shared
-/// RNG stream in exactly the Full scan's order.
-template <typename Count>
-void compact_worklist(std::vector<NodeId>& list, std::vector<char>& flag,
-                      const std::vector<Count>& count) {
-  std::size_t k = 0;
-  for (const NodeId n : list) {
-    if (count[static_cast<std::size_t>(n)] > 0) {
-      list[k++] = n;
-    } else {
-      flag[static_cast<std::size_t>(n)] = 0;
-    }
-  }
-  list.resize(k);
-  std::sort(list.begin(), list.end());
+// One-bit occupancy helpers for the tile bitmaps (bit i of word i/64).
+inline void set_bit(std::vector<std::uint64_t>& mask, std::size_t i) {
+  mask[i >> 6] |= std::uint64_t{1} << (i & 63u);
 }
+inline void clear_bit(std::vector<std::uint64_t>& mask, std::size_t i) {
+  mask[i >> 6] &= ~(std::uint64_t{1} << (i & 63u));
+}
+inline bool test_bit(const std::vector<std::uint64_t>& mask, std::size_t i) {
+  return (mask[i >> 6] >> (i & 63u)) & 1u;
+}
+inline std::size_t mask_words(std::size_t bits) { return (bits + 63u) / 64u; }
 
 /// Balanced contiguous partition: chunk index of `x` when [0, extent) is
 /// split into `chunks` pieces covering [i*extent/chunks, (i+1)*extent/chunks).
@@ -75,10 +70,6 @@ Network::Network(const topology::Mesh& mesh, const fault::FaultMap& faults,
   route_pending_.assign(n, 0);
   switch_pending_.assign(n, 0);
   inject_pending_.assign(n, 0);
-  in_route_.assign(n, 0);
-  in_switch_.assign(n, 0);
-  in_inject_.assign(n, 0);
-  in_link_.assign(n * kMeshDirections, 0);
   link_vc_allocated_.assign(static_cast<std::size_t>(vcs), 0);
   // The arbitration seeds come off derived streams (not the shared one),
   // so each is a pure function of the network seed.
@@ -123,22 +114,30 @@ void Network::setup_tiles() {
   tiles_.resize(static_cast<std::size_t>(best_tx) *
                 static_cast<std::size_t>(best_ty));
   tile_of_node_.assign(n, 0);
+  local_of_node_.assign(n, 0);
   for (NodeId id = 0; id < mesh_->node_count(); ++id) {
     const Coord c = mesh_->coord_of(id);
     const int tx = chunk_of(c.x, width, best_tx);
     const int ty = chunk_of(c.y, height, best_ty);
     const auto tile = static_cast<std::uint32_t>(ty * best_tx + tx);
     tile_of_node_[static_cast<std::size_t>(id)] = tile;
+    local_of_node_[static_cast<std::size_t>(id)] =
+        static_cast<std::uint32_t>(tiles_[tile].nodes.size());
     tiles_[tile].nodes.push_back(id);
   }
   for (Tile& t : tiles_) {
     if (config_.route_cache) t.route_cache.resize(kRouteCacheSize);
     t.d.vc_alloc.assign(static_cast<std::size_t>(vcs), 0);
+    const std::size_t words = mask_words(t.nodes.size());
+    t.route_mask.assign(words, 0);
+    t.switch_mask.assign(words, 0);
+    t.inject_mask.assign(words, 0);
   }
   // Static incoming-register lists, from the downstream side: the register
   // delivering into `id` from direction d is the neighbour's outgoing
   // register back towards `id`.
   link_intra_.assign(n * kMeshDirections, 0);
+  link_pos_.assign(n * kMeshDirections, 0);
   for (NodeId id = 0; id < mesh_->node_count(); ++id) {
     Tile& t = tiles_[tile_of_node_[static_cast<std::size_t>(id)]];
     const Coord c = mesh_->coord_of(id);
@@ -150,6 +149,7 @@ void Network::setup_tiles() {
       const auto idx =
           static_cast<std::size_t>(up) * kMeshDirections +
           static_cast<std::size_t>(port_index(opposite(dir)));
+      link_pos_[idx] = static_cast<std::uint32_t>(t.incoming_all.size());
       t.incoming_all.push_back(idx);
       if (tile_of_node_[static_cast<std::size_t>(up)] !=
           tile_of_node_[static_cast<std::size_t>(id)]) {
@@ -159,6 +159,7 @@ void Network::setup_tiles() {
       }
     }
   }
+  for (Tile& t : tiles_) t.link_mask.assign(mask_words(t.incoming_all.size()), 0);
 }
 
 // ---- occupancy bookkeeping -----------------------------------------------
@@ -172,12 +173,10 @@ void Network::bump_route(NodeId node, int delta) {
   Tile& t = tiles_[tile_of_node_[sid]];
   if (was_zero && p > 0) {
     ++t.active_route;
-    if (!in_route_[sid]) {
-      in_route_[sid] = 1;
-      t.route_nodes.push_back(node);
-    }
+    set_bit(t.route_mask, local_of_node_[sid]);
   } else if (!was_zero && p == 0) {
     --t.active_route;
+    clear_bit(t.route_mask, local_of_node_[sid]);
   }
 }
 
@@ -190,12 +189,10 @@ void Network::bump_switch(NodeId node, int delta) {
   Tile& t = tiles_[tile_of_node_[sid]];
   if (was_zero && p > 0) {
     ++t.active_switch;
-    if (!in_switch_[sid]) {
-      in_switch_[sid] = 1;
-      t.switch_nodes.push_back(node);
-    }
+    set_bit(t.switch_mask, local_of_node_[sid]);
   } else if (!was_zero && p == 0) {
     --t.active_switch;
+    clear_bit(t.switch_mask, local_of_node_[sid]);
   }
 }
 
@@ -208,25 +205,20 @@ void Network::bump_inject(NodeId node, int delta) {
   Tile& t = tiles_[tile_of_node_[sid]];
   if (was_zero && p > 0) {
     ++t.active_inject;
-    if (!in_inject_[sid]) {
-      in_inject_[sid] = 1;
-      t.inject_nodes.push_back(node);
-    }
+    set_bit(t.inject_mask, local_of_node_[sid]);
   } else if (!was_zero && p == 0) {
     --t.active_inject;
+    clear_bit(t.inject_mask, local_of_node_[sid]);
   }
 }
 
 void Network::note_link_full(Tile& t, std::size_t link_idx) {
   ++t.d.full_links;
-  // Only intra-tile registers are flagged and listed: the sender may not
-  // touch another tile's worklist, so a cross-tile register is found by
-  // the downstream tile's boundary_in scan instead.
+  // Only intra-tile registers set a mask bit: the sender may not touch
+  // another tile's mask, so a cross-tile register is found by the
+  // downstream tile's boundary_in scan instead.
   if (!link_intra_[link_idx]) return;
-  if (!in_link_[link_idx]) {
-    in_link_[link_idx] = 1;
-    t.link_list.push_back(link_idx);
-  }
+  set_bit(t.link_mask, link_pos_[link_idx]);
 }
 
 void Network::note_buffer_push(NodeId node, const InputVc& ivc, const Flit& f,
@@ -249,20 +241,16 @@ void Network::note_buffer_push(NodeId node, const InputVc& ivc, const Flit& f,
 void Network::rebuild_active_sets() {
   const int vcs = algorithm_->layout().total();
   for (Tile& t : tiles_) {
-    t.route_nodes.clear();
-    t.switch_nodes.clear();
-    t.inject_nodes.clear();
-    t.link_list.clear();
+    std::fill(t.route_mask.begin(), t.route_mask.end(), 0);
+    std::fill(t.switch_mask.begin(), t.switch_mask.end(), 0);
+    std::fill(t.inject_mask.begin(), t.inject_mask.end(), 0);
+    std::fill(t.link_mask.begin(), t.link_mask.end(), 0);
     t.active_route = 0;
     t.active_switch = 0;
     t.active_inject = 0;
     // Rebuilds happen between cycles; nothing may be pending a commit.
     assert(t.credits.empty() && t.retires.empty() && t.ejects.empty());
   }
-  std::fill(in_route_.begin(), in_route_.end(), 0);
-  std::fill(in_switch_.begin(), in_switch_.end(), 0);
-  std::fill(in_inject_.begin(), in_inject_.end(), 0);
-  std::fill(in_link_.begin(), in_link_.end(), 0);
   std::fill(link_vc_allocated_.begin(), link_vc_allocated_.end(), 0);
   queued_messages_ = 0;
   busy_supplies_ = 0;
@@ -295,13 +283,11 @@ void Network::rebuild_active_sets() {
     route_pending_[sid] = routable;
     switch_pending_[sid] = sendable;
     if (routable > 0) {
-      in_route_[sid] = 1;
-      t.route_nodes.push_back(id);
+      set_bit(t.route_mask, local_of_node_[sid]);
       ++t.active_route;
     }
     if (sendable > 0) {
-      in_switch_[sid] = 1;
-      t.switch_nodes.push_back(id);
+      set_bit(t.switch_mask, local_of_node_[sid]);
       ++t.active_switch;
     }
     std::uint32_t busy = 0;
@@ -312,8 +298,7 @@ void Network::rebuild_active_sets() {
     queued_messages_ += queues_[sid].size();
     inject_pending_[sid] = static_cast<std::uint32_t>(queues_[sid].size()) + busy;
     if (inject_pending_[sid] > 0) {
-      in_inject_[sid] = 1;
-      t.inject_nodes.push_back(id);
+      set_bit(t.inject_mask, local_of_node_[sid]);
       ++t.active_inject;
     }
   }
@@ -323,9 +308,8 @@ void Network::rebuild_active_sets() {
     ++full_links_;
     ++flits;
     if (!link_intra_[idx]) continue;  // cross-tile: boundary_in finds it
-    in_link_[idx] = 1;
     const auto up = idx / kMeshDirections;
-    tiles_[tile_of_node_[up]].link_list.push_back(idx);
+    set_bit(tiles_[tile_of_node_[up]].link_mask, link_pos_[idx]);
   }
   assert(flits == buffered_flits_ && "incremental flit count drifted");
   buffered_flits_ = flits;
@@ -419,35 +403,62 @@ void Network::trace_block(MessageSlot slot, Coord c) {
 
 // ---- message lifecycle ---------------------------------------------------
 
-MessageId Network::create_message(Coord src, Coord dst, std::uint32_t length) {
-  assert(faults_->active(src) && faults_->active(dst));
-  assert(length >= 1);
-  MessageSlot slot;
-  if (config_.recycle_messages && !free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    assert(messages_[static_cast<std::size_t>(slot)].id == kInvalidMessage);
-  } else {
-    slot = static_cast<MessageSlot>(messages_.size());
-    messages_.emplace_back();
-    headers_.emplace_back();
-    slot_gen_.push_back(0);
-    if (trace_ != nullptr) trace_blocked_.push_back(0);
+MessageSlot Network::acquire_slot(std::uint32_t tile) {
+  if (config_.recycle_messages) {
+    Tile& t = tiles_[tile];
+    if (config_.shard_alloc && !t.free_slots.empty()) {
+      const MessageSlot slot = t.free_slots.back();
+      t.free_slots.pop_back();
+      assert(messages_[static_cast<std::size_t>(slot)].id == kInvalidMessage);
+      assert(slot_tile_[static_cast<std::size_t>(slot)] == tile);
+      return slot;
+    }
+    if (!free_slots_.empty()) {
+      const MessageSlot slot = free_slots_.back();
+      free_slots_.pop_back();
+      assert(messages_[static_cast<std::size_t>(slot)].id == kInvalidMessage);
+      slot_tile_[static_cast<std::size_t>(slot)] = tile;  // new owner
+      return slot;
+    }
   }
+  const auto slot = static_cast<MessageSlot>(messages_.size());
+  messages_.emplace_back();
+  headers_.emplace_back();
+  slot_gen_.push_back(0);
+  slot_tile_.push_back(tile);
+  if (trace_ != nullptr) trace_blocked_.push_back(0);
+  return slot;
+}
+
+void Network::init_created_message(MessageSlot slot, const PendingCreate& pc) {
   Message& m = messages_[static_cast<std::size_t>(slot)];
   m = Message{};
-  m.id = next_message_id_++;
-  m.src = src;
-  m.dst = dst;
-  m.length = length;
+  m.id = pc.id;
+  m.src = pc.src;
+  m.dst = pc.dst;
+  m.length = pc.length;
   m.created = cycle_;
   HeaderState& h = headers_[static_cast<std::size_t>(slot)];
   h = HeaderState{};
-  h.src = src;
-  h.dst = dst;
+  h.src = pc.src;
+  h.dst = pc.dst;
   algorithm_->on_inject(h);
-  if (config_.recycle_messages) live_ids_.emplace(m.id, slot);
+}
+
+MessageId Network::create_message(Coord src, Coord dst, std::uint32_t length) {
+  assert(faults_->active(src) && faults_->active(dst));
+  assert(length >= 1);
+  // Immediate creations may not interleave with deferred ones while the
+  // append-only table is in force: slot == id only holds when slots are
+  // appended in id order.
+  assert(config_.recycle_messages || pending_creates_.empty());
   const NodeId src_id = mesh_->id_of(src);
+  const auto tile = tile_of_node_[static_cast<std::size_t>(src_id)];
+  const MessageSlot slot = acquire_slot(tile);
+  PendingCreate pc{next_message_id_++, src, dst, length, slot};
+  init_created_message(slot, pc);
+  const Message& m = messages_[static_cast<std::size_t>(slot)];
+  if (config_.recycle_messages) live_ids_.emplace(m.id, slot);
   queues_[static_cast<std::size_t>(src_id)].push_back(slot);
   ++queued_messages_;
   bump_inject(src_id, +1);
@@ -458,6 +469,143 @@ MessageId Network::create_message(Coord src, Coord dst, std::uint32_t length) {
     emit(trace::EventKind::Create, m.id, src, length);
   }
   return m.id;
+}
+
+MessageId Network::enqueue_message(Coord src, Coord dst, std::uint32_t length) {
+  assert(faults_->active(src) && faults_->active(dst));
+  assert(length >= 1);
+  const MessageId id = next_message_id_++;
+  pending_creates_.push_back({id, src, dst, length, kInvalidMessage});
+  return id;
+}
+
+void Network::stage_creations() {
+  if (pending_creates_.empty()) return;
+  if (!config_.recycle_messages) {
+    // Append-only table: slot == id for every message ever created, so the
+    // table must grow to cover every reserved id, in order, before the
+    // tiles run (vector growth is not tile-safe).
+    const std::size_t need =
+        static_cast<std::size_t>(pending_creates_.back().id) + 1;
+    assert(messages_.size() == pending_creates_.front().id);
+    messages_.resize(need);
+    headers_.resize(need);
+    slot_gen_.resize(need, 0);
+    slot_tile_.resize(need, 0);
+    if (trace_ != nullptr) trace_blocked_.resize(need, 0);
+    for (PendingCreate& pc : pending_creates_) {
+      pc.slot = static_cast<MessageSlot>(pc.id);
+      const auto sid = static_cast<std::size_t>(mesh_->id_of(pc.src));
+      slot_tile_[static_cast<std::size_t>(pc.slot)] = tile_of_node_[sid];
+    }
+  } else if (config_.shard_alloc) {
+    // Count each tile's demand, then top its private list up — spillover
+    // pool first, fresh appends last — so the tile phase can pop without
+    // touching shared state.
+    create_need_.assign(tiles_.size(), 0);
+    for (const PendingCreate& pc : pending_creates_) {
+      const auto sid = static_cast<std::size_t>(mesh_->id_of(pc.src));
+      ++create_need_[tile_of_node_[sid]];
+    }
+    for (std::size_t i = 0; i < tiles_.size(); ++i) {
+      Tile& t = tiles_[i];
+      while (t.free_slots.size() < create_need_[i]) {
+        if (!free_slots_.empty()) {
+          const MessageSlot slot = free_slots_.back();
+          free_slots_.pop_back();
+          assert(messages_[static_cast<std::size_t>(slot)].id ==
+                 kInvalidMessage);
+          slot_tile_[static_cast<std::size_t>(slot)] =
+              static_cast<std::uint32_t>(i);
+          t.free_slots.push_back(slot);
+        } else {
+          const auto slot = static_cast<MessageSlot>(messages_.size());
+          messages_.emplace_back();
+          headers_.emplace_back();
+          slot_gen_.push_back(0);
+          slot_tile_.push_back(static_cast<std::uint32_t>(i));
+          if (trace_ != nullptr) trace_blocked_.push_back(0);
+          t.free_slots.push_back(slot);
+        }
+      }
+    }
+  } else {
+    // Serial allocator (the pre-sharding path): assign every slot from the
+    // single global LIFO here, in id order.
+    for (PendingCreate& pc : pending_creates_) {
+      const auto sid = static_cast<std::size_t>(mesh_->id_of(pc.src));
+      pc.slot = acquire_slot(tile_of_node_[sid]);
+    }
+  }
+  for (std::size_t i = 0; i < pending_creates_.size(); ++i) {
+    const auto sid =
+        static_cast<std::size_t>(mesh_->id_of(pending_creates_[i].src));
+    tiles_[tile_of_node_[sid]].creates.push_back(
+        static_cast<std::uint32_t>(i));
+  }
+}
+
+void Network::materialize_tile_creations(Tile& t) {
+  if (t.creates.empty()) return;
+  const bool pop_local = config_.recycle_messages && config_.shard_alloc;
+  for (const std::uint32_t i : t.creates) {
+    PendingCreate& pc = pending_creates_[i];
+    if (pop_local) {
+      assert(!t.free_slots.empty());  // staged by the prologue
+      pc.slot = t.free_slots.back();
+      t.free_slots.pop_back();
+      assert(messages_[static_cast<std::size_t>(pc.slot)].id ==
+             kInvalidMessage);
+    }
+    init_created_message(pc.slot, pc);
+    const auto sid = static_cast<std::size_t>(mesh_->id_of(pc.src));
+    queues_[sid].push_back(pc.slot);
+    ++t.d.queued_messages;
+    bump_inject(static_cast<NodeId>(sid), +1);
+    t.d.flits_generated += pc.length;
+    if (measuring_) t.d.measured_flits_generated += pc.length;
+  }
+  t.creates.clear();
+}
+
+void Network::materialize_creations_ordered() {
+  if (pending_creates_.empty()) return;
+  // Serial, in id order: the trace sink observes Create events, which must
+  // appear exactly where the immediate-creation path emitted them.
+  for (PendingCreate& pc : pending_creates_) {
+    const auto sid = static_cast<std::size_t>(mesh_->id_of(pc.src));
+    const auto tile = tile_of_node_[sid];
+    if (pc.slot == kInvalidMessage) pc.slot = acquire_slot(tile);
+    Tile& t = tiles_[tile];
+    init_created_message(pc.slot, pc);
+    queues_[sid].push_back(pc.slot);
+    ++t.d.queued_messages;
+    bump_inject(static_cast<NodeId>(sid), +1);
+    t.d.flits_generated += pc.length;
+    if (measuring_) t.d.measured_flits_generated += pc.length;
+    if (trace_ != nullptr) {
+      trace_blocked_[static_cast<std::size_t>(pc.slot)] = 0;
+      emit(trace::EventKind::Create, pc.id, pc.src, pc.length);
+    }
+  }
+  for (Tile& t : tiles_) t.creates.clear();
+}
+
+void Network::commit_creations() {
+  if (pending_creates_.empty()) return;
+  if (config_.recycle_messages) {
+    for (const PendingCreate& pc : pending_creates_) {
+      assert(pc.slot != kInvalidMessage);
+      live_ids_.emplace(pc.id, pc.slot);
+    }
+  }
+  pending_creates_.clear();
+}
+
+std::size_t Network::free_message_slots() const noexcept {
+  std::size_t total = free_slots_.size();
+  for (const Tile& t : tiles_) total += t.free_slots.size();
+  return total;
 }
 
 void Network::retire_slot(MessageSlot slot) {
@@ -481,7 +629,20 @@ void Network::retire_slot(MessageSlot slot) {
   m = Message{};  // id == kInvalidMessage marks the slot free
   headers_[static_cast<std::size_t>(slot)] = HeaderState{};
   ++slot_gen_[static_cast<std::size_t>(slot)];
-  free_slots_.push_back(slot);
+  if (!config_.shard_alloc) {
+    free_slots_.push_back(slot);
+    return;
+  }
+  // Sharded allocator: the slot returns to its owning tile's list (LIFO —
+  // the warmest slot is reused first), trimmed to kTileFreeKeep by
+  // spilling the coldest entries to the global pool so tile-local churn
+  // cannot strand capacity.
+  Tile& t = tiles_[slot_tile_[static_cast<std::size_t>(slot)]];
+  t.free_slots.push_back(slot);
+  if (t.free_slots.size() > kTileFreeKeep) {
+    free_slots_.push_back(t.free_slots.front());
+    t.free_slots.erase(t.free_slots.begin());
+  }
 }
 
 void Network::abort_message(MessageSlot slot) {
@@ -555,13 +716,14 @@ void Network::for_each_tile(Fn&& fn) {
   for (Tile& t : tiles_) fn(t);
 }
 
-const std::vector<NodeId>& Network::merged_worklist(
-    std::vector<NodeId> Tile::* list) {
+const std::vector<NodeId>& Network::merged_mask_nodes(
+    std::vector<std::uint64_t> Tile::* mask) {
   merged_nodes_.clear();
   for (Tile& t : tiles_) {
-    merged_nodes_.insert(merged_nodes_.end(), (t.*list).begin(),
-                         (t.*list).end());
+    walk_mask(t, t.*mask, [&](NodeId id) { merged_nodes_.push_back(id); });
   }
+  // Tiles are rectangles, so per-tile ascending local order is not globally
+  // ascending; the ordered driver needs ascending node ids.
   std::sort(merged_nodes_.begin(), merged_nodes_.end());
   return merged_nodes_;
 }
@@ -583,6 +745,8 @@ void Network::reduce_deltas() {
     total_latency_sum_ += d.total_latency_sum;
     measured_flits_delivered_ += d.measured_flits_delivered;
     measured_messages_delivered_ += d.measured_messages_delivered;
+    total_flits_generated_ += d.flits_generated;
+    measured_flits_generated_ += d.measured_flits_generated;
     measured_route_decisions_ += d.measured_route_decisions;
     measured_candidates_offered_ += d.measured_candidates_offered;
     measured_candidates_free_ += d.measured_candidates_free;
@@ -659,43 +823,84 @@ void Network::audit_invariants(int level) const {
                      ": " + what);
   };
 
-  // ---- level 1: slot table, free list, generations, message totals ------
+  // ---- level 1: slot table, free lists, generations, message totals -----
   if (messages_.size() != headers_.size() ||
-      messages_.size() != slot_gen_.size()) {
-    fail("slot-table arrays diverged (messages/headers/slot_gen)");
+      messages_.size() != slot_gen_.size() ||
+      messages_.size() != slot_tile_.size()) {
+    fail("slot-table arrays diverged (messages/headers/slot_gen/slot_tile)");
   }
   std::size_t occupied = 0;
   for (const auto& m : messages_) {
     if (m.id != kInvalidMessage) ++occupied;
   }
+  // Ids drawn by enqueue_message but not yet materialised into slots count
+  // as created-but-not-live; between cycles the list is empty, but the audit
+  // must also hold when invoked mid-tick from tests.
+  std::size_t pending_unslotted = 0;
+  for (const PendingCreate& pc : pending_creates_) {
+    if (pc.slot == kInvalidMessage) ++pending_unslotted;
+  }
   if (config_.recycle_messages) {
+    // The free store is the union of the global spillover pool and every
+    // tile's local list.  The union must be a permutation of the vacant
+    // slots: no entry twice (a cross-tile double-free would surface here),
+    // no occupied entry, no vacant slot missing.  Tile-local entries must
+    // be owned by that tile and bounded by the trim threshold — retirement
+    // spills anything beyond kTileFreeKeep back to the global pool.
     std::vector<char> freed(messages_.size(), 0);
-    for (const MessageSlot slot : free_slots_) {
-      if (slot >= messages_.size()) fail("free-list entry out of range");
-      if (freed[slot] != 0) fail("slot appears on the free list twice");
+    const auto note_free = [&](MessageSlot slot, const char* where) {
+      if (slot >= messages_.size()) {
+        fail(std::string("free-list entry out of range (") + where + ")");
+      }
+      if (freed[slot] != 0) {
+        fail(std::string("slot appears in the free union twice (") + where +
+             ")");
+      }
       freed[slot] = 1;
       if (messages_[slot].id != kInvalidMessage) {
-        fail("free-listed slot is still occupied");
+        fail(std::string("free-listed slot is still occupied (") + where +
+             ")");
+      }
+    };
+    for (const MessageSlot slot : free_slots_) note_free(slot, "global");
+    for (std::size_t i = 0; i < tiles_.size(); ++i) {
+      const Tile& t = tiles_[i];
+      if (t.free_slots.size() > kTileFreeKeep) {
+        fail("tile free list exceeds the trim threshold");
+      }
+      for (const MessageSlot slot : t.free_slots) {
+        note_free(slot, "tile");
+        if (slot_tile_[slot] != static_cast<std::uint32_t>(i)) {
+          fail("tile free list holds a slot owned by another tile");
+        }
       }
     }
     for (MessageSlot slot = 0; slot < messages_.size(); ++slot) {
       if (messages_[slot].id == kInvalidMessage && freed[slot] == 0) {
-        fail("vacant slot missing from the free list");
+        fail("vacant slot missing from the free union");
       }
     }
-    if (occupied != live_ids_.size()) {
-      fail("occupied slot count != live-id map size");
+    if (occupied != live_ids_.size() + (pending_creates_.size() -
+                                        pending_unslotted)) {
+      fail("occupied slot count != live-id map size + staged creations");
     }
     for (const auto& [id, slot] : live_ids_) {
       if (slot >= messages_.size() || messages_[slot].id != id) {
         fail("live-id map entry does not name its occupant");
       }
     }
-    if (retired_.size() + occupied != next_message_id_) {
-      fail("message conservation: retired + live != created");
+    if (retired_.size() + occupied + pending_unslotted != next_message_id_) {
+      fail("message conservation: retired + live + pending != created");
     }
-  } else if (messages_.size() != next_message_id_) {
-    fail("append-only slot table size != messages created");
+  } else {
+    for (const Tile& t : tiles_) {
+      if (!t.free_slots.empty()) {
+        fail("tile free list populated while recycling is off");
+      }
+    }
+    if (messages_.size() + pending_unslotted != next_message_id_) {
+      fail("append-only slot table size + pending != messages created");
+    }
   }
 
   if (level < 2) return;
@@ -757,20 +962,23 @@ void Network::audit_invariants(int level) const {
         }
       }
     }
-    // Per-node pending counters are exact, and a node with work must carry
-    // its in-worklist flag (the flag, in turn, is checked against the
-    // worklists below).
+    // Per-node pending counters are exact, and the occupancy bitmaps are
+    // exact images of them: bit set if and only if pending > 0.  This is
+    // strictly stronger than the old worklist-membership check (which only
+    // proved flagged nodes were listed, not that stale entries were absent).
     if (route_pending_[sid] != routable) {
       fail("route_pending counter drifted from the router state");
     }
     if (switch_pending_[sid] != sendable) {
       fail("switch_pending counter drifted from the router state");
     }
-    if (routable > 0 && in_route_[sid] == 0) {
-      fail("node with routable headers missing from the route worklist");
+    const Tile& nt = tiles_[tile_of_node_[sid]];
+    const std::size_t lidx = local_of_node_[sid];
+    if (test_bit(nt.route_mask, lidx) != (routable > 0)) {
+      fail("route mask bit disagrees with the routable-header recount");
     }
-    if (sendable > 0 && in_switch_[sid] == 0) {
-      fail("node with sendable flits missing from the switch worklist");
+    if (test_bit(nt.switch_mask, lidx) != (sendable > 0)) {
+      fail("switch mask bit disagrees with the sendable-flit recount");
     }
     if (routable > 0) ++active_route_recount[tile_of_node_[sid]];
     if (sendable > 0) ++active_switch_recount[tile_of_node_[sid]];
@@ -819,8 +1027,8 @@ void Network::audit_invariants(int level) const {
         static_cast<std::uint32_t>(queues_[sid].size()) + node_busy) {
       fail("inject_pending counter drifted from queue + supply state");
     }
-    if (inject_pending_[sid] > 0 && in_inject_[sid] == 0) {
-      fail("node with injection work missing from the inject worklist");
+    if (test_bit(nt.inject_mask, lidx) != (inject_pending_[sid] > 0)) {
+      fail("inject mask bit disagrees with the queue + supply recount");
     }
     if (inject_pending_[sid] > 0) ++active_inject_recount[tile_of_node_[sid]];
   }
@@ -830,12 +1038,15 @@ void Network::audit_invariants(int level) const {
     if (links_[idx].full) {
       ++flits;
       ++full_recount;
-      if (link_intra_[idx] != 0 && in_link_[idx] == 0) {
-        fail("full intra-tile link register missing from the link worklist");
-      }
     }
-    if (link_intra_[idx] == 0 && in_link_[idx] != 0) {
-      fail("cross-tile link register carries an in-list flag");
+    // Link-mask bits are exact: set iff the register is full AND intra-tile
+    // (cross-tile registers are poll-only and must never be flagged).
+    const bool flagged =
+        link_intra_[idx] != 0 &&
+        test_bit(tiles_[tile_of_node_[idx / kMeshDirections]].link_mask,
+                 link_pos_[idx]);
+    if (flagged != (link_intra_[idx] != 0 && links_[idx].full)) {
+      fail("link mask bit disagrees with the register-full recount");
     }
   }
   if (full_recount != full_links_) {
@@ -865,43 +1076,11 @@ void Network::audit_invariants(int level) const {
     }
   }
 
-  // Worklist membership: every node (or link register) carrying an in-list
-  // flag must actually be on its owning tile's list — the flag is what
-  // keeps it from being re-pushed, so a flag without an entry silently
-  // drops work (and an entry on a foreign tile's list breaks the
-  // single-writer discipline).
-  const auto check_membership = [&fail, this](
-                                    std::vector<NodeId> Tile::* list,
-                                    const std::vector<char>& flag,
-                                    const char* what) {
-    std::vector<char> present(flag.size(), 0);
-    for (std::size_t i = 0; i < tiles_.size(); ++i) {
-      for (const NodeId n : tiles_[i].*list) {
-        if (tile_of_node_[static_cast<std::size_t>(n)] != i) {
-          fail(std::string("node on a foreign tile's ") + what + " worklist");
-        }
-        present[static_cast<std::size_t>(n)] = 1;
-      }
-    }
-    for (std::size_t n = 0; n < flag.size(); ++n) {
-      if (flag[n] != 0 && present[n] == 0) {
-        fail(std::string("flagged node absent from the ") + what +
-             " worklist");
-      }
-    }
-  };
-  check_membership(&Tile::route_nodes, in_route_, "route");
-  check_membership(&Tile::switch_nodes, in_switch_, "switch");
-  check_membership(&Tile::inject_nodes, in_inject_, "inject");
-  {
-    std::vector<char> present(in_link_.size(), 0);
-    for (const Tile& t : tiles_) {
-      for (const std::size_t idx : t.link_list) present[idx] = 1;
-    }
-    for (std::size_t idx = 0; idx < in_link_.size(); ++idx) {
-      if (in_link_[idx] != 0 && present[idx] == 0) {
-        fail("flagged link register absent from the link worklist");
-      }
+  // Staged-creation scratch must be drained between cycles: a leftover
+  // index would double-materialise a message next injection phase.
+  for (const Tile& t : tiles_) {
+    if (!t.creates.empty()) {
+      fail("tile creation bucket not drained between cycles");
     }
   }
 }
@@ -933,18 +1112,22 @@ void Network::arrive_link(Tile& t, std::size_t link_idx) {
 }
 
 void Network::arrivals_tile(Tile& t) {
-  // Every full register drains each cycle, so the worklist is consumed
-  // whole; ordering is irrelevant (registers target disjoint input VCs).
+  // Every full register drains each cycle, so the mask is consumed whole;
+  // ordering is irrelevant (registers target disjoint input VCs).
   // Arrivals are partitioned by the *consumer*: a tile drains exactly the
-  // registers delivering into it — its own flagged list plus a scan of the
-  // static boundary list (cross-tile senders may not touch this tile's
-  // list, so those registers are poll-only).
+  // registers delivering into it — its own flagged mask bits plus a scan
+  // of the static boundary list (cross-tile senders may not touch this
+  // tile's mask, so those registers are poll-only).
   if (config_.scan_mode == ScanMode::Active) {
-    for (const std::size_t idx : t.link_list) {
-      in_link_[idx] = 0;
-      arrive_link(t, idx);
+    for (std::size_t w = 0; w < t.link_mask.size(); ++w) {
+      std::uint64_t word = t.link_mask[w];
+      t.link_mask[w] = 0;
+      for (; word != 0; word &= word - 1) {
+        const std::size_t pos =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        arrive_link(t, t.incoming_all[pos]);
+      }
     }
-    t.link_list.clear();
     for (const std::size_t idx : t.boundary_in) {
       if (links_[idx].full) arrive_link(t, idx);
     }
@@ -953,8 +1136,7 @@ void Network::arrivals_tile(Tile& t) {
   for (const std::size_t idx : t.incoming_all) {
     if (links_[idx].full) arrive_link(t, idx);
   }
-  for (const std::size_t idx : t.link_list) in_link_[idx] = 0;
-  t.link_list.clear();
+  std::fill(t.link_mask.begin(), t.link_mask.end(), 0);
 }
 
 void Network::phase_arrivals() {
@@ -1023,31 +1205,45 @@ void Network::inject_node(Tile& t, NodeId id) {
 }
 
 void Network::phase_injection() {
+  // Deferred creations materialise first — on the tiles in the parallel
+  // drivers (the serial prologue only provisions slots), serially in id
+  // order under the ordered driver — so a message enqueued before this
+  // step hits its source queue ahead of the injection walk, exactly when
+  // an immediate create_message would have put it there.  The id -> slot
+  // publication runs serially after the walk (before routing, which may
+  // retire a same-cycle src == dst message through the live-id map).
+  const bool creating = !pending_creates_.empty();
   if (config_.scan_mode == ScanMode::Active) {
     if (ordered_execution()) {
-      for (Tile& t : tiles_) {
-        compact_worklist(t.inject_nodes, in_inject_, inject_pending_);
-      }
-      for (const NodeId id : merged_worklist(&Tile::inject_nodes)) {
+      materialize_creations_ordered();
+      for (const NodeId id : merged_mask_nodes(&Tile::inject_mask)) {
         inject_node(tiles_[tile_of_node_[static_cast<std::size_t>(id)]], id);
       }
+      commit_creations();
       return;
     }
+    if (creating) stage_creations();
     for_each_tile([this](Tile& t) {
-      compact_worklist(t.inject_nodes, in_inject_, inject_pending_);
-      for (const NodeId id : t.inject_nodes) inject_node(t, id);
+      materialize_tile_creations(t);
+      walk_mask(t, t.inject_mask, [&](NodeId id) { inject_node(t, id); });
     });
+    commit_creations();
     return;
   }
   if (ordered_execution()) {
+    materialize_creations_ordered();
     for (NodeId id = 0; id < mesh_->node_count(); ++id) {
       inject_node(tiles_[tile_of_node_[static_cast<std::size_t>(id)]], id);
     }
+    commit_creations();
     return;
   }
+  if (creating) stage_creations();
   for_each_tile([this](Tile& t) {
+    materialize_tile_creations(t);
     for (const NodeId id : t.nodes) inject_node(t, id);
   });
+  commit_creations();
 }
 
 // ---- phase 3: routing ----------------------------------------------------
@@ -1140,28 +1336,68 @@ void Network::route_node(Tile& t, NodeId id, bool exhaustive) {
     }
     const routing::CandidateList& cand = route_candidates(t, id, m);
     bool allocated = false;
+    // Branchless scoring: gather each candidate's output-VC occupancy into
+    // a byte vector (no data-dependent branch per candidate) and fold it
+    // into one free-bit mask; every per-tier decision below is then shifts
+    // and popcount.  Ascending set bits reproduce the scalar scan's
+    // candidate order exactly, so the selection RNG sees the same spans.
+    // Recomputed per header — allocations earlier in this node's scan
+    // change the occupancy.
+    // Wide lists (deep hop-class layouts under faults can exceed the
+    // one-word mask) take a scalar per-tier scan that visits candidates in
+    // the same ascending order; both paths feed select_candidate identical
+    // spans, so the draw sequence cannot differ between them.
+    const std::size_t ncand = cand.size();
+    const bool wide = ncand > routing::kMaxScoredCandidates;
+    routing::CandidateScoreScratch score;
+    std::uint64_t free_mask = 0;
+    if (!wide) {
+      const std::uint8_t* dirs = cand.dirs_data();
+      const std::uint8_t* cvcs = cand.vcs_data();
+      for (std::size_t i = 0; i < ncand; ++i) {
+        assert(static_cast<Direction>(dirs[i]) != Direction::Local);
+        assert(mesh_->neighbour(c, static_cast<Direction>(dirs[i]))
+                   .has_value());
+        score.busy[i] = static_cast<std::uint8_t>(
+            rt.output(port_index(static_cast<Direction>(dirs[i])),
+                      static_cast<int>(cvcs[i]))
+                .allocated);
+      }
+      routing::pad_busy(score, ncand);
+      free_mask = routing::free_mask_from_busy(score, ncand);
+    }
     if (measuring_) {
       ++t.d.measured_route_decisions;
-      t.d.measured_candidates_offered += cand.size();
-      for (std::size_t i = 0; i < cand.size(); ++i) {
-        const auto& cv = cand[i];
-        if (!rt.output(port_index(cv.dir), cv.vc).allocated) {
-          ++t.d.measured_candidates_free;
+      t.d.measured_candidates_offered += ncand;
+      if (!wide) {
+        t.d.measured_candidates_free +=
+            static_cast<std::uint64_t>(std::popcount(free_mask));
+      } else {
+        for (std::size_t i = 0; i < ncand; ++i) {
+          t.d.measured_candidates_free += static_cast<std::uint64_t>(
+              !rt.output(port_index(cand.dir(i)), cand.vc(i)).allocated);
         }
       }
     }
     for (std::size_t tier = 0; tier < cand.tier_count(); ++tier) {
       const auto [begin, end] = cand.tier_range(tier);
       t.free_cands.clear();
-      for (std::size_t i = begin; i < end; ++i) {
-        const auto& cv = cand[i];
-        assert(cv.dir != Direction::Local);
-        assert(mesh_->neighbour(c, cv.dir).has_value());
-        if (!rt.output(port_index(cv.dir), cv.vc).allocated) {
-          t.free_cands.push_back(cv);
+      if (!wide) {
+        const std::uint64_t window =
+            routing::tier_window(free_mask, begin, end);
+        if (window == 0) continue;
+        for (std::uint64_t bits = window; bits != 0; bits &= bits - 1) {
+          const auto i = static_cast<std::size_t>(std::countr_zero(bits));
+          t.free_cands.push_back({cand.dir(i), cand.vc(i)});
         }
+      } else {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (!rt.output(port_index(cand.dir(i)), cand.vc(i)).allocated) {
+            t.free_cands.push_back({cand.dir(i), cand.vc(i)});
+          }
+        }
+        if (t.free_cands.empty()) continue;
       }
-      if (t.free_cands.empty()) continue;
       const auto pick = routing::select_candidate(
           config_.selection,
           std::span<const routing::CandidateVc>(t.free_cands.data(),
@@ -1218,20 +1454,15 @@ void Network::route_node(Tile& t, NodeId id, bool exhaustive) {
 void Network::phase_routing() {
   if (config_.scan_mode == ScanMode::Active) {
     if (ordered_execution()) {
-      for (Tile& t : tiles_) {
-        compact_worklist(t.route_nodes, in_route_, route_pending_);
-      }
-      for (const NodeId id : merged_worklist(&Tile::route_nodes)) {
+      for (const NodeId id : merged_mask_nodes(&Tile::route_mask)) {
         route_node(tiles_[tile_of_node_[static_cast<std::size_t>(id)]], id,
                    /*exhaustive=*/false);
       }
       return;
     }
     for_each_tile([this](Tile& t) {
-      compact_worklist(t.route_nodes, in_route_, route_pending_);
-      for (const NodeId id : t.route_nodes) {
-        route_node(t, id, /*exhaustive=*/false);
-      }
+      walk_mask(t, t.route_mask,
+                [&](NodeId id) { route_node(t, id, /*exhaustive=*/false); });
     });
     return;
   }
@@ -1384,17 +1615,13 @@ void Network::switch_node(Tile& t, NodeId id) {
 void Network::phase_switching() {
   if (config_.scan_mode == ScanMode::Active) {
     if (ordered_execution()) {
-      for (Tile& t : tiles_) {
-        compact_worklist(t.switch_nodes, in_switch_, switch_pending_);
-      }
-      for (const NodeId id : merged_worklist(&Tile::switch_nodes)) {
+      for (const NodeId id : merged_mask_nodes(&Tile::switch_mask)) {
         switch_node(tiles_[tile_of_node_[static_cast<std::size_t>(id)]], id);
       }
       return;
     }
     for_each_tile([this](Tile& t) {
-      compact_worklist(t.switch_nodes, in_switch_, switch_pending_);
-      for (const NodeId id : t.switch_nodes) switch_node(t, id);
+      walk_mask(t, t.switch_mask, [&](NodeId id) { switch_node(t, id); });
     });
     return;
   }

@@ -23,6 +23,7 @@
 // debug builds.  Both modes produce bit-identical results — see
 // docs/performance.md for the invariants and the determinism argument.
 
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <deque>
@@ -75,6 +76,14 @@ struct NetworkConfig {
   /// byte-identical either way — the stats read the same retirement log in
   /// both modes.
   bool recycle_messages = true;
+  /// Shard the message allocator: each tile owns a private free list (plus
+  /// a bounded global spillover pool) and deferred creations materialise
+  /// inside the tile-parallel injection phase, so create-heavy workloads
+  /// stop serialising through one global LIFO.  Off = the single global
+  /// free list with a fully serial creation prologue (the pre-sharding
+  /// allocator).  Slot numbering is unobservable, so results are
+  /// byte-identical either way.
+  bool shard_alloc = true;
   bool collect_vc_usage = false;
   bool collect_traffic_map = false;
   bool collect_kernel_stats = false;  ///< cache hit rate + active-set sizes
@@ -105,6 +114,23 @@ class Network {
   /// increasing counter, never a (reusable) slot index.
   MessageId create_message(topology::Coord src, topology::Coord dst,
                            std::uint32_t length);
+
+  /// Deferred creation: reserves the next stable id immediately (callers
+  /// run serially between cycles, so id order equals call order, exactly
+  /// as with create_message) but materialises the message — slot, header
+  /// state, source-queue entry — inside the next step()'s injection phase,
+  /// on the owning tile, in parallel with the other tiles.  The message is
+  /// created at the same cycle and injects on the same cycle as an
+  /// immediate create_message call made at the same point, so results are
+  /// byte-identical; only the allocator serialisation disappears.
+  MessageId enqueue_message(topology::Coord src, topology::Coord dst,
+                            std::uint32_t length);
+
+  /// Creations enqueued but not yet materialised (drains to zero inside
+  /// the next step()).
+  [[nodiscard]] std::size_t pending_creations() const noexcept {
+    return pending_creates_.size();
+  }
 
   /// Advances the network by one cycle.
   void step();
@@ -167,9 +193,9 @@ class Network {
   [[nodiscard]] std::size_t message_slots() const noexcept {
     return messages_.size();
   }
-  [[nodiscard]] std::size_t free_message_slots() const noexcept {
-    return free_slots_.size();
-  }
+  /// Free slots across the whole allocator: the global pool plus, with
+  /// sharded allocation, every tile's private list.
+  [[nodiscard]] std::size_t free_message_slots() const noexcept;
   /// True when `h` still names the occupant it was taken for: the slot's
   /// generation matches and the slot is occupied.
   [[nodiscard]] bool handle_live(MessageHandle h) const noexcept {
@@ -193,12 +219,13 @@ class Network {
     return queues_[static_cast<std::size_t>(mesh_->id_of(c))].size();
   }
 
-  /// True when no flit is buffered anywhere and every source queue and
-  /// injection supply is idle — the network has fully drained.  O(1): the
-  /// three occupancy totals are maintained incrementally.
+  /// True when no flit is buffered anywhere, every source queue and
+  /// injection supply is idle and no deferred creation is pending — the
+  /// network has fully drained.  O(1): the occupancy totals are maintained
+  /// incrementally.
   [[nodiscard]] bool drained() const noexcept {
     return buffered_flits_ == 0 && queued_messages_ == 0 &&
-           busy_supplies_ == 0;
+           busy_supplies_ == 0 && pending_creates_.empty();
   }
 
   [[nodiscard]] std::uint64_t flits_in_network() const noexcept {
@@ -506,7 +533,20 @@ class Network {
     std::uint64_t total_cache_hits = 0;
     std::uint64_t route_cache_lookups = 0;
     std::uint64_t route_cache_hits = 0;
+    std::uint64_t flits_generated = 0;
+    std::uint64_t measured_flits_generated = 0;
     std::vector<std::int32_t> vc_alloc;  // per VC index
+  };
+
+  /// A creation reserved by enqueue_message, awaiting materialisation in
+  /// the next injection phase.  The id is already final (assigned at
+  /// enqueue time, serially); the slot is assigned during materialisation.
+  struct PendingCreate {
+    MessageId id;
+    topology::Coord src;
+    topology::Coord dst;
+    std::uint32_t length;
+    MessageSlot slot = kInvalidMessage;
   };
 
   /// One rectangular shard of the mesh.  A tile owns its nodes' worklists,
@@ -515,20 +555,36 @@ class Network {
   /// writes is either owned by the tile or one of these queues.
   struct Tile {
     std::vector<topology::NodeId> nodes;  // ascending
-    // Worklists (same discipline as the former global lists).
-    std::vector<topology::NodeId> route_nodes;
-    std::vector<topology::NodeId> switch_nodes;
-    std::vector<topology::NodeId> inject_nodes;
-    /// Full link registers whose *downstream* node is in this tile and
-    /// whose upstream node is too (flagged via in_link_).  Cross-tile
-    /// registers are never listed — the sender may not touch another
-    /// tile's list — and are found through boundary_in instead.
-    std::vector<std::size_t> link_list;
+    // Occupancy bitmaps, one bit per tile-local node index (bit i of word
+    // i/64 <=> nodes[i]).  A bit is set exactly while the node's pending
+    // counter is positive — bump_* maintains the equivalence on the
+    // zero <-> positive transitions — and the consuming phase walks set
+    // bits via count-trailing-zeros, which visits nodes in ascending
+    // order for free.  These replace the former push/compact/sort
+    // worklists: membership is one OR/ANDN instead of a pointer-chasing
+    // list append plus a per-phase sort.
+    std::vector<std::uint64_t> route_mask;
+    std::vector<std::uint64_t> switch_mask;
+    std::vector<std::uint64_t> inject_mask;
+    /// Occupancy bitmap over incoming_all positions: bit p is set while
+    /// incoming_all[p] is a full *intra-tile* register (the sender — same
+    /// tile by definition — sets it in note_link_full).  Cross-tile
+    /// registers never set a bit: the sender may not touch another tile's
+    /// mask, so the downstream tile polls them through boundary_in.
+    std::vector<std::uint64_t> link_mask;
     /// Static: registers delivering into this tile from another tile
     /// (checked for .full every cycle; O(tile perimeter)).
     std::vector<std::size_t> boundary_in;
     /// Static: every register delivering into this tile (Full scan).
     std::vector<std::size_t> incoming_all;
+    /// Private message free list (sharded allocator): slots owned by this
+    /// tile, reused LIFO by creations materialising on it.  Bounded by
+    /// kTileFreeKeep — excess cold slots overflow to the global spillover
+    /// pool so per-tile churn cannot strand capacity and peak_slots stays
+    /// on the recycling plateau.
+    std::vector<MessageSlot> free_slots;
+    /// Indices into pending_creates_ staged for this tile this cycle.
+    std::vector<std::uint32_t> creates;
     // Exact gauge counts: nodes with a positive pending counter.
     std::int64_t active_route = 0;
     std::int64_t active_switch = 0;
@@ -579,9 +635,52 @@ class Network {
   }
   /// Folds every tile's PhaseDeltas into the real counters.
   void reduce_deltas();
-  /// Merged, ascending, compacted worklist of all tiles (scratch-backed).
-  const std::vector<topology::NodeId>& merged_worklist(
-      std::vector<topology::NodeId> Tile::* list);
+  /// Merged, ascending node list of every tile's set mask bits
+  /// (scratch-backed; the ordered driver's work source).
+  const std::vector<topology::NodeId>& merged_mask_nodes(
+      std::vector<std::uint64_t> Tile::* mask);
+
+  /// Walks the set bits of a tile-local node mask in ascending node order,
+  /// calling `fn(node)`.  Snapshots one word at a time: a phase body may
+  /// clear the current node's bit (work exhausted) but never sets bits in
+  /// the mask being walked, so the snapshot cannot skip or repeat work.
+  template <typename Fn>
+  void walk_mask(const Tile& t, const std::vector<std::uint64_t>& mask,
+                 Fn&& fn) {
+    for (std::size_t w = 0; w < mask.size(); ++w) {
+      for (std::uint64_t word = mask[w]; word != 0; word &= word - 1) {
+        fn(t.nodes[(w << 6) + static_cast<std::size_t>(
+                                  std::countr_zero(word))]);
+      }
+    }
+  }
+
+  // ---- deferred creation (sharded allocator) ---------------------------
+  /// Serial prologue of the injection phase: buckets pending creations by
+  /// owning tile, grows the slot table for any shortfall (vector growth
+  /// must not race the tile phase) and tops up tile free lists from the
+  /// spillover pool.  With shard_alloc off it also assigns (and with the
+  /// append-only table, pins slot == id) every slot serially — the
+  /// pre-sharding allocator.
+  void stage_creations();
+  /// Tile-phase body: pops tile-local slots for this tile's staged
+  /// creations and initialises them (message, header state, source queue,
+  /// occupancy deltas).
+  void materialize_tile_creations(Tile& t);
+  /// Ordered-driver variant: materialises every pending creation serially
+  /// in id order (trace Create events must interleave in id order).
+  void materialize_creations_ordered();
+  /// Serial epilogue: publishes id -> slot into live_ids_ (in id order)
+  /// and clears the pending list.  Runs before the routing phase, so a
+  /// same-cycle retirement (src == dst) finds the live entry.
+  void commit_creations();
+  /// Pops a free slot for a creation on `tile` — tile list, then spillover
+  /// pool, then fresh append — or plain append when recycling is off.
+  /// Serial contexts only (create_message, staging, the ordered driver).
+  [[nodiscard]] MessageSlot acquire_slot(std::uint32_t tile);
+  /// Fills a freshly acquired slot from a pending creation: message
+  /// fields, header state, algorithm on_inject.
+  void init_created_message(MessageSlot slot, const PendingCreate& pc);
 
   /// Candidate set for `h`'s header at node `id` — memoized in the tile's
   /// cache when enabled, enumerated into the tile's scratch otherwise.
@@ -630,9 +729,9 @@ class Network {
   //                        non-empty buffer (a sendable flit; credits are
   //                        checked at switching time)
   //   inject_pending_[n] = source-queue length + busy injection supplies
-  // A node enters its worklist when the counter leaves zero and is lazily
-  // dropped (and the in-list flag cleared) by the compaction at the start
-  // of the consuming phase.
+  // A node's bit in its tile's occupancy mask is set exactly while the
+  // counter is positive: bump_* sets it on the zero -> positive transition
+  // and clears it on positive -> zero.
   void bump_route(topology::NodeId node, int delta);
   void bump_switch(topology::NodeId node, int delta);
   void bump_inject(topology::NodeId node, int delta);
@@ -684,10 +783,26 @@ class Network {
   std::vector<Message> messages_;      // cold accounting, indexed by slot
   std::vector<HeaderState> headers_;   // hot routing state, indexed by slot
   std::vector<std::uint32_t> slot_gen_;
-  std::vector<MessageSlot> free_slots_;  // LIFO: reuse the warmest slot
+  /// Global free pool, LIFO.  With shard_alloc it is the bounded spillover
+  /// behind the per-tile lists (tiles trim to kTileFreeKeep into it, and
+  /// staging refills from it before appending fresh slots); without, it is
+  /// the allocator.
+  std::vector<MessageSlot> free_slots_;
+  /// Owning tile of each slot (sharded allocator): the tile whose free
+  /// list the slot returns to at retirement.  Assigned when the slot is
+  /// first appended and re-stamped whenever the spillover pool hands the
+  /// slot to a different tile.
+  std::vector<std::uint32_t> slot_tile_;
   std::vector<RetiredMessage> retired_;  // in retirement order
   std::unordered_map<MessageId, MessageSlot> live_ids_;  // recycling only
   MessageId next_message_id_ = 0;
+  /// Deferred creations in id order (enqueue_message), drained by the next
+  /// injection phase.
+  std::vector<PendingCreate> pending_creates_;
+  std::vector<std::uint32_t> create_need_;  // staging scratch, per tile
+  /// Per-tile free-list cap: retirement trims each list to this many
+  /// (warmest) slots, spilling the rest to the global pool.
+  static constexpr std::size_t kTileFreeKeep = 4;
 
   std::vector<std::deque<MessageSlot>> queues_;  // per-node source queues
   std::vector<Supply> supplies_;                 // [node][injection vc]
@@ -700,16 +815,12 @@ class Network {
   sim::Watchdog watchdog_;
 
   // Active-set state (maintained in both scan modes; see bump_* above).
-  // The pending counters and in-list flags stay global (indexed by node /
-  // register, each touched only by its owning tile mid-phase); the
-  // worklists themselves live on the tiles.
+  // The pending counters stay global (indexed by node, each touched only
+  // by its owning tile mid-phase); the occupancy bitmaps live on the
+  // tiles, addressed through the node -> tile-local-index map.
   std::vector<std::uint16_t> route_pending_;
   std::vector<std::uint16_t> switch_pending_;
   std::vector<std::uint32_t> inject_pending_;
-  std::vector<char> in_route_;
-  std::vector<char> in_switch_;
-  std::vector<char> in_inject_;
-  std::vector<char> in_link_;
   std::vector<std::uint32_t> link_vc_allocated_;  // per VC index, link ports
   std::uint64_t full_links_ = 0;  ///< exact count of full link registers
 
@@ -717,10 +828,16 @@ class Network {
   // sharding is off, which is also the path every serial caller takes).
   std::vector<Tile> tiles_;
   std::vector<std::uint32_t> tile_of_node_;
+  /// Tile-local index of each node: nodes_[tile_of_node_[n]].nodes[
+  /// local_of_node_[n]] == n.  Addresses the node's bit in the tile masks.
+  std::vector<std::uint32_t> local_of_node_;
   /// Per link register: 1 when both endpoints are in the same tile (such
-  /// registers use the in_link_ flag + tile worklist; cross-tile ones are
+  /// registers are flagged in the tile's link_mask; cross-tile ones are
   /// discovered through boundary_in).
   std::vector<char> link_intra_;
+  /// Position of each incoming register within its downstream tile's
+  /// incoming_all (== its bit index in that tile's link_mask).
+  std::vector<std::uint32_t> link_pos_;
   int tile_grid_x_ = 1;
   int tile_grid_y_ = 1;
   std::vector<topology::NodeId> merged_nodes_;  // ordered-driver scratch

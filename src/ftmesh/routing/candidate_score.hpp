@@ -1,0 +1,106 @@
+#pragma once
+// Branchless candidate scoring for the route stage.
+//
+// The router must pick, per tier, the ordered subset of candidates whose
+// output VC is currently free.  The scalar formulation branches once per
+// candidate (`if (!out.allocated) push`), and under load those branches are
+// data-dependent and mispredict heavily.  This header evaluates the whole
+// candidate set at once instead: the caller gathers each candidate's
+// occupancy into a contiguous byte vector (0 = free, non-zero = busy) and
+// free_mask_from_busy() folds it into a single uint64 bitmask, one bit per
+// candidate, with no data-dependent branches.  Tier windows and the ordered
+// free subset then fall out of shifts, popcount and count-trailing-zeros —
+// the candidate order the counter-hash arbitration sees is exactly the
+// order of ascending set bits, i.e. unchanged from the scalar scan.
+//
+// An explicit SSE2 / NEON path sits behind FTMESH_SIMD_SCORING (auto-enabled
+// where the ISA guarantees the instructions; define it to 0 to force the
+// portable scalar fold, which is itself branch-free).
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef FTMESH_SIMD_SCORING
+#if defined(__SSE2__) || (defined(__aarch64__) && defined(__ARM_NEON))
+#define FTMESH_SIMD_SCORING 1
+#else
+#define FTMESH_SIMD_SCORING 0
+#endif
+#endif
+
+#if FTMESH_SIMD_SCORING && defined(__SSE2__)
+#include <emmintrin.h>
+#elif FTMESH_SIMD_SCORING && defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace ftmesh::routing {
+
+/// Widest candidate set the one-word mask supports.  Algorithms on a 2-D
+/// mesh emit far fewer (<= 4 directions x VCs per tier, a handful of
+/// tiers); the router asserts the bound.
+inline constexpr std::size_t kMaxScoredCandidates = 64;
+
+/// Scratch for the occupancy gather.  16-byte aligned and padded so the
+/// vector path can always load full lanes; bytes beyond `n` must be left
+/// non-zero (busy) by pad_busy() so they never surface as free bits.
+struct alignas(16) CandidateScoreScratch {
+  std::uint8_t busy[kMaxScoredCandidates];
+};
+
+/// Marks the padding lanes [n, round-up-16) busy so whole-register loads
+/// cannot manufacture free candidates.  The final mask is additionally
+/// truncated to `n` bits, so this is belt and braces.
+inline void pad_busy(CandidateScoreScratch& s, std::size_t n) noexcept {
+  const std::size_t padded = (n + 15u) & ~std::size_t{15u};
+  for (std::size_t i = n; i < padded; ++i) s.busy[i] = 1;
+}
+
+/// All-ones mask for the low `n` bits (n <= 64).
+[[nodiscard]] inline constexpr std::uint64_t low_bits(std::size_t n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1u;
+}
+
+/// Folds the gathered occupancy bytes into a free-candidate bitmask: bit i
+/// is set iff busy[i] == 0, for i < n.  The scalar fold is branch-free;
+/// the SIMD paths compare 16 lanes at a time.
+[[nodiscard]] inline std::uint64_t free_mask_from_busy(
+    const CandidateScoreScratch& s, std::size_t n) noexcept {
+  std::uint64_t mask = 0;
+#if FTMESH_SIMD_SCORING && defined(__SSE2__)
+  const __m128i zero = _mm_setzero_si128();
+  for (std::size_t base = 0; base < n; base += 16) {
+    const __m128i lanes = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(s.busy + base));
+    const int free16 = _mm_movemask_epi8(_mm_cmpeq_epi8(lanes, zero));
+    mask |= static_cast<std::uint64_t>(static_cast<unsigned>(free16)) << base;
+  }
+#elif FTMESH_SIMD_SCORING && defined(__aarch64__) && defined(__ARM_NEON)
+  // NEON has no movemask; weight each free lane by its bit value and
+  // horizontally add per 8-lane half.
+  const uint8x16_t weights = {1, 2, 4, 8, 16, 32, 64, 128,
+                              1, 2, 4, 8, 16, 32, 64, 128};
+  for (std::size_t base = 0; base < n; base += 16) {
+    const uint8x16_t lanes = vld1q_u8(s.busy + base);
+    const uint8x16_t free_lanes = vceqq_u8(lanes, vdupq_n_u8(0));
+    const uint8x16_t bits = vandq_u8(free_lanes, weights);
+    const std::uint64_t lo = vaddv_u8(vget_low_u8(bits));
+    const std::uint64_t hi = vaddv_u8(vget_high_u8(bits));
+    mask |= (lo | (hi << 8)) << base;
+  }
+#else
+  for (std::size_t i = 0; i < n; ++i) {
+    mask |= static_cast<std::uint64_t>(s.busy[i] == 0) << i;
+  }
+#endif
+  return mask & low_bits(n);
+}
+
+/// The free bits of tier window [begin, end), kept at their absolute
+/// candidate positions so ascending-bit iteration preserves list order.
+[[nodiscard]] inline constexpr std::uint64_t tier_window(
+    std::uint64_t free_mask, std::size_t begin, std::size_t end) noexcept {
+  return free_mask & (low_bits(end) & ~low_bits(begin));
+}
+
+}  // namespace ftmesh::routing

@@ -43,40 +43,67 @@ struct CandidateVc {
 /// and Fully-Adaptive's "misroute only when every minimal channel is busy".
 /// The router tries tiers in order and allocates from the first tier with a
 /// free channel.
+///
+/// Storage is a flat SoA split (parallel direction / VC byte arrays) so the
+/// router's free-channel scoring can gather per-candidate occupancy into a
+/// contiguous byte vector and evaluate it branchlessly (see
+/// routing/candidate_score.hpp); operator[] materialises a CandidateVc by
+/// value for the cold consumers (verifier, audit, diagnostics).
 class CandidateList {
  public:
   void clear() noexcept {
-    items_.clear();
+    dirs_.clear();
+    vcs_.clear();
     tiers_.clear();
   }
-  void add(topology::Direction dir, int vc) { items_.push_back({dir, vc}); }
+  void add(topology::Direction dir, int vc) {
+    assert(vc >= 0 && vc < 256 && "VC index exceeds the SoA byte layout");
+    dirs_.push_back(static_cast<std::uint8_t>(dir));
+    vcs_.push_back(static_cast<std::uint8_t>(vc));
+  }
   /// Closes the current tier; subsequent adds go to the next tier.  An
   /// empty tier is kept (as an empty range) so tier priorities are stable
   /// regardless of which tiers happened to produce candidates.
   void next_tier() {
-    tiers_.push_back(static_cast<std::uint32_t>(items_.size()));
+    tiers_.push_back(static_cast<std::uint32_t>(dirs_.size()));
   }
 
-  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
-  [[nodiscard]] const CandidateVc& operator[](std::size_t i) const {
-    assert(i < items_.size());
-    return items_[i];
+  [[nodiscard]] bool empty() const noexcept { return dirs_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return dirs_.size(); }
+  [[nodiscard]] CandidateVc operator[](std::size_t i) const {
+    assert(i < dirs_.size());
+    return {static_cast<topology::Direction>(dirs_[i]),
+            static_cast<int>(vcs_[i])};
+  }
+  [[nodiscard]] topology::Direction dir(std::size_t i) const {
+    assert(i < dirs_.size());
+    return static_cast<topology::Direction>(dirs_[i]);
+  }
+  [[nodiscard]] int vc(std::size_t i) const {
+    assert(i < vcs_.size());
+    return static_cast<int>(vcs_[i]);
+  }
+  /// Raw SoA views for the branchless scoring path.
+  [[nodiscard]] const std::uint8_t* dirs_data() const noexcept {
+    return dirs_.data();
+  }
+  [[nodiscard]] const std::uint8_t* vcs_data() const noexcept {
+    return vcs_.data();
   }
 
   /// Number of tier ranges (boundaries + 1).  Zero when no candidate was
   /// added, even if tier boundaries were pushed (an all-empty list has no
   /// usable tiers); trailing ranges may be empty.
   [[nodiscard]] std::size_t tier_count() const noexcept {
-    return items_.empty() ? 0 : tiers_.size() + 1;
+    return dirs_.empty() ? 0 : tiers_.size() + 1;
   }
 
   /// Half-open range [begin, end) of tier `t` (t < tier_count()).
   [[nodiscard]] std::pair<std::size_t, std::size_t> tier_range(std::size_t t) const noexcept {
     assert(t < tier_count());
     const std::size_t begin = t == 0 ? 0 : tiers_[t - 1];
-    const std::size_t end = t < tiers_.size() ? tiers_[t] : items_.size();
-    assert(begin <= end && end <= items_.size());
+    const std::size_t end = t < tiers_.size() ? tiers_[t] : dirs_.size();
+    assert(begin <= end && end <= dirs_.size());
     return {begin, end};
   }
 
@@ -88,30 +115,38 @@ class CandidateList {
   void filter(Keep&& keep) {
     std::size_t w = 0;
     std::size_t ti = 0;
-    for (std::size_t i = 0; i <= items_.size(); ++i) {
+    for (std::size_t i = 0; i <= dirs_.size(); ++i) {
       while (ti < tiers_.size() && tiers_[ti] == i) {
         tiers_[ti] = static_cast<std::uint32_t>(w);
         ++ti;
       }
-      if (i == items_.size()) break;
-      if (keep(items_[i])) items_[w++] = items_[i];
+      if (i == dirs_.size()) break;
+      if (keep(CandidateVc{static_cast<topology::Direction>(dirs_[i]),
+                           static_cast<int>(vcs_[i])})) {
+        dirs_[w] = dirs_[i];
+        vcs_[w] = vcs_[i];
+        ++w;
+      }
     }
-    items_.truncate(w);
+    dirs_.truncate(w);
+    vcs_.truncate(w);
   }
 
   /// True when the inline small-buffer storage is still in use (the common
   /// case: the widest candidate set an algorithm emits on a 2-D mesh is
   /// well under the inline capacities).  Exposed for tests.
   [[nodiscard]] bool inline_storage() const noexcept {
-    return items_.inline_storage() && tiers_.inline_storage();
+    return dirs_.inline_storage() && vcs_.inline_storage() &&
+           tiers_.inline_storage();
   }
 
   friend bool operator==(const CandidateList& a, const CandidateList& b) {
-    return a.items_ == b.items_ && a.tiers_ == b.tiers_;
+    return a.dirs_ == b.dirs_ && a.vcs_ == b.vcs_ && a.tiers_ == b.tiers_;
   }
 
  private:
-  sim::SmallVec<CandidateVc, 16> items_;
+  sim::SmallVec<std::uint8_t, 16> dirs_;
+  sim::SmallVec<std::uint8_t, 16> vcs_;
   sim::SmallVec<std::uint32_t, 8> tiers_;
 };
 

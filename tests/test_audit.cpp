@@ -194,7 +194,8 @@ TEST(Audit, ReportPrintsSummaryAndWitnesses) {
 // deepest level.  Any drift between the incremental bookkeeping and the
 // ground truth throws AuditError and fails the test.
 void run_audited_traffic(const std::string& algo_name, int fault_count,
-                         bool recycle) {
+                         bool recycle, int tiles = 1,
+                         bool shard_alloc = true) {
   const Mesh mesh(6, 6);
   const auto faults = make_faults(mesh, fault_count, 5);
   const FRingSet rings(faults);
@@ -202,6 +203,8 @@ void run_audited_traffic(const std::string& algo_name, int fault_count,
       ftmesh::routing::make_algorithm(algo_name, mesh, faults, rings);
   NetworkConfig cfg;
   cfg.recycle_messages = recycle;
+  cfg.tiles = tiles;
+  cfg.shard_alloc = shard_alloc;
   Network net(mesh, faults, *algo, cfg, Rng(7));
 
   Rng traffic(21);
@@ -217,7 +220,13 @@ void run_audited_traffic(const std::string& algo_name, int fault_count,
       const Coord src = random_live();
       Coord dst = random_live();
       while (dst == src) dst = random_live();
-      net.create_message(src, dst, 4);
+      // Alternate the creation paths so both the immediate API and the
+      // deferred staged/materialise pipeline run under the recount.
+      if (cycle % 6 == 0 && recycle) {
+        net.create_message(src, dst, 4);
+      } else {
+        net.enqueue_message(src, dst, 4);
+      }
     }
     net.step();
     ASSERT_NO_THROW(net.audit_invariants(2)) << "cycle " << cycle;
@@ -235,6 +244,27 @@ TEST(RuntimeAudit, AppendOnlySlotTableKeepsEveryInvariant) {
 
 TEST(RuntimeAudit, FaultedRingTrafficKeepsEveryInvariant) {
   run_audited_traffic("Pbc", 3, /*recycle=*/true);
+}
+
+TEST(RuntimeAudit, ShardedAllocatorKeepsEveryInvariant) {
+  // The sharded free store: retire/create churn cycles slots through the
+  // per-tile lists and the spillover pool while the level-1 audit walks the
+  // whole union every cycle — a cross-tile double-free, a foreign-owned
+  // tile entry or an over-full tile list all throw here.
+  run_audited_traffic("Minimal-Adaptive", 0, /*recycle=*/true, /*tiles=*/4);
+  run_audited_traffic("Pbc", 3, /*recycle=*/true, /*tiles=*/4);
+}
+
+TEST(RuntimeAudit, SerialAllocatorUnderTilingKeepsEveryInvariant) {
+  // shard_alloc=false with tiles>1: every slot goes through the global
+  // LIFO, tile lists must stay empty, and the mask-exactness recounts
+  // still hold.
+  run_audited_traffic("Minimal-Adaptive", 0, /*recycle=*/true, /*tiles=*/4,
+                      /*shard_alloc=*/false);
+}
+
+TEST(RuntimeAudit, AppendOnlyTableUnderTilingKeepsEveryInvariant) {
+  run_audited_traffic("Fully-Adaptive", 0, /*recycle=*/false, /*tiles=*/4);
 }
 
 }  // namespace

@@ -30,12 +30,21 @@ absolute bound: current[NAME].counters[COUNTER] <= MAX.  Counters such
 as peak_slots are machine-independent, so this pins structural claims
 (the slot table stays O(in-flight)) without a baseline.
 
-Both inputs must come from a Release build of the benchmark library:
-Google Benchmark stamps context.library_build_type into the JSON, and a
-debug-build run is 10-50x off the checked-in numbers, so comparing one
-is never meaningful.  Non-release input is refused (exit 2) unless
---allow-non-release is given; a file whose context lacks the stamp only
+Both inputs must come from a Release build end to end: the code under
+measurement (context.ftmesh_build_type, stamped by bench/micro_kernel.cpp)
+AND the benchmark library itself (context.library_build_type, stamped by
+Google Benchmark).  A debug library skews timings even when the simulator
+is -O2 — its timers and state machine sit inside the measured region — so
+EITHER stamp reading non-release is refused (exit 2) unless
+--allow-non-release is given; a file whose context lacks both stamps only
 draws a warning, so hand-trimmed fixtures keep working.
+
+The current run's host context is also checked for noise: when the 1-min
+load average exceeds the CPU count, or a sharded benchmark (thread count
+parsed from the tNxM capture suffix) asked for more threads than the host
+has, a warning is printed and recorded into the JSON itself (context.
+ftmesh_host_warnings) so archived artifacts distinguish noisy-host
+regressions from real ones.  Warnings never fail the run.
 
 Exit status: 0 = within budget, 1 = regression or missing benchmark,
 2 = bad invocation / unreadable input / non-release input.
@@ -43,6 +52,7 @@ Exit status: 0 = within budget, 1 = regression or missing benchmark,
 
 import argparse
 import json
+import re
 import sys
 
 DEFAULT_WATCHED = [
@@ -65,36 +75,89 @@ def check_build_type(path, doc, allow_non_release):
     """Refuse benchmark JSON measured from a non-release build (debug
     numbers are meaningless for gating).
 
-    bench/micro_kernel.cpp stamps context.ftmesh_build_type with the
-    build type of the code under measurement (NDEBUG); that key is
-    authoritative.  context.library_build_type only describes how the
-    benchmark *library* was compiled — distro packages ship it without
-    NDEBUG, so it reads "debug" even under -O2 — and is used as a
-    fallback for JSON produced before the custom stamp existed."""
+    Two stamps are checked independently and BOTH must read release:
+    context.ftmesh_build_type (bench/micro_kernel.cpp, the simulator code
+    under measurement) and context.library_build_type (Google Benchmark's
+    own stamp).  A debug benchmark library inflates every measured region
+    — its timers, counters and state machine run inside the loop — so a
+    Release simulator linked against a distro debug libbenchmark is still
+    not a gateable measurement; build the library Release too (the CI
+    perf-smoke leg compiles it from source)."""
     ctx = doc.get("context", {})
-    build_type = ctx.get("ftmesh_build_type")
-    source = "ftmesh_build_type"
-    if build_type is None:
-        build_type = ctx.get("library_build_type")
-        source = "library_build_type (fallback)"
-    if build_type is None:
+    stamps = [("ftmesh_build_type", ctx.get("ftmesh_build_type")),
+              ("library_build_type", ctx.get("library_build_type"))]
+    if all(value is None for _, value in stamps):
         print(f"bench_compare: WARNING: {path} has no build-type stamp; "
               "cannot confirm it came from a Release build",
               file=sys.stderr)
         return
-    if build_type.lower() != "release":
-        msg = (f"bench_compare: {path} was measured from a "
-               f"{build_type!r} build ({source}), not release")
-        if allow_non_release:
-            print(msg + " (allowed by --allow-non-release)", file=sys.stderr)
-            return
-        print(msg + "; re-run from a Release build or pass "
-              "--allow-non-release", file=sys.stderr)
-        sys.exit(2)
+    for source, build_type in stamps:
+        if build_type is None:
+            continue
+        if build_type.lower() != "release":
+            msg = (f"bench_compare: {path} was measured from a "
+                   f"{build_type!r} build ({source}), not release")
+            if allow_non_release:
+                print(msg + " (allowed by --allow-non-release)",
+                      file=sys.stderr)
+                continue
+            print(msg + "; re-run from a Release build or pass "
+                  "--allow-non-release", file=sys.stderr)
+            sys.exit(2)
+
+
+# Sharded benchmarks encode their tile/thread shape as a tNxM capture
+# suffix (BM_NetworkStepSharded/t4x4) and BM_ShardedScalingCurve as
+# /mesh/tiles/threads args; both yield the requested thread count.
+_THREADS_SUFFIX = re.compile(r"/t\d+x(\d+)(?:$|[/_])")
+_THREADS_NAMED = re.compile(r"_t\d+x(\d+)(?:$|/)")
+_THREADS_ARGS = re.compile(r"/\d+/\d+/(\d+)$")
+
+
+def requested_threads(name):
+    """Thread count a sharded benchmark asked for, or None."""
+    for pat in (_THREADS_SUFFIX, _THREADS_NAMED, _THREADS_ARGS):
+        m = pat.search(name)
+        if m:
+            return int(m.group(1))
+    return None
+
+
+def host_noise_warnings(doc):
+    """Noise heuristics on the measuring host, from the run's context."""
+    ctx = doc.get("context", {})
+    warnings = []
+    num_cpus = ctx.get("num_cpus")
+    load_avg = ctx.get("load_avg") or []
+    if num_cpus and load_avg and load_avg[0] > num_cpus:
+        warnings.append(
+            f"load_avg {load_avg[0]:.2f} exceeds num_cpus {num_cpus}: "
+            "the host was busy; timings are suspect")
+    if num_cpus:
+        for b in doc.get("benchmarks", []):
+            threads = requested_threads(b.get("name", ""))
+            if threads is not None and threads > num_cpus:
+                warnings.append(
+                    f"{b['name']} wants {threads} step threads but the host "
+                    f"has num_cpus {num_cpus}: sharded timings are "
+                    "oversubscribed")
+    return warnings
+
+
+def annotate_host_warnings(path, doc, warnings):
+    """Record noise warnings into the JSON so archived artifacts carry
+    them; best-effort (a read-only file just keeps its stderr warning)."""
+    doc.setdefault("context", {})["ftmesh_host_warnings"] = warnings
+    try:
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+    except OSError as e:
+        print(f"bench_compare: cannot annotate {path}: {e}", file=sys.stderr)
 
 
 def load_runs(path, allow_non_release=False):
-    """Returns ({name: real_time}, {name: {counter: value}}) from a
+    """Returns ({name: real_time}, {name: {counter: value}}, doc) from a
     benchmark JSON file."""
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -118,7 +181,7 @@ def load_runs(path, allow_non_release=False):
     if not times:
         print(f"bench_compare: no benchmarks in {path}", file=sys.stderr)
         sys.exit(2)
-    return times, counters
+    return times, counters, doc
 
 
 def main():
@@ -195,8 +258,14 @@ def main():
                   file=sys.stderr)
             sys.exit(2)
 
-    base, _ = load_runs(args.baseline, args.allow_non_release)
-    cur, cur_counters = load_runs(args.current, args.allow_non_release)
+    base, _, _ = load_runs(args.baseline, args.allow_non_release)
+    cur, cur_counters, cur_doc = load_runs(args.current, args.allow_non_release)
+
+    noise = host_noise_warnings(cur_doc)
+    for w in noise:
+        print(f"bench_compare: WARNING: {w}", file=sys.stderr)
+    if noise:
+        annotate_host_warnings(args.current, cur_doc, noise)
 
     failed = False
     width = max(len(n) for n in sorted(set(base) | set(cur)))

@@ -6,7 +6,7 @@
 //                     [--save-config f]
 //                     [--fault-schedule SPEC] [--max-retries N]
 //                     [--backoff N] [--patience N] [--drain]
-//                     [--tiles N] [--step-threads N]
+//                     [--tiles N] [--step-threads N] [--shard-alloc 0|1]
 //                     [--trace f] [--trace-format jsonl|chrome]
 //                     [--metrics-interval N] [--metrics-out f.csv]
 //   ftmesh sweep      [--algorithm A] [--from R0] [--to R1] [--steps N] ...
@@ -100,6 +100,7 @@ SimConfig config_from_cli(const Cli& cli) {
       cli.get_int("route-cache", cfg.route_cache ? 1 : 0) != 0;
   cfg.recycle_messages =
       cli.get_int("recycle-messages", cfg.recycle_messages ? 1 : 0) != 0;
+  cfg.shard_alloc = cli.get_int("shard-alloc", cfg.shard_alloc ? 1 : 0) != 0;
   if (cli.flag("kernel-stats")) cfg.collect_kernel_stats = true;
   cfg.metrics_interval = static_cast<std::uint64_t>(cli.get_int(
       "metrics-interval", static_cast<std::int64_t>(cfg.metrics_interval)));
